@@ -1,0 +1,23 @@
+"""Helpers shared by the benchmark harness (kept out of conftest so imports
+are unambiguous when tests/ and benchmarks/ are collected together)."""
+
+from __future__ import annotations
+
+
+def print_series(title: str, rows: list[dict]) -> None:
+    """Print a figure's data series in a compact tabular form."""
+    print(f"\n--- {title} ---")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    print("  ".join(f"{key:>14s}" for key in keys))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row.get(key, "")
+            if isinstance(value, float):
+                cells.append(f"{value:>14.4f}")
+            else:
+                cells.append(f"{str(value):>14s}")
+        print("  ".join(cells))

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+expensive artefacts (the 33 workload simulations and the GA-generated
+stressmarks per fault-rate scenario) are shared through a session-scoped
+:class:`ExperimentContext` so the full harness runs in minutes at the default
+``quick`` scale.  Set ``REPRO_BENCH_SCALE=default`` for a higher-fidelity run
+(see EXPERIMENTS.md for the scales used in the recorded results).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext, ExperimentScale
+
+
+def _scale_from_environment() -> ExperimentScale:
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name == "default":
+        return ExperimentScale.default()
+    if name == "paper":
+        return ExperimentScale.paper()
+    return ExperimentScale.quick()
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    return _scale_from_environment()
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_scale: ExperimentScale) -> ExperimentContext:
+    return ExperimentContext(bench_scale)

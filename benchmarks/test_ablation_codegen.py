@@ -1,0 +1,102 @@
+"""Ablation: which code-generator features the worst-case SER depends on.
+
+DESIGN.md calls out the key design choices of the code generator framework:
+the blocking (self-dependent) L2-miss load, the ACE loads/stores that cover
+every word of the previous cache line, the instructions dependent on the
+miss, and the all-ACE requirement.  This benchmark removes each feature from
+the paper's reference knob setting and measures the SER lost, reproducing the
+reasoning of Sections III and IV.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avf.analysis import StructureGroup
+from repro.stressmark.fitness import FitnessFunction
+from repro.stressmark.generator import StressmarkGenerator, reference_knobs
+from repro.uarch.config import baseline_config
+
+from _bench_utils import print_series
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return StressmarkGenerator(config=baseline_config(), max_instructions=5_000)
+
+
+def _evaluate(evaluator, knobs):
+    _, report, _ = evaluator.evaluate(knobs)
+    return report
+
+
+def test_ablation_codegen_features(benchmark, evaluator):
+    reference = reference_knobs(baseline_config())
+
+    def run_all():
+        return {
+            "reference (Figure 5a)": _evaluate(evaluator, reference),
+            "no blocking L2 miss (L2-hit loop)": _evaluate(
+                evaluator, reference.derive(use_l2_miss=False)
+            ),
+            "no loads/stores": _evaluate(
+                evaluator, reference.derive(num_loads=0, num_stores=0)
+            ),
+            "no miss-dependent instructions": _evaluate(
+                evaluator, reference.derive(num_dependent_on_miss=0)
+            ),
+            "short loop (half the ROB)": _evaluate(
+                evaluator, reference.derive(loop_size=40)
+            ),
+        }
+
+    reports = benchmark.pedantic(run_all, iterations=1, rounds=1)
+
+    print_series(
+        "Ablation: SER (units/bit) after removing one code-generator feature",
+        [
+            {
+                "variant": name,
+                "qs": report.ser(StructureGroup.QS),
+                "core": report.core_ser,
+                "dl1_dtlb": report.ser(StructureGroup.DL1_DTLB),
+                "l2": report.ser(StructureGroup.L2),
+                "ipc": report.ipc,
+            }
+            for name, report in reports.items()
+        ],
+    )
+
+    reference_report = reports["reference (Figure 5a)"]
+    # Removing the blocking miss collapses queue occupancy (Section IV-A.1).
+    assert reports["no blocking L2 miss (L2-hit loop)"].ser(StructureGroup.QS) < \
+        reference_report.ser(StructureGroup.QS)
+    # Removing loads/stores empties the LQ/SQ, the largest core contributors.
+    assert reports["no loads/stores"].ser(StructureGroup.QS) < reference_report.ser(StructureGroup.QS)
+    # A loop much smaller than the ROB serialises extra L2 misses per window:
+    # throughput (and with it the rate at which cache lines are made ACE)
+    # collapses without a commensurate cache-SER gain (Section IV-B's argument
+    # for sizing the loop to the ROB).
+    short = reports["short loop (half the ROB)"]
+    assert short.ipc < reference_report.ipc
+    assert short.ser(StructureGroup.DL1_DTLB) <= reference_report.ser(StructureGroup.DL1_DTLB) + 1e-6
+
+
+def test_ablation_fitness_formulations(benchmark, evaluator):
+    """Compare the documented fitness formulations on the reference candidate."""
+    reference = reference_knobs(baseline_config())
+    result = evaluator.simulate(reference, max_instructions=5_000)
+
+    def score_all():
+        return {
+            "balanced (default)": FitnessFunction.balanced()(result),
+            "overall SER": FitnessFunction.overall()(result),
+            "core only": FitnessFunction.core_only()(result),
+        }
+
+    scores = benchmark.pedantic(score_all, iterations=1, rounds=1)
+    print_series("Ablation: fitness formulations on the reference stressmark",
+                 [{"fitness": name, "score": value} for name, value in scores.items()])
+
+    assert scores["core only"] < scores["balanced (default)"]
+    assert all(value > 0.0 for value in scores.values())

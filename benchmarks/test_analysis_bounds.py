@@ -1,0 +1,35 @@
+"""Section VI analysis: instantaneous worst-case bound vs the stressmark.
+
+The paper computes a back-of-the-envelope instantaneous worst-case queue SER
+of 0.899 units/bit for the baseline configuration and argues the stressmark's
+sustained 0.797 units/bit is close to that (unsustainable) ceiling, which is
+the paper's evidence that the GA result is near the true worst case.
+"""
+
+from __future__ import annotations
+
+from repro.avf.analysis import StructureGroup, instantaneous_worst_case_bound
+from repro.uarch.config import baseline_config, config_a
+
+from _bench_utils import print_series
+
+
+def test_instantaneous_bound_vs_stressmark(benchmark, bench_context):
+    bound = benchmark(instantaneous_worst_case_bound, baseline_config())
+
+    stressmark = bench_context.stressmark()
+    sustained = stressmark.report.ser(StructureGroup.QS)
+
+    print_series(
+        "Section VI: instantaneous bound vs sustained stressmark (queues, units/bit)",
+        [
+            {"quantity": "instantaneous worst-case bound (paper: 0.899)", "value": bound},
+            {"quantity": "stressmark sustained queue SER (paper: 0.797)", "value": sustained},
+            {"quantity": "fraction of bound achieved", "value": sustained / bound},
+            {"quantity": "config A bound", "value": instantaneous_worst_case_bound(config_a())},
+        ],
+    )
+
+    assert 0.85 < bound < 0.95           # paper: 0.899
+    assert sustained < bound             # sustained SER cannot exceed the instantaneous ceiling
+    assert sustained / bound > 0.7       # ...but the stressmark gets close to it

@@ -1,0 +1,15 @@
+"""Table I: baseline processor configuration (reproduction sanity benchmark)."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table1
+
+from _bench_utils import print_series
+
+
+def test_table1_baseline_configuration(benchmark):
+    """Regenerate Table I and benchmark the (cheap) configuration construction."""
+    table = benchmark(table1)
+    print_series("Table I: Baseline configuration", [{"parameter": k, "value": v} for k, v in table.items()])
+    assert table["ROB"].startswith("80 entries")
+    assert table["Integer Issue Queue"].startswith("20 entries")

@@ -1,0 +1,15 @@
+"""Table II: alternate Configuration A (reproduction sanity benchmark)."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import table2
+
+from _bench_utils import print_series
+
+
+def test_table2_configuration_a(benchmark):
+    """Regenerate Table II and benchmark the configuration construction."""
+    table = benchmark(table2)
+    print_series("Table II: Configuration A", [{"parameter": k, "value": v} for k, v in table.items()])
+    assert table["ROB"].startswith("96 entries")
+    assert "2MB" in table["L2 cache"]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quantify SER-mitigation mechanisms with the stressmark methodology (§VII).
+
+The paper's Section VII shows how an architect uses the stressmark to measure
+the worst-case impact of protection mechanisms: radiation-hardened circuitry
+(RHC) on the ROB/LQ/SQ and error detection + recovery (EDR) on the same
+structures.  This example regenerates a stressmark for each fault-rate model
+and reports how much the worst-case core SER drops — the adaptive property
+that distinguishes the methodology from re-running a fixed workload suite.
+
+Run:  python examples/evaluate_mitigation.py
+"""
+
+from __future__ import annotations
+
+from repro import baseline_config
+from repro.experiments import ExperimentContext, ExperimentScale
+from repro.uarch import edr_fault_rates, rhc_fault_rates, unit_fault_rates
+
+
+def main() -> None:
+    config = baseline_config()
+    context = ExperimentContext(ExperimentScale.quick())
+    scenarios = {
+        "baseline (unit fault rates)": unit_fault_rates(),
+        "RHC (hardened ROB/LQ/SQ)": rhc_fault_rates(),
+        "EDR (protected ROB/LQ/SQ)": edr_fault_rates(),
+    }
+
+    print("Worst-case core SER under each protection scenario")
+    print("(stressmark regenerated per scenario vs. the best of 33 workload proxies)\n")
+
+    baseline_ser = None
+    for label, fault_rates in scenarios.items():
+        stressmark = context.stressmark(config, fault_rates)
+        workloads = context.workload_reports(config, fault_rates)
+        best_name, best_report = workloads.best_by(lambda report: report.core_ser)
+
+        stress_ser = stressmark.report.core_ser
+        if baseline_ser is None:
+            baseline_ser = stress_ser
+            delta = ""
+        else:
+            reduction = 100.0 * (1.0 - stress_ser / baseline_ser) if baseline_ser else 0.0
+            delta = f"  ({reduction:.1f}% lower than the unprotected worst case)"
+
+        print(f"{label}")
+        print(f"  stressmark worst-case core SER : {stress_ser:.3f} units/bit{delta}")
+        print(f"  best workload proxy            : {best_name} at {best_report.core_ser:.3f} units/bit")
+        print(f"  generator variant chosen       : {stressmark.knob_table()['Code generator']}")
+        print(f"  loads/stores in the inner loop : "
+              f"{stressmark.knobs.num_loads}/{stressmark.knobs.num_stores}")
+        print()
+
+    print("Expected shape (paper, Table III): the stressmark exceeds the best\n"
+          "workload in every scenario, and the GA shifts away from memory-heavy\n"
+          "loops once the LQ/SQ/ROB are protected (fewer loads/stores under RHC,\n"
+          "the L2-hit generator under EDR).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Generate an AVF stressmark with the genetic algorithm (Figure 2 / Figure 5).
+
+The script runs the full closed loop of the paper: the GA proposes knob
+settings, the code generator builds candidate programs, the AVF simulator
+scores them, and the best candidate after the configured number of
+generations is the stressmark.  It then prints the final knob table
+(Figure 5a), the per-generation average fitness (Figure 5b) and the SER the
+stressmark induces, compared against the strongest workload proxy.
+
+Run:  python examples/generate_stressmark.py [--generations N] [--population N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import StructureGroup, baseline_config, unit_fault_rates
+from repro.experiments import ExperimentContext, ExperimentScale
+from repro.ga import GAParameters
+from repro.stressmark import StressmarkGenerator
+from repro.stressmark.generator import reference_knobs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--generations", type=int, default=8, help="GA generations")
+    parser.add_argument("--population", type=int, default=10, help="individuals per generation")
+    parser.add_argument("--instructions", type=int, default=8_000,
+                        help="simulated instructions per fitness evaluation")
+    parser.add_argument("--seed-reference", action="store_true",
+                        help="seed the initial population with the paper's knob setting")
+    args = parser.parse_args()
+
+    config = baseline_config()
+    fault_rates = unit_fault_rates()
+
+    generator = StressmarkGenerator(
+        config=config,
+        fault_rates=fault_rates,
+        ga_parameters=GAParameters(
+            population_size=args.population,
+            generations=args.generations,
+            crossover_rate=0.73,
+            mutation_rate=0.05,
+        ),
+        max_instructions=args.instructions,
+    )
+    seeds = [reference_knobs(config)] if args.seed_reference else None
+
+    print(f"Running GA: {args.generations} generations x {args.population} individuals "
+          f"({args.instructions} instructions per evaluation)...")
+    result = generator.generate(initial_knobs=seeds)
+
+    print("\nFinal knob settings (compare with Figure 5a):")
+    for key, value in result.knob_table().items():
+        print(f"  {key}: {value}")
+
+    print("\nGA convergence — average fitness per generation (Figure 5b):")
+    for generation, value in enumerate(result.convergence_trace):
+        marker = "  <- cataclysm" if generation in result.ga_result.cataclysm_generations else ""
+        print(f"  gen {generation:3d}: {value:.4f}{marker}")
+
+    print(f"\nBest fitness: {result.fitness:.4f} "
+          f"({result.ga_result.evaluations} candidate evaluations)")
+    print("Stressmark SER (units/bit):")
+    for group in (StructureGroup.QS, StructureGroup.CORE, StructureGroup.DL1_DTLB, StructureGroup.L2):
+        print(f"  {group.value:10s} {result.report.ser(group):.3f}")
+
+    # Compare against the strongest workload proxy on the same configuration.
+    context = ExperimentContext(ExperimentScale.quick())
+    workloads = context.workload_reports(config, fault_rates)
+    best_name, best_report = workloads.best_by(lambda report: report.core_ser)
+    print(f"\nBest workload proxy by core SER: {best_name} ({best_report.core_ser:.3f} units/bit)")
+    if best_report.core_ser > 0:
+        print(f"Stressmark / best workload core SER ratio: "
+              f"{result.report.core_ser / best_report.core_ser:.2f}x (paper reports ~1.4x)")
+
+
+if __name__ == "__main__":
+    main()

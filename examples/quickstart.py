@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the AVF/SER of a candidate stressmark and a workload.
+
+This example exercises the core public API end to end:
+
+1. build the paper's baseline Alpha 21264-class configuration (Table I);
+2. generate a candidate stressmark from the paper's published knob setting
+   (Figure 5a) with the code generator;
+3. simulate it on the AVF-capable out-of-order core model;
+4. print per-structure AVF and normalised SER (units/bit) per structure group;
+5. do the same for one synthetic SPEC CPU2006 workload proxy for contrast.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import StructureGroup, baseline_config, build_report, unit_fault_rates
+from repro.stressmark import CodeGenerator
+from repro.stressmark.generator import reference_knobs
+from repro.uarch import OutOfOrderCore
+from repro.uarch.structures import StructureName
+from repro.workloads import build_workload, profile_by_name
+
+
+def describe(title: str, report) -> None:
+    """Print a compact AVF/SER summary for one simulated program."""
+    print(f"\n=== {title} ===")
+    print(f"cycles={report.total_cycles}  instructions={report.committed_instructions}  "
+          f"IPC={report.ipc:.3f}")
+    print("normalised SER (units/bit):")
+    for group in (StructureGroup.QS, StructureGroup.CORE, StructureGroup.DL1_DTLB, StructureGroup.L2):
+        print(f"  {group.value:10s} {report.ser(group):.3f}")
+    print("per-structure AVF:")
+    for structure in (
+        StructureName.IQ,
+        StructureName.ROB,
+        StructureName.LQ_TAG,
+        StructureName.SQ_TAG,
+        StructureName.RF,
+        StructureName.FU,
+        StructureName.DL1,
+        StructureName.DTLB,
+        StructureName.L2,
+    ):
+        print(f"  {structure.value:10s} {report.avf(structure):.3f}")
+
+
+def main() -> None:
+    config = baseline_config()
+    fault_rates = unit_fault_rates()
+    core = OutOfOrderCore(config, seed=1)
+
+    # --- candidate stressmark from the paper's published knob setting -------
+    knobs = reference_knobs(config)
+    program = CodeGenerator(config).generate(knobs, name="reference_stressmark")
+    print("Reference stressmark knobs (Figure 5a):")
+    for key, value in knobs.as_table().items():
+        print(f"  {key}: {value}")
+    result = core.run(program, max_instructions=20_000)
+    describe("Reference stressmark (baseline configuration)", build_report(result, fault_rates))
+
+    # --- one SPEC CPU2006 proxy for contrast --------------------------------
+    profile = profile_by_name("403.gcc_proxy")
+    workload = build_workload(profile, config, seed=11)
+    result = core.run(workload, max_instructions=20_000)
+    describe("Workload proxy: 403.gcc_proxy", build_report(result, fault_rates))
+
+    print("\nThe stressmark should exceed the workload on every structure group "
+          "(the paper reports 1.4x in the core, 2.5x in DL1+DTLB and 1.5x in L2 "
+          "against the best of 33 workloads).")
+
+
+if __name__ == "__main__":
+    main()

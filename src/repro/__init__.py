@@ -1,0 +1,50 @@
+"""AVF Stressmark reproduction library.
+
+Reproduction of "AVF Stressmark: Towards an Automated Methodology for Bounding
+the Worst-Case Vulnerability to Soft Errors" (Nair, John, Eeckhout — MICRO
+2010): an AVF-capable out-of-order processor model, ACE/lifetime analysis, a
+knob-driven stressmark code generator, and a genetic algorithm that searches
+the knob space to approach the worst-case observable SER.
+
+Public API highlights
+---------------------
+``repro.uarch.baseline_config`` / ``config_a``
+    The paper's machine configurations (Tables I and II).
+``repro.uarch.OutOfOrderCore``
+    Cycle-level simulator with ACE accounting.
+``repro.avf.build_report``
+    Per-structure AVF and grouped SER (units/bit) reports.
+``repro.stressmark.StressmarkGenerator``
+    GA-driven stressmark generation (the paper's primary contribution).
+``repro.workloads``
+    Synthetic SPEC CPU2006 / MiBench workload proxies used as the coverage
+    baseline.
+``repro.experiments``
+    One driver per paper table and figure.
+"""
+
+from repro.avf import StructureGroup, build_report
+from repro.uarch import (
+    MachineConfig,
+    OutOfOrderCore,
+    baseline_config,
+    config_a,
+    edr_fault_rates,
+    rhc_fault_rates,
+    unit_fault_rates,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StructureGroup",
+    "build_report",
+    "MachineConfig",
+    "OutOfOrderCore",
+    "baseline_config",
+    "config_a",
+    "unit_fault_rates",
+    "rhc_fault_rates",
+    "edr_fault_rates",
+    "__version__",
+]

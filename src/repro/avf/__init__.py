@@ -1,0 +1,25 @@
+"""AVF/SER computation: per-structure AVF, grouped SER in units/bit, reports."""
+
+from repro.avf.analysis import (
+    StructureGroup,
+    group_structures,
+    instantaneous_worst_case_bound,
+    normalized_group_ser,
+    sum_of_highest_per_structure_ser,
+)
+from repro.avf.hvf import group_hvf, hvf_by_structure, hvf_gap, structure_hvf
+from repro.avf.report import SerReport, build_report
+
+__all__ = [
+    "group_hvf",
+    "hvf_by_structure",
+    "hvf_gap",
+    "structure_hvf",
+    "StructureGroup",
+    "group_structures",
+    "instantaneous_worst_case_bound",
+    "normalized_group_ser",
+    "sum_of_highest_per_structure_ser",
+    "SerReport",
+    "build_report",
+]

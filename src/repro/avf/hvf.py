@@ -1,0 +1,69 @@
+"""Hardware Vulnerability Factor (HVF) analysis.
+
+Sridharan and Kaeli (ISCA 2010), discussed in the paper's related work,
+bound a structure's AVF by its *Hardware Vulnerability Factor*: the fraction
+of hardware bit-cycles that hold any program state at all, regardless of
+ACE-ness.  HVF is an occupancy-derived upper bound on AVF — it can be
+measured without knowing which bits are ACE, but, as the paper argues, it
+still depends on the workload and therefore cannot by itself bound the
+*observable worst case*.  This module exposes the HVF view on our simulation
+results so the two methodologies can be compared directly (see the
+``hvf_gap`` helper and `benchmarks/test_ablation_codegen.py`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.avf.analysis import StructureGroup, group_structures
+from repro.uarch.pipeline import SimulationResult
+from repro.uarch.structures import StructureName
+
+
+def structure_hvf(result: SimulationResult, structure: StructureName) -> float:
+    """HVF of one structure: its average occupancy over the run.
+
+    For storage structures (caches, DTLB) occupancy accounting is not
+    meaningful in our model, so the AVF itself is returned — for those
+    structures the lifetime analysis already *is* the occupancy of live data.
+    """
+    occupancy = result.occupancy(structure)
+    if structure.is_core:
+        return occupancy
+    return max(occupancy, result.avf(structure))
+
+
+def hvf_by_structure(result: SimulationResult) -> dict[StructureName, float]:
+    """HVF of every tracked structure."""
+    return {name: structure_hvf(result, name) for name in result.accumulators}
+
+
+def group_hvf(result: SimulationResult, group: StructureGroup) -> float:
+    """Bit-weighted HVF of a structure group (same normalisation as SER)."""
+    members = group_structures(group)
+    total_bits = 0.0
+    weighted = 0.0
+    for name in members:
+        accumulator = result.accumulators.get(name)
+        if accumulator is None:
+            continue
+        bits = float(accumulator.total_bits)
+        total_bits += bits
+        weighted += structure_hvf(result, name) * bits
+    if total_bits == 0.0:
+        return 0.0
+    return weighted / total_bits
+
+
+def hvf_gap(result: SimulationResult) -> Mapping[StructureName, float]:
+    """Per-structure gap between the HVF upper bound and the measured AVF.
+
+    The gap is the un-ACE fraction of occupied state (wrong-path, dead,
+    narrow-width and not-yet-live data); it is zero only when every occupied
+    bit is ACE, which is exactly what the stressmark's 100 %-ACE code
+    generator drives toward.
+    """
+    gaps: dict[StructureName, float] = {}
+    for name in result.accumulators:
+        gaps[name] = max(0.0, structure_hvf(result, name) - result.avf(name))
+    return gaps

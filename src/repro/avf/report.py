@@ -1,0 +1,93 @@
+"""Structured AVF/SER reports for one simulated program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.avf.analysis import StructureGroup, normalized_group_ser
+from repro.uarch.faultrates import FaultRateModel, unit_fault_rates
+from repro.uarch.pipeline import SimulationResult
+from repro.uarch.structures import StructureName
+
+
+@dataclass(frozen=True)
+class SerReport:
+    """AVF and SER summary of one program on one configuration.
+
+    ``group_ser`` holds normalised SER in units/bit for the groups the paper
+    plots (QS, QS+RF, DL1+DTLB, L2); ``structure_avf`` holds per-structure AVF
+    as plotted in Figure 6 / 8b / 9a.
+    """
+
+    program_name: str
+    config_name: str
+    fault_rate_name: str
+    total_cycles: int
+    committed_instructions: int
+    ipc: float
+    structure_avf: Mapping[StructureName, float]
+    structure_occupancy: Mapping[StructureName, float]
+    group_ser: Mapping[StructureGroup, float]
+    stats: Mapping[str, float] = field(default_factory=dict)
+
+    def avf(self, structure: StructureName) -> float:
+        """AVF of a single structure."""
+        return self.structure_avf[structure]
+
+    def ser(self, group: StructureGroup) -> float:
+        """Normalised SER (units/bit) of a structure group."""
+        return self.group_ser[group]
+
+    @property
+    def core_ser(self) -> float:
+        """Core SER (queueing structures + register file)."""
+        return self.group_ser[StructureGroup.CORE]
+
+    def as_row(self) -> dict[str, object]:
+        """Flatten the report into a table row (used by experiment harnesses)."""
+        row: dict[str, object] = {
+            "program": self.program_name,
+            "config": self.config_name,
+            "fault_rates": self.fault_rate_name,
+            "cycles": self.total_cycles,
+            "instructions": self.committed_instructions,
+            "ipc": round(self.ipc, 4),
+        }
+        for group, value in self.group_ser.items():
+            row[f"ser_{group.value}"] = round(value, 4)
+        for structure, value in self.structure_avf.items():
+            row[f"avf_{structure.value}"] = round(value, 4)
+        return row
+
+
+def build_report(
+    result: SimulationResult,
+    fault_rates: FaultRateModel | None = None,
+) -> SerReport:
+    """Build a :class:`SerReport` from a simulation result."""
+    if fault_rates is None:
+        fault_rates = unit_fault_rates()
+    structure_avf = {name: result.avf(name) for name in result.accumulators}
+    structure_occupancy = {name: result.occupancy(name) for name in result.accumulators}
+    group_ser = {
+        group: normalized_group_ser(result, group, fault_rates)
+        for group in StructureGroup
+    }
+    return SerReport(
+        program_name=result.program_name,
+        config_name=result.config.name,
+        fault_rate_name=fault_rates.name,
+        total_cycles=result.stats.total_cycles,
+        committed_instructions=result.stats.committed_instructions,
+        ipc=result.stats.ipc,
+        structure_avf=structure_avf,
+        structure_occupancy=structure_occupancy,
+        group_ser=group_ser,
+        stats={
+            "branch_misprediction_rate": result.stats.branch_misprediction_rate,
+            "dl1_miss_rate": result.stats.dl1_miss_rate,
+            "l2_miss_rate": result.stats.l2_miss_rate,
+            "dtlb_miss_rate": result.stats.dtlb_miss_rate,
+        },
+    )

@@ -1,0 +1,15 @@
+"""Branch prediction substrate (hybrid predictor of the Alpha 21264)."""
+
+from repro.branch.predictors import (
+    BimodalPredictor,
+    HybridPredictor,
+    LocalHistoryPredictor,
+    SaturatingCounter,
+)
+
+__all__ = [
+    "BimodalPredictor",
+    "HybridPredictor",
+    "LocalHistoryPredictor",
+    "SaturatingCounter",
+]

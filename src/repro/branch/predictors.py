@@ -1,0 +1,162 @@
+"""Hybrid branch predictor modelled on the Alpha 21264 tournament predictor.
+
+The predictor combines a global-history predictor (4K 2-bit counters indexed
+by the global history register), a two-level local predictor (1K 10-bit local
+histories feeding 1K 3-bit counters, simplified to 2-bit counters here) and a
+4K-entry choice predictor that learns which component to trust per branch.
+
+Branch mispredictions matter to AVF because wrong-path instructions are
+un-ACE and the pipeline flush empties the queueing structures (Section IV-A.4
+of the paper), so the predictor's accuracy on each workload directly shapes
+per-structure occupancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter used throughout the predictor tables."""
+
+    def __init__(self, bits: int = 2, initial: int | None = None) -> None:
+        if bits <= 0:
+            raise ValueError("counter width must be positive")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        self.value = initial if initial is not None else (self.maximum + 1) // 2
+
+    def increment(self) -> None:
+        if self.value < self.maximum:
+            self.value += 1
+
+    def decrement(self) -> None:
+        if self.value > 0:
+            self.value -= 1
+
+    def update(self, taken: bool) -> None:
+        if taken:
+            self.increment()
+        else:
+            self.decrement()
+
+    @property
+    def predict_taken(self) -> bool:
+        return self.value > self.maximum // 2
+
+
+@dataclass
+class PredictorStats:
+    """Aggregate prediction statistics."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+
+class BimodalPredictor:
+    """Global-history (gshare-style) component: counters indexed by history ^ pc."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("entries must be a positive power of two")
+        self.entries = entries
+        self.history_bits = history_bits
+        self.history = 0
+        self.table = [SaturatingCounter(2) for _ in range(entries)]
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & (self.entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)].predict_taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table[self._index(pc)].update(taken)
+        mask = (1 << self.history_bits) - 1
+        self.history = ((self.history << 1) | int(taken)) & mask
+
+
+class LocalHistoryPredictor:
+    """Two-level local predictor: per-branch history selects a counter."""
+
+    def __init__(self, history_entries: int = 1024, history_bits: int = 10) -> None:
+        if history_entries <= 0 or history_entries & (history_entries - 1):
+            raise ValueError("history_entries must be a positive power of two")
+        self.history_entries = history_entries
+        self.history_bits = history_bits
+        self.histories = [0] * history_entries
+        self.counters = [SaturatingCounter(2) for _ in range(1 << history_bits)]
+
+    def _history_index(self, pc: int) -> int:
+        return pc & (self.history_entries - 1)
+
+    def _counter_index(self, pc: int) -> int:
+        return self.histories[self._history_index(pc)] & ((1 << self.history_bits) - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self.counters[self._counter_index(pc)].predict_taken
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.counters[self._counter_index(pc)].update(taken)
+        history_index = self._history_index(pc)
+        mask = (1 << self.history_bits) - 1
+        self.histories[history_index] = ((self.histories[history_index] << 1) | int(taken)) & mask
+
+
+class HybridPredictor:
+    """Tournament predictor: choice table arbitrates global vs local components."""
+
+    def __init__(
+        self,
+        global_entries: int = 4096,
+        local_history_entries: int = 1024,
+        choice_entries: int = 4096,
+    ) -> None:
+        self.global_component = BimodalPredictor(entries=global_entries)
+        self.local_component = LocalHistoryPredictor(history_entries=local_history_entries)
+        if choice_entries <= 0 or choice_entries & (choice_entries - 1):
+            raise ValueError("choice_entries must be a positive power of two")
+        self.choice = [SaturatingCounter(2) for _ in range(choice_entries)]
+        self.choice_entries = choice_entries
+        self.stats = PredictorStats()
+
+    def _choice_index(self, pc: int) -> int:
+        return pc & (self.choice_entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at ``pc``."""
+        use_global = self.choice[self._choice_index(pc)].predict_taken
+        if use_global:
+            return self.global_component.predict(pc)
+        return self.local_component.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True when the prediction was wrong."""
+        global_prediction = self.global_component.predict(pc)
+        local_prediction = self.local_component.predict(pc)
+        use_global = self.choice[self._choice_index(pc)].predict_taken
+        prediction = global_prediction if use_global else local_prediction
+
+        # The choice counter trains toward the component that was correct when
+        # the two components disagree (standard tournament update rule).
+        if global_prediction != local_prediction:
+            self.choice[self._choice_index(pc)].update(global_prediction == taken)
+
+        self.global_component.update(pc, taken)
+        self.local_component.update(pc, taken)
+
+        self.stats.predictions += 1
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.stats.mispredictions += 1
+        return mispredicted
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.stats.misprediction_rate

@@ -1,0 +1,214 @@
+"""Command-line interface: regenerate the paper's experiments from a shell.
+
+Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+
+    python -m repro list                      # list available experiments
+    python -m repro table1                    # print Table I
+    python -m repro figure4 --scale quick     # stressmark vs MiBench
+    python -m repro figure5 --scale default   # GA knobs + convergence
+    python -m repro table3                    # worst-case estimation comparison
+    python -m repro stressmark --fault-rates rhc   # just generate one stressmark
+
+Every experiment prints the same rows/series the corresponding benchmark
+prints; the CLI exists so results can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Iterable
+
+from repro.avf.analysis import StructureGroup, instantaneous_worst_case_bound
+from repro.experiments.figures import figure3, figure4, figure5, figure6, figure7, figure8, figure9
+from repro.experiments.runner import ExperimentContext, ExperimentScale
+from repro.experiments.tables import table1, table2, table3
+from repro.uarch.config import baseline_config, config_a
+from repro.uarch.faultrates import edr_fault_rates, rhc_fault_rates, unit_fault_rates
+
+
+def _print_rows(title: str, rows: Iterable[dict]) -> None:
+    rows = list(rows)
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    print("  ".join(f"{key:>16s}" for key in keys))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row.get(key, "")
+            cells.append(f"{value:>16.4f}" if isinstance(value, float) else f"{str(value):>16s}")
+        print("  ".join(cells))
+
+
+def _scale(name: str) -> ExperimentScale:
+    if name == "default":
+        return ExperimentScale.default()
+    if name == "paper":
+        return ExperimentScale.paper()
+    return ExperimentScale.quick()
+
+
+def _fault_rates(name: str):
+    return {"unit": unit_fault_rates, "rhc": rhc_fault_rates, "edr": edr_fault_rates}[name]()
+
+
+def _cmd_table1(context: ExperimentContext, args: argparse.Namespace) -> None:
+    _print_rows("Table I: baseline configuration",
+                [{"parameter": k, "value": v} for k, v in table1().items()])
+
+
+def _cmd_table2(context: ExperimentContext, args: argparse.Namespace) -> None:
+    _print_rows("Table II: Configuration A",
+                [{"parameter": k, "value": v} for k, v in table2().items()])
+
+
+def _cmd_table3(context: ExperimentContext, args: argparse.Namespace) -> None:
+    result = table3(context)
+    _print_rows(
+        "Table III: worst-case core SER estimation (units/bit)",
+        [
+            {
+                "configuration": row.configuration,
+                "stressmark": row.stressmark_ser,
+                "best_program": row.best_program_name,
+                "best_program_ser": row.best_program_ser,
+                "sum_highest": row.sum_of_highest_per_structure_ser,
+                "raw_circuit": row.raw_circuit_ser,
+            }
+            for row in result.rows.values()
+        ],
+    )
+
+
+def _cmd_comparison_figure(figure_fn: Callable, title: str):
+    def command(context: ExperimentContext, args: argparse.Namespace) -> None:
+        result = figure_fn(context)
+        _print_rows(title, [row.as_dict() for row in result.rows])
+        for group in (StructureGroup.QS, StructureGroup.QS_RF, StructureGroup.DL1_DTLB, StructureGroup.L2):
+            print(f"margin over best workload [{group.value}]: {result.stressmark_margin(group):.2f}x")
+    return command
+
+
+def _cmd_figure5(context: ExperimentContext, args: argparse.Namespace) -> None:
+    result = figure5(context)
+    _print_rows("Figure 5a: knob settings",
+                [{"knob": k, "value": v} for k, v in result.knob_table.items()])
+    _print_rows(
+        "Figure 5b: fitness per generation",
+        [
+            {"generation": i, "average": avg, "best": best}
+            for i, (avg, best) in enumerate(
+                zip(result.average_fitness_per_generation, result.best_fitness_per_generation)
+            )
+        ],
+    )
+
+
+def _cmd_figure6(context: ExperimentContext, args: argparse.Namespace) -> None:
+    results = figure6(context)
+    for suite, suite_result in results.items():
+        _print_rows(
+            f"Figure 6: per-structure AVF ({suite.value})",
+            [
+                {"program": name, **{s.value: value for s, value in row.items()}}
+                for name, row in suite_result.rows.items()
+            ],
+        )
+
+
+def _cmd_figure7(context: ExperimentContext, args: argparse.Namespace) -> None:
+    results = figure7(context)
+    for label, comparison in results.items():
+        _print_rows(f"Figure 7 ({label.upper()}): SER", [row.as_dict() for row in comparison.rows])
+
+
+def _cmd_figure8(context: ExperimentContext, args: argparse.Namespace) -> None:
+    result = figure8(context)
+    _print_rows("Figure 8a: fault rates",
+                [{"scenario": s, **rates} for s, rates in result.fault_rate_table.items()])
+    _print_rows("Figure 8b: stressmark queueing AVF",
+                [{"scenario": s, **{k.value: v for k, v in avf.items()}}
+                 for s, avf in result.queueing_avf.items()])
+    for scenario, knobs in result.knob_tables.items():
+        _print_rows(f"Knob settings ({scenario})", [{"knob": k, "value": v} for k, v in knobs.items()])
+
+
+def _cmd_figure9(context: ExperimentContext, args: argparse.Namespace) -> None:
+    result = figure9(context)
+    _print_rows(
+        "Figure 9a: stressmark SER per group",
+        [{"config": name, **{g.value: v for g, v in groups.items()}}
+         for name, groups in result.group_ser.items()],
+    )
+    for name, knobs in result.knob_tables.items():
+        _print_rows(f"Figure 9b: knobs ({name})", [{"knob": k, "value": v} for k, v in knobs.items()])
+
+
+def _cmd_bound(context: ExperimentContext, args: argparse.Namespace) -> None:
+    _print_rows(
+        "Instantaneous worst-case queue SER bound (Section VI)",
+        [
+            {"config": "baseline", "bound": instantaneous_worst_case_bound(baseline_config())},
+            {"config": "config_a", "bound": instantaneous_worst_case_bound(config_a())},
+        ],
+    )
+
+
+def _cmd_stressmark(context: ExperimentContext, args: argparse.Namespace) -> None:
+    config = config_a() if args.config == "config_a" else baseline_config()
+    fault_rates = _fault_rates(args.fault_rates)
+    result = context.stressmark(config, fault_rates)
+    _print_rows("Stressmark knob settings", [{"knob": k, "value": v} for k, v in result.knob_table().items()])
+    _print_rows(
+        "Stressmark SER (units/bit)",
+        [{"group": group.value, "ser": result.report.ser(group)} for group in StructureGroup],
+    )
+
+
+COMMANDS: dict[str, Callable[[ExperimentContext, argparse.Namespace], None]] = {
+    "table1": _cmd_table1,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "figure3": _cmd_comparison_figure(figure3, "Figure 3: stressmark vs SPEC CPU2006"),
+    "figure4": _cmd_comparison_figure(figure4, "Figure 4: stressmark vs MiBench"),
+    "figure5": _cmd_figure5,
+    "figure6": _cmd_figure6,
+    "figure7": _cmd_figure7,
+    "figure8": _cmd_figure8,
+    "figure9": _cmd_figure9,
+    "bound": _cmd_bound,
+    "stressmark": _cmd_stressmark,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list"],
+                        help="experiment to regenerate (or 'list')")
+    parser.add_argument("--scale", choices=["quick", "default", "paper"], default="quick",
+                        help="simulation / GA effort (see EXPERIMENTS.md)")
+    parser.add_argument("--config", choices=["baseline", "config_a"], default="baseline",
+                        help="machine configuration (stressmark command only)")
+    parser.add_argument("--fault-rates", choices=["unit", "rhc", "edr"], default="unit",
+                        help="circuit-level fault-rate model (stressmark command only)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in sorted(COMMANDS):
+            print(f"  {name}")
+        return 0
+    context = ExperimentContext(_scale(args.scale))
+    COMMANDS[args.experiment](context, args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Experiment drivers: one function per table and figure of the paper."""
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    ExperimentScale,
+    WorkloadReportSet,
+)
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+)
+from repro.experiments.tables import table1, table2, table3
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentScale",
+    "WorkloadReportSet",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "table1",
+    "table2",
+    "table3",
+]

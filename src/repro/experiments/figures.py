@@ -1,0 +1,364 @@
+"""Per-figure experiment drivers.
+
+Each ``figureN`` function regenerates the data behind the corresponding
+figure of the paper and returns it as plain data structures (lists of rows /
+series) that the benchmark harness prints and the tests assert on.  The
+figures never plot — the *rows/series* are the reproduction artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.avf.analysis import StructureGroup
+from repro.avf.report import SerReport
+from repro.experiments.runner import ExperimentContext, ExperimentScale
+from repro.stressmark.generator import StressmarkResult
+from repro.uarch.config import MachineConfig, baseline_config, config_a
+from repro.uarch.faultrates import (
+    FaultRateModel,
+    edr_fault_rates,
+    rhc_fault_rates,
+    unit_fault_rates,
+)
+from repro.uarch.structures import StructureName
+from repro.workloads.profiles import WorkloadSuite
+from repro.workloads.suite import mibench_profiles, spec_fp_profiles, spec_int_profiles
+
+#: Structure groups plotted in Figures 3, 4, 7 and 9.
+GROUP_COLUMNS = (
+    StructureGroup.QS,
+    StructureGroup.QS_RF,
+    StructureGroup.DL1_DTLB,
+    StructureGroup.L2,
+)
+
+#: Core structures plotted per-workload in Figure 6 (and 8b / 9a).
+FIGURE6_STRUCTURES = (
+    StructureName.IQ,
+    StructureName.ROB,
+    StructureName.LQ_TAG,
+    StructureName.LQ_DATA,
+    StructureName.SQ_TAG,
+    StructureName.SQ_DATA,
+    StructureName.RF,
+    StructureName.FU,
+)
+
+
+@dataclass
+class SerComparisonRow:
+    """One bar group of Figures 3/4/7/9: a program's SER per structure group."""
+
+    program: str
+    is_stressmark: bool
+    ser: dict[StructureGroup, float]
+
+    def as_dict(self) -> dict[str, object]:
+        row: dict[str, object] = {"program": self.program, "stressmark": self.is_stressmark}
+        for group, value in self.ser.items():
+            row[f"ser_{group.value}"] = round(value, 4)
+        return row
+
+
+@dataclass
+class SerComparisonResult:
+    """Result of a stressmark-vs-workloads SER comparison figure."""
+
+    figure: str
+    config_name: str
+    fault_rate_name: str
+    rows: list[SerComparisonRow] = field(default_factory=list)
+
+    def stressmark_row(self) -> SerComparisonRow:
+        for row in self.rows:
+            if row.is_stressmark:
+                return row
+        raise ValueError("no stressmark row present")
+
+    def best_workload(self, group: StructureGroup) -> SerComparisonRow:
+        candidates = [row for row in self.rows if not row.is_stressmark]
+        if not candidates:
+            raise ValueError("no workload rows present")
+        return max(candidates, key=lambda row: row.ser[group])
+
+    def stressmark_margin(self, group: StructureGroup) -> float:
+        """Stressmark SER divided by the best workload SER for a group."""
+        best = self.best_workload(group).ser[group]
+        if best <= 0.0:
+            return float("inf")
+        return self.stressmark_row().ser[group] / best
+
+
+def _ser_row(name: str, report: SerReport, is_stressmark: bool) -> SerComparisonRow:
+    return SerComparisonRow(
+        program=name,
+        is_stressmark=is_stressmark,
+        ser={group: report.ser(group) for group in GROUP_COLUMNS},
+    )
+
+
+def _comparison(
+    figure: str,
+    context: ExperimentContext,
+    config: MachineConfig,
+    fault_rates: FaultRateModel,
+    suites: tuple[WorkloadSuite, ...],
+) -> SerComparisonResult:
+    profiles: list = []
+    if WorkloadSuite.SPEC_INT in suites:
+        profiles.extend(spec_int_profiles())
+    if WorkloadSuite.SPEC_FP in suites:
+        profiles.extend(spec_fp_profiles())
+    if WorkloadSuite.MIBENCH in suites:
+        profiles.extend(mibench_profiles())
+
+    stressmark = context.stressmark(config, fault_rates)
+    workloads = context.workload_reports(config, fault_rates, profiles=profiles)
+
+    result = SerComparisonResult(
+        figure=figure, config_name=config.name, fault_rate_name=fault_rates.name
+    )
+    result.rows.append(_ser_row("stressmark", stressmark.report, is_stressmark=True))
+    for profile in profiles:
+        report = workloads.report(profile.name)
+        result.rows.append(_ser_row(profile.name, report, is_stressmark=False))
+    return result
+
+
+# --------------------------------------------------------------- Figure 3/4
+
+
+def figure3(
+    context: Optional[ExperimentContext] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> SerComparisonResult:
+    """Figure 3: stressmark vs SPEC CPU2006 SER on the baseline configuration."""
+    context = context or ExperimentContext(scale)
+    return _comparison(
+        "figure3",
+        context,
+        baseline_config(),
+        unit_fault_rates(),
+        (WorkloadSuite.SPEC_INT, WorkloadSuite.SPEC_FP),
+    )
+
+
+def figure4(
+    context: Optional[ExperimentContext] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> SerComparisonResult:
+    """Figure 4: stressmark vs MiBench SER on the baseline configuration."""
+    context = context or ExperimentContext(scale)
+    return _comparison(
+        "figure4",
+        context,
+        baseline_config(),
+        unit_fault_rates(),
+        (WorkloadSuite.MIBENCH,),
+    )
+
+
+# ----------------------------------------------------------------- Figure 5
+
+
+@dataclass
+class Figure5Result:
+    """Figure 5: final knob settings (a) and GA convergence (b)."""
+
+    knob_table: dict[str, object]
+    average_fitness_per_generation: list[float]
+    best_fitness_per_generation: list[float]
+    cataclysm_generations: list[int]
+    final_fitness: float
+    evaluations: int
+
+
+def figure5(
+    context: Optional[ExperimentContext] = None,
+    scale: Optional[ExperimentScale] = None,
+    config: Optional[MachineConfig] = None,
+    fault_rates: Optional[FaultRateModel] = None,
+) -> Figure5Result:
+    """Figure 5: GA-generated stressmark for the baseline configuration."""
+    context = context or ExperimentContext(scale)
+    result = context.stressmark(config or baseline_config(), fault_rates or unit_fault_rates())
+    return Figure5Result(
+        knob_table=result.knob_table(),
+        average_fitness_per_generation=result.ga_result.average_fitness_trace(),
+        best_fitness_per_generation=result.ga_result.best_fitness_trace(),
+        cataclysm_generations=list(result.ga_result.cataclysm_generations),
+        final_fitness=result.fitness,
+        evaluations=result.ga_result.evaluations,
+    )
+
+
+# ----------------------------------------------------------------- Figure 6
+
+
+@dataclass
+class Figure6Result:
+    """Figure 6: per-structure AVF of each workload (plus the stressmark)."""
+
+    suite: WorkloadSuite
+    rows: dict[str, dict[StructureName, float]] = field(default_factory=dict)
+
+    def avf(self, program: str, structure: StructureName) -> float:
+        return self.rows[program][structure]
+
+    def stressmark_exceeds(self, structure: StructureName) -> bool:
+        """True when the stressmark has the highest AVF for ``structure``."""
+        stressmark = self.rows["stressmark"][structure]
+        others = [row[structure] for name, row in self.rows.items() if name != "stressmark"]
+        return stressmark >= max(others) if others else True
+
+
+def figure6(
+    context: Optional[ExperimentContext] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[WorkloadSuite, Figure6Result]:
+    """Figure 6 (a, b, c): per-structure AVF for SPEC INT, SPEC FP, MiBench."""
+    context = context or ExperimentContext(scale)
+    config = baseline_config()
+    fault_rates = unit_fault_rates()
+    stressmark = context.stressmark(config, fault_rates)
+    workloads = context.workload_reports(config, fault_rates)
+
+    results: dict[WorkloadSuite, Figure6Result] = {}
+    suite_profiles = {
+        WorkloadSuite.SPEC_INT: spec_int_profiles(),
+        WorkloadSuite.SPEC_FP: spec_fp_profiles(),
+        WorkloadSuite.MIBENCH: mibench_profiles(),
+    }
+    for suite, profiles in suite_profiles.items():
+        figure = Figure6Result(suite=suite)
+        figure.rows["stressmark"] = {
+            structure: stressmark.report.avf(structure) for structure in FIGURE6_STRUCTURES
+        }
+        for profile in profiles:
+            report = workloads.report(profile.name)
+            figure.rows[profile.name] = {
+                structure: report.avf(structure) for structure in FIGURE6_STRUCTURES
+            }
+        results[suite] = figure
+    return results
+
+
+# ----------------------------------------------------------------- Figure 7
+
+
+def figure7(
+    context: Optional[ExperimentContext] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> dict[str, SerComparisonResult]:
+    """Figure 7: SER of workloads and stressmark on the RHC and EDR configurations."""
+    context = context or ExperimentContext(scale)
+    config = baseline_config()
+    results: dict[str, SerComparisonResult] = {}
+    for label, fault_rates in (("rhc", rhc_fault_rates()), ("edr", edr_fault_rates())):
+        results[label] = _comparison(
+            f"figure7_{label}",
+            context,
+            config,
+            fault_rates,
+            (WorkloadSuite.SPEC_INT, WorkloadSuite.SPEC_FP, WorkloadSuite.MIBENCH),
+        )
+    return results
+
+
+# ----------------------------------------------------------------- Figure 8
+
+
+@dataclass
+class Figure8Result:
+    """Figure 8: fault rates, per-scenario stressmark AVF and knob settings."""
+
+    fault_rate_table: dict[str, dict[str, float]]
+    queueing_avf: dict[str, dict[StructureName, float]]
+    knob_tables: dict[str, dict[str, object]]
+    core_ser: dict[str, float]
+
+
+def figure8(
+    context: Optional[ExperimentContext] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure8Result:
+    """Figure 8: stressmark adaptation to the RHC and EDR fault-rate models."""
+    context = context or ExperimentContext(scale)
+    config = baseline_config()
+    scenarios: dict[str, FaultRateModel] = {
+        "baseline": unit_fault_rates(),
+        "rhc": rhc_fault_rates(),
+        "edr": edr_fault_rates(),
+    }
+
+    fault_rate_table: dict[str, dict[str, float]] = {}
+    for label, model in scenarios.items():
+        fault_rate_table[label] = {
+            structure.value: model.rate(structure)
+            for structure in (
+                StructureName.ROB,
+                StructureName.IQ,
+                StructureName.FU,
+                StructureName.RF,
+                StructureName.LQ_TAG,
+                StructureName.LQ_DATA,
+                StructureName.SQ_TAG,
+                StructureName.SQ_DATA,
+            )
+        }
+
+    queueing_avf: dict[str, dict[StructureName, float]] = {}
+    knob_tables: dict[str, dict[str, object]] = {}
+    core_ser: dict[str, float] = {}
+    for label, model in scenarios.items():
+        stressmark = context.stressmark(config, model)
+        queueing_avf[label] = {
+            structure: stressmark.report.avf(structure) for structure in FIGURE6_STRUCTURES
+        }
+        knob_tables[label] = stressmark.knob_table()
+        core_ser[label] = stressmark.report.core_ser
+
+    return Figure8Result(
+        fault_rate_table=fault_rate_table,
+        queueing_avf=queueing_avf,
+        knob_tables=knob_tables,
+        core_ser=core_ser,
+    )
+
+
+# ----------------------------------------------------------------- Figure 9
+
+
+@dataclass
+class Figure9Result:
+    """Figure 9: stressmark on the baseline vs Configuration A."""
+
+    group_ser: dict[str, dict[StructureGroup, float]]
+    structure_avf: dict[str, dict[StructureName, float]]
+    knob_tables: dict[str, dict[str, object]]
+
+
+def figure9(
+    context: Optional[ExperimentContext] = None,
+    scale: Optional[ExperimentScale] = None,
+) -> Figure9Result:
+    """Figure 9: stressmark generation for a different microarchitecture."""
+    context = context or ExperimentContext(scale)
+    fault_rates = unit_fault_rates()
+    group_ser: dict[str, dict[StructureGroup, float]] = {}
+    structure_avf: dict[str, dict[StructureName, float]] = {}
+    knob_tables: dict[str, dict[str, object]] = {}
+    for config in (baseline_config(), config_a()):
+        stressmark = context.stressmark(config, fault_rates)
+        group_ser[config.name] = {
+            group: stressmark.report.ser(group) for group in GROUP_COLUMNS
+        }
+        structure_avf[config.name] = {
+            structure: stressmark.report.avf(structure) for structure in FIGURE6_STRUCTURES
+        }
+        knob_tables[config.name] = stressmark.knob_table()
+    return Figure9Result(
+        group_ser=group_ser, structure_avf=structure_avf, knob_tables=knob_tables
+    )

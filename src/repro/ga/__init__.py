@@ -1,0 +1,27 @@
+"""Genetic algorithm substrate (re-implementation of the SNAP-style engine).
+
+The paper uses IBM's SNAP GA framework (available only under NDA) to search
+the stressmark knob space.  This package provides an equivalent engine with
+the behaviours the paper relies on: generational evolution with tournament
+selection, crossover (rate 0.73), per-gene mutation (rate 0.05), migration of
+fresh random individuals, and a *cataclysm* that re-seeds the population
+around the best individual when the population converges (the fitness dip at
+generation 30 of Figure 5b).
+"""
+
+from repro.ga.genes import BoolGene, FloatGene, Gene, GeneSpace, IntGene
+from repro.ga.individual import Individual
+from repro.ga.engine import GAParameters, GAResult, GenerationStats, GeneticAlgorithm
+
+__all__ = [
+    "BoolGene",
+    "FloatGene",
+    "Gene",
+    "GeneSpace",
+    "IntGene",
+    "Individual",
+    "GAParameters",
+    "GAResult",
+    "GenerationStats",
+    "GeneticAlgorithm",
+]

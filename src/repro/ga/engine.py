@@ -1,0 +1,230 @@
+"""Generational genetic-algorithm engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.ga.genes import GeneSpace
+from repro.ga.individual import Individual, best_of, population_diversity
+from repro.ga.operators import cataclysm, crossover, migrate, mutate, tournament_selection
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class GAParameters:
+    """Engine parameters.
+
+    Defaults follow the paper: crossover rate 0.73 and mutation probability
+    0.05 (from Grefenstette and Srinivas/Patnaik, as cited in Section V); the
+    paper's full-scale run uses 50 generations of 50 individuals.
+    """
+
+    population_size: int = 50
+    generations: int = 50
+    crossover_rate: float = 0.73
+    mutation_rate: float = 0.05
+    tournament_size: int = 3
+    elite_count: int = 2
+    migration_count: int = 2
+    cataclysm_diversity_threshold: float = 0.25
+    cataclysm_stall_generations: int = 8
+    seed: int = 2010
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be at least 2")
+        if self.generations < 1:
+            raise ValueError("generations must be at least 1")
+        if not 0.0 <= self.crossover_rate <= 1.0:
+            raise ValueError("crossover_rate must be within [0, 1]")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be within [0, 1]")
+        if self.elite_count < 0 or self.elite_count >= self.population_size:
+            raise ValueError("elite_count must be in [0, population_size)")
+
+
+@dataclass(frozen=True)
+class GenerationStats:
+    """Fitness statistics of one generation (Figure 5b's data points)."""
+
+    generation: int
+    best_fitness: float
+    average_fitness: float
+    worst_fitness: float
+    diversity: float
+    cataclysm: bool
+
+
+@dataclass
+class GAResult:
+    """Outcome of a GA run."""
+
+    best: Individual
+    history: list[GenerationStats] = field(default_factory=list)
+    evaluations: int = 0
+    cataclysm_generations: list[int] = field(default_factory=list)
+
+    @property
+    def best_fitness(self) -> float:
+        return float(self.best.fitness) if self.best.fitness is not None else float("nan")
+
+    def average_fitness_trace(self) -> list[float]:
+        """Per-generation average fitness (the curve of Figure 5b)."""
+        return [stats.average_fitness for stats in self.history]
+
+    def best_fitness_trace(self) -> list[float]:
+        return [stats.best_fitness for stats in self.history]
+
+
+class GeneticAlgorithm:
+    """Generational GA with elitism, migration and cataclysm-on-convergence."""
+
+    def __init__(
+        self,
+        space: GeneSpace,
+        evaluator: Callable[[Individual], float],
+        parameters: Optional[GAParameters] = None,
+        on_generation: Optional[Callable[[GenerationStats, list[Individual]], None]] = None,
+    ) -> None:
+        self.space = space
+        self.evaluator = evaluator
+        self.parameters = parameters or GAParameters()
+        self.on_generation = on_generation
+
+    # ----------------------------------------------------------------- API
+
+    def run(self, initial_population: Optional[list[Individual]] = None) -> GAResult:
+        """Run the GA and return the best individual found."""
+        params = self.parameters
+        rng = DeterministicRng(params.seed)
+        self._all_time_best = None
+        population = self._initial_population(initial_population, rng)
+
+        result = GAResult(best=population[0])
+        stall = 0
+        best_so_far = float("-inf")
+
+        for generation in range(params.generations):
+            result.evaluations += self._evaluate(population)
+
+            stats, population = self._generation_stats(generation, population)
+            if stats.best_fitness > best_so_far + 1e-12:
+                best_so_far = stats.best_fitness
+                stall = 0
+            else:
+                stall += 1
+
+            triggered_cataclysm = False
+            if generation < params.generations - 1:
+                if (
+                    stats.diversity <= params.cataclysm_diversity_threshold
+                    or stall >= params.cataclysm_stall_generations
+                ):
+                    population = cataclysm(self.space, population, rng, params.mutation_rate)
+                    triggered_cataclysm = True
+                    stall = 0
+                else:
+                    population = self._next_generation(population, rng)
+
+            stats = GenerationStats(
+                generation=stats.generation,
+                best_fitness=stats.best_fitness,
+                average_fitness=stats.average_fitness,
+                worst_fitness=stats.worst_fitness,
+                diversity=stats.diversity,
+                cataclysm=triggered_cataclysm,
+            )
+            result.history.append(stats)
+            if triggered_cataclysm:
+                result.cataclysm_generations.append(generation)
+            if self.on_generation is not None:
+                self.on_generation(stats, population)
+
+        result.evaluations += self._evaluate(population)
+        result.best = best_of(population + [result.best] if result.best.evaluated else population)
+        # Keep the globally best individual (elitism already preserves it in
+        # the population, but a cataclysm in the last generation could not).
+        all_time_best = self._all_time_best
+        if all_time_best is not None and (
+            result.best.fitness is None or all_time_best.fitness >= result.best.fitness
+        ):
+            result.best = all_time_best
+        return result
+
+    # ------------------------------------------------------------- helpers
+
+    _all_time_best: Optional[Individual] = None
+
+    def _initial_population(
+        self, initial: Optional[list[Individual]], rng: DeterministicRng
+    ) -> list[Individual]:
+        params = self.parameters
+        population = [ind.copy() for ind in initial] if initial else []
+        for individual in population:
+            self.space.validate(individual.genome)
+        while len(population) < params.population_size:
+            population.append(Individual(genome=self.space.sample(rng)))
+        return population[: params.population_size]
+
+    def _evaluate(self, population: list[Individual]) -> int:
+        evaluations = 0
+        for individual in population:
+            if individual.evaluated:
+                continue
+            individual.fitness = float(self.evaluator(individual))
+            evaluations += 1
+            if self._all_time_best is None or individual.fitness > self._all_time_best.fitness:
+                self._all_time_best = individual.copy()
+                self._all_time_best.payload = dict(individual.payload)
+        return evaluations
+
+    def _generation_stats(
+        self, generation: int, population: list[Individual]
+    ) -> tuple[GenerationStats, list[Individual]]:
+        fitnesses = [float(ind.fitness) for ind in population if ind.fitness is not None]
+        stats = GenerationStats(
+            generation=generation,
+            best_fitness=max(fitnesses),
+            average_fitness=sum(fitnesses) / len(fitnesses),
+            worst_fitness=min(fitnesses),
+            diversity=population_diversity(population),
+            cataclysm=False,
+        )
+        return stats, population
+
+    def _next_generation(
+        self, population: list[Individual], rng: DeterministicRng
+    ) -> list[Individual]:
+        params = self.parameters
+        ranked = sorted(
+            population,
+            key=lambda ind: ind.fitness if ind.fitness is not None else float("-inf"),
+            reverse=True,
+        )
+        next_population: list[Individual] = [ind.copy() for ind in ranked[: params.elite_count]]
+
+        while len(next_population) < params.population_size:
+            parent_a = tournament_selection(population, rng, params.tournament_size)
+            if rng.coin(params.crossover_rate):
+                parent_b = tournament_selection(population, rng, params.tournament_size)
+                child = crossover(self.space, parent_a, parent_b, rng)
+            else:
+                child = parent_a.copy()
+                child.fitness = None
+                child.payload = {}
+            child = mutate(self.space, child, rng, params.mutation_rate)
+            next_population.append(child)
+
+        if params.migration_count > 0:
+            # Migration introduces fresh random genomes to keep exploring.
+            evaluated_tail = [ind for ind in next_population[params.elite_count :]]
+            kept_head = next_population[: params.elite_count]
+            migrated = migrate(
+                self.space,
+                evaluated_tail,
+                rng,
+                params.migration_count,
+            )
+            next_population = kept_head + migrated
+        return next_population[: params.population_size]

@@ -1,0 +1,132 @@
+"""Gene descriptors defining the search space explored by the GA."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.utils.rng import DeterministicRng
+from repro.utils.stats import clamp
+
+
+class Gene:
+    """Base class for a single named gene.
+
+    A gene knows how to sample a random value, mutate an existing value, and
+    blend two parent values during crossover.
+    """
+
+    name: str
+
+    def sample(self, rng: DeterministicRng) -> object:
+        raise NotImplementedError
+
+    def mutate(self, value: object, rng: DeterministicRng) -> object:
+        raise NotImplementedError
+
+    def crossover(self, left: object, right: object, rng: DeterministicRng) -> object:
+        """Default crossover: pick one parent's value uniformly."""
+        return left if rng.coin(0.5) else right
+
+
+@dataclass(frozen=True)
+class IntGene(Gene):
+    """Integer gene within an inclusive range."""
+
+    name: str
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"gene {self.name}: low must be <= high")
+
+    def sample(self, rng: DeterministicRng) -> int:
+        return rng.randint(self.low, self.high)
+
+    def mutate(self, value: object, rng: DeterministicRng) -> int:
+        span = max(1, (self.high - self.low) // 4)
+        mutated = int(value) + rng.randint(-span, span)
+        return int(clamp(mutated, self.low, self.high))
+
+    def crossover(self, left: object, right: object, rng: DeterministicRng) -> int:
+        if rng.coin(0.5):
+            return int(left) if rng.coin(0.5) else int(right)
+        # Arithmetic blend keeps offspring inside the parents' interval.
+        blended = round((int(left) + int(right)) / 2)
+        return int(clamp(blended, self.low, self.high))
+
+
+@dataclass(frozen=True)
+class FloatGene(Gene):
+    """Floating-point gene within an inclusive range."""
+
+    name: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ValueError(f"gene {self.name}: low must be <= high")
+
+    def sample(self, rng: DeterministicRng) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mutate(self, value: object, rng: DeterministicRng) -> float:
+        sigma = (self.high - self.low) * 0.15
+        return clamp(float(value) + rng.gauss(0.0, sigma), self.low, self.high)
+
+    def crossover(self, left: object, right: object, rng: DeterministicRng) -> float:
+        if rng.coin(0.5):
+            return float(left) if rng.coin(0.5) else float(right)
+        weight = rng.random()
+        return clamp(weight * float(left) + (1.0 - weight) * float(right), self.low, self.high)
+
+
+@dataclass(frozen=True)
+class BoolGene(Gene):
+    """Boolean gene (e.g. the paper's L2-miss / L2-hit generator switch)."""
+
+    name: str
+
+    def sample(self, rng: DeterministicRng) -> bool:
+        return rng.coin(0.5)
+
+    def mutate(self, value: object, rng: DeterministicRng) -> bool:
+        return not bool(value)
+
+
+class GeneSpace:
+    """An ordered collection of genes defining the GA's search space."""
+
+    def __init__(self, genes: Sequence[Gene]) -> None:
+        if not genes:
+            raise ValueError("a gene space needs at least one gene")
+        names = [gene.name for gene in genes]
+        if len(names) != len(set(names)):
+            raise ValueError("gene names must be unique")
+        self._genes = list(genes)
+        self._by_name = {gene.name: gene for gene in genes}
+
+    def __iter__(self):
+        return iter(self._genes)
+
+    def __len__(self) -> int:
+        return len(self._genes)
+
+    @property
+    def names(self) -> list[str]:
+        return [gene.name for gene in self._genes]
+
+    def gene(self, name: str) -> Gene:
+        return self._by_name[name]
+
+    def sample(self, rng: DeterministicRng) -> dict[str, object]:
+        """Sample a complete random genome."""
+        return {gene.name: gene.sample(rng) for gene in self._genes}
+
+    def validate(self, genome: Mapping[str, object]) -> None:
+        """Raise if the genome does not provide a value for every gene."""
+        missing = set(self.names) - set(genome)
+        if missing:
+            raise ValueError(f"genome is missing genes: {sorted(missing)}")

@@ -1,0 +1,49 @@
+"""GA individual: a genome plus its evaluated fitness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+
+@dataclass
+class Individual:
+    """One candidate solution.
+
+    ``genome`` maps gene names to values; ``fitness`` is ``None`` until the
+    individual has been evaluated.  ``payload`` can carry arbitrary evaluation
+    artefacts (for the stressmark: the generated program and its SER report)
+    so the caller does not have to re-simulate the winner.
+    """
+
+    genome: dict[str, object]
+    fitness: Optional[float] = None
+    payload: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def evaluated(self) -> bool:
+        return self.fitness is not None
+
+    def copy(self) -> "Individual":
+        """Deep-enough copy: genome is copied, payload is shared."""
+        return Individual(genome=dict(self.genome), fitness=self.fitness, payload=dict(self.payload))
+
+    def genome_signature(self) -> tuple[tuple[str, object], ...]:
+        """Hashable signature of the genome (used for convergence detection)."""
+        return tuple(sorted(self.genome.items(), key=lambda item: item[0]))
+
+
+def best_of(individuals: list[Individual]) -> Individual:
+    """Return the evaluated individual with the highest fitness."""
+    evaluated = [ind for ind in individuals if ind.evaluated]
+    if not evaluated:
+        raise ValueError("no evaluated individuals")
+    return max(evaluated, key=lambda ind: ind.fitness)
+
+
+def population_diversity(individuals: list[Individual]) -> float:
+    """Fraction of distinct genomes in the population (1.0 = all distinct)."""
+    if not individuals:
+        return 0.0
+    signatures = {ind.genome_signature() for ind in individuals}
+    return len(signatures) / len(individuals)

@@ -1,0 +1,95 @@
+"""Genetic operators: selection, crossover, mutation, migration, cataclysm."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ga.genes import GeneSpace
+from repro.ga.individual import Individual
+from repro.utils.rng import DeterministicRng
+
+
+def tournament_selection(
+    population: list[Individual], rng: DeterministicRng, tournament_size: int = 3
+) -> Individual:
+    """Pick the fittest of ``tournament_size`` randomly drawn individuals."""
+    if not population:
+        raise ValueError("cannot select from an empty population")
+    size = min(tournament_size, len(population))
+    contenders = [rng.choice(population) for _ in range(size)]
+    return max(contenders, key=lambda ind: ind.fitness if ind.fitness is not None else float("-inf"))
+
+
+def crossover(
+    space: GeneSpace, left: Individual, right: Individual, rng: DeterministicRng
+) -> Individual:
+    """Create an offspring by per-gene crossover of two parents."""
+    child_genome = {
+        gene.name: gene.crossover(left.genome[gene.name], right.genome[gene.name], rng)
+        for gene in space
+    }
+    return Individual(genome=child_genome)
+
+
+def mutate(
+    space: GeneSpace, individual: Individual, rng: DeterministicRng, mutation_rate: float
+) -> Individual:
+    """Mutate each gene independently with probability ``mutation_rate``."""
+    if not 0.0 <= mutation_rate <= 1.0:
+        raise ValueError("mutation_rate must be within [0, 1]")
+    genome = dict(individual.genome)
+    for gene in space:
+        if rng.coin(mutation_rate):
+            genome[gene.name] = gene.mutate(genome[gene.name], rng)
+    return Individual(genome=genome)
+
+
+def migrate(
+    space: GeneSpace, population: list[Individual], rng: DeterministicRng, count: int
+) -> list[Individual]:
+    """Replace the ``count`` weakest individuals with fresh random immigrants."""
+    if count <= 0:
+        return population
+    ranked = sorted(
+        population,
+        key=lambda ind: ind.fitness if ind.fitness is not None else float("-inf"),
+        reverse=True,
+    )
+    survivors = ranked[: max(0, len(ranked) - count)]
+    immigrants = [Individual(genome=space.sample(rng)) for _ in range(min(count, len(ranked)))]
+    return survivors + immigrants
+
+
+def cataclysm(
+    space: GeneSpace,
+    population: list[Individual],
+    rng: DeterministicRng,
+    mutation_rate: float,
+    heavy_mutation_factor: float = 6.0,
+) -> list[Individual]:
+    """Re-seed a converged population around its best individual.
+
+    The best individual survives unchanged; every other slot is filled with a
+    heavily mutated copy of it, mirroring SNAP's behaviour of moving the best
+    known solution into a new population of random mutations when the
+    population converges (the generation-30 dip in Figure 5b of the paper).
+    """
+    if not population:
+        return population
+    best = max(
+        population,
+        key=lambda ind: ind.fitness if ind.fitness is not None else float("-inf"),
+    )
+    heavy_rate = min(1.0, mutation_rate * heavy_mutation_factor)
+    reseeded: list[Individual] = [best.copy()]
+    while len(reseeded) < len(population):
+        candidate = mutate(space, best, rng, heavy_rate)
+        # Guarantee at least one gene changed so the population is diverse again.
+        if candidate.genome == best.genome:
+            gene = rng.choice(list(space))
+            candidate.genome[gene.name] = gene.mutate(candidate.genome[gene.name], rng)
+        reseeded.append(candidate)
+    return reseeded
+
+
+Evaluator = Callable[[Individual], float]

@@ -1,0 +1,57 @@
+"""Synthetic ISA substrate.
+
+The simulator does not execute Alpha binaries; instead, programs are sequences
+of :class:`~repro.isa.instructions.Instruction` objects in a small synthetic
+ISA that captures everything the AVF methodology depends on: instruction
+class (load / store / short and long arithmetic / branch / NOP / prefetch),
+register dataflow, operand width, memory address patterns, branch outcome
+behaviour and per-instruction ACE-ness.
+"""
+
+from repro.isa.instructions import (
+    ARCH_REG_COUNT,
+    Instruction,
+    InstructionClass,
+    OperandWidth,
+    make_alu,
+    make_branch,
+    make_div,
+    make_load,
+    make_mul,
+    make_nop,
+    make_prefetch,
+    make_store,
+)
+from repro.isa.memoryref import (
+    AddressPattern,
+    FixedPattern,
+    LineCoverPattern,
+    PointerChasePattern,
+    RandomPattern,
+    StridedPattern,
+)
+from repro.isa.program import BranchBehavior, Program, WarmupRegion
+
+__all__ = [
+    "ARCH_REG_COUNT",
+    "Instruction",
+    "InstructionClass",
+    "OperandWidth",
+    "make_alu",
+    "make_branch",
+    "make_div",
+    "make_load",
+    "make_mul",
+    "make_nop",
+    "make_prefetch",
+    "make_store",
+    "AddressPattern",
+    "FixedPattern",
+    "LineCoverPattern",
+    "PointerChasePattern",
+    "RandomPattern",
+    "StridedPattern",
+    "BranchBehavior",
+    "Program",
+    "WarmupRegion",
+]

@@ -1,0 +1,280 @@
+"""Static instruction definitions for the synthetic ISA.
+
+The ISA deliberately models only what ACE analysis and queue occupancy need:
+
+* the *class* of an instruction decides which queueing structure it occupies
+  (IQ then FU for arithmetic, IQ+LQ for loads, IQ+SQ for stores) and its
+  execution latency;
+* register source/destination operands decide dataflow (issue readiness) and
+  rename register file occupancy;
+* the operand width decides what fraction of a 64-bit datapath entry is ACE;
+* the ``ace`` flag marks instructions whose results can never affect program
+  output (NOPs, software prefetches, dynamically dead instructions) — these
+  occupy structures but contribute no ACE bits, exactly as in Mukherjee et
+  al.'s classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence
+
+from repro.isa.memoryref import AddressPattern
+
+#: Number of architected integer registers (Alpha has 32; R31 is the zero reg,
+#: which we keep writable for simplicity — the paper's stressmark uses every
+#: architected register).
+ARCH_REG_COUNT = 32
+
+
+class InstructionClass(Enum):
+    """Functional class of an instruction; decides structure occupancy."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+    PREFETCH = "prefetch"
+
+    @property
+    def is_memory(self) -> bool:
+        """True for instructions that occupy the LQ or SQ."""
+        return self in (InstructionClass.LOAD, InstructionClass.STORE, InstructionClass.PREFETCH)
+
+    @property
+    def is_arithmetic(self) -> bool:
+        """True for instructions executed on an arithmetic functional unit."""
+        return self in (
+            InstructionClass.INT_ALU,
+            InstructionClass.INT_MUL,
+            InstructionClass.INT_DIV,
+        )
+
+
+class OperandWidth(Enum):
+    """Operand width in bits; sub-word operations leave un-ACE datapath bits."""
+
+    WORD32 = 32
+    WORD64 = 64
+
+    @property
+    def bits(self) -> int:
+        return self.value
+
+    def ace_fraction(self, datapath_bits: int = 64) -> float:
+        """Fraction of a ``datapath_bits``-wide field that holds ACE data."""
+        return min(1.0, self.value / float(datapath_bits))
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A static instruction.
+
+    Attributes
+    ----------
+    opclass:
+        Functional class (load, store, ALU, ...).
+    dest:
+        Destination architected register, or ``None`` for stores, branches,
+        NOPs and prefetches.
+    srcs:
+        Source architected registers (register dataflow only — immediates are
+        represented simply by having fewer sources).
+    width:
+        Operand width; governs the ACE fraction of data fields.
+    ace:
+        Whether the instruction's result can reach program output.  Wrong-path
+        instructions are additionally marked un-ACE dynamically by the
+        simulator regardless of this flag.
+    address_pattern:
+        For memory instructions, how the effective address is produced per
+        dynamic instance.
+    taken_probability:
+        For branches, the probability the branch is taken on a given dynamic
+        instance (1.0 = always-taken loop branch).
+    latency_override:
+        Optional latency override; ``None`` uses the machine configuration's
+        latency for the class.
+    label:
+        Free-form tag used by the code generator and tests (for example
+        ``"pointer_chase"`` or ``"loop_branch"``).
+    """
+
+    opclass: InstructionClass
+    dest: Optional[int] = None
+    srcs: tuple[int, ...] = field(default_factory=tuple)
+    width: OperandWidth = OperandWidth.WORD64
+    ace: bool = True
+    address_pattern: Optional[AddressPattern] = None
+    taken_probability: float = 1.0
+    latency_override: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.dest is not None and not 0 <= self.dest < ARCH_REG_COUNT:
+            raise ValueError(f"destination register {self.dest} out of range")
+        for reg in self.srcs:
+            if not 0 <= reg < ARCH_REG_COUNT:
+                raise ValueError(f"source register {reg} out of range")
+        if self.opclass.is_memory and self.address_pattern is None:
+            raise ValueError(f"{self.opclass.value} instruction requires an address pattern")
+        if self.opclass is InstructionClass.BRANCH and not 0.0 <= self.taken_probability <= 1.0:
+            raise ValueError("taken_probability must be within [0, 1]")
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is InstructionClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is InstructionClass.STORE
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass is InstructionClass.BRANCH
+
+    @property
+    def is_arithmetic(self) -> bool:
+        return self.opclass.is_arithmetic
+
+    @property
+    def writes_register(self) -> bool:
+        """True when the instruction allocates a rename register."""
+        return self.dest is not None
+
+    def data_ace_fraction(self) -> float:
+        """ACE fraction of the instruction's data fields (0.0 if un-ACE)."""
+        if not self.ace:
+            return 0.0
+        return self.width.ace_fraction()
+
+
+def make_alu(
+    dest: int,
+    srcs: Sequence[int],
+    width: OperandWidth = OperandWidth.WORD64,
+    ace: bool = True,
+    label: str = "",
+) -> Instruction:
+    """Create a single-cycle integer ALU instruction."""
+    return Instruction(
+        opclass=InstructionClass.INT_ALU,
+        dest=dest,
+        srcs=tuple(srcs),
+        width=width,
+        ace=ace,
+        label=label,
+    )
+
+
+def make_mul(
+    dest: int,
+    srcs: Sequence[int],
+    width: OperandWidth = OperandWidth.WORD64,
+    ace: bool = True,
+    label: str = "",
+) -> Instruction:
+    """Create a long-latency integer multiply instruction."""
+    return Instruction(
+        opclass=InstructionClass.INT_MUL,
+        dest=dest,
+        srcs=tuple(srcs),
+        width=width,
+        ace=ace,
+        label=label,
+    )
+
+
+def make_div(
+    dest: int,
+    srcs: Sequence[int],
+    width: OperandWidth = OperandWidth.WORD64,
+    ace: bool = True,
+    label: str = "",
+) -> Instruction:
+    """Create a very long latency integer divide instruction."""
+    return Instruction(
+        opclass=InstructionClass.INT_DIV,
+        dest=dest,
+        srcs=tuple(srcs),
+        width=width,
+        ace=ace,
+        label=label,
+    )
+
+
+def make_load(
+    dest: int,
+    address_pattern: AddressPattern,
+    srcs: Sequence[int] = (),
+    width: OperandWidth = OperandWidth.WORD64,
+    ace: bool = True,
+    label: str = "",
+) -> Instruction:
+    """Create a load instruction with the given address pattern."""
+    return Instruction(
+        opclass=InstructionClass.LOAD,
+        dest=dest,
+        srcs=tuple(srcs),
+        width=width,
+        ace=ace,
+        address_pattern=address_pattern,
+        label=label,
+    )
+
+
+def make_store(
+    address_pattern: AddressPattern,
+    srcs: Sequence[int],
+    width: OperandWidth = OperandWidth.WORD64,
+    ace: bool = True,
+    label: str = "",
+) -> Instruction:
+    """Create a store instruction; ``srcs`` must include the stored value."""
+    if not srcs:
+        raise ValueError("store requires at least one source register (the stored value)")
+    return Instruction(
+        opclass=InstructionClass.STORE,
+        dest=None,
+        srcs=tuple(srcs),
+        width=width,
+        ace=ace,
+        address_pattern=address_pattern,
+        label=label,
+    )
+
+
+def make_branch(
+    srcs: Sequence[int] = (),
+    taken_probability: float = 1.0,
+    ace: bool = True,
+    label: str = "",
+) -> Instruction:
+    """Create a conditional branch instruction."""
+    return Instruction(
+        opclass=InstructionClass.BRANCH,
+        dest=None,
+        srcs=tuple(srcs),
+        ace=ace,
+        taken_probability=taken_probability,
+        label=label,
+    )
+
+
+def make_nop(label: str = "") -> Instruction:
+    """Create a NOP (always un-ACE)."""
+    return Instruction(opclass=InstructionClass.NOP, ace=False, label=label)
+
+
+def make_prefetch(address_pattern: AddressPattern, label: str = "") -> Instruction:
+    """Create a software prefetch (always un-ACE; occupies the LQ)."""
+    return Instruction(
+        opclass=InstructionClass.PREFETCH,
+        ace=False,
+        address_pattern=address_pattern,
+        label=label,
+    )

@@ -1,0 +1,150 @@
+"""Address patterns for memory instructions.
+
+The AVF of caches and the DTLB depends on *which* bytes are touched and in
+what order (lifetime analysis), so memory instructions carry a declarative
+address pattern rather than a concrete address.  The simulator resolves the
+pattern per dynamic instance using the loop iteration index and a
+deterministic per-instance RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.rng import DeterministicRng
+
+
+class AddressPattern:
+    """Base class for address patterns.
+
+    Subclasses implement :meth:`resolve`, mapping a dynamic iteration index to
+    a byte address.  All patterns are immutable and deterministic given the
+    iteration index (plus the seeded RNG for :class:`RandomPattern`).
+    """
+
+    def resolve(self, iteration: int, rng: DeterministicRng) -> int:
+        """Return the byte address for the given dynamic iteration."""
+        raise NotImplementedError
+
+    def footprint_bytes(self) -> int:
+        """Upper bound on the number of distinct bytes the pattern can touch."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedPattern(AddressPattern):
+    """Always the same address (scalar global access)."""
+
+    address: int
+
+    def resolve(self, iteration: int, rng: DeterministicRng) -> int:
+        return self.address
+
+    def footprint_bytes(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class StridedPattern(AddressPattern):
+    """Strided access over a region: ``base + (iteration * stride) % region``."""
+
+    base: int
+    stride: int
+    region: int
+
+    def __post_init__(self) -> None:
+        if self.region <= 0:
+            raise ValueError("region must be positive")
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+
+    def resolve(self, iteration: int, rng: DeterministicRng) -> int:
+        return self.base + (iteration * self.stride) % self.region
+
+    def footprint_bytes(self) -> int:
+        return self.region
+
+
+@dataclass(frozen=True)
+class PointerChasePattern(AddressPattern):
+    """Strided pointer chase over a large region.
+
+    Functionally the address sequence is the same as :class:`StridedPattern`;
+    the distinction matters to the *code generator*, which makes the load that
+    carries this pattern data-dependent on its own previous instance so the
+    resulting L2 misses cannot overlap (no memory-level parallelism), exactly
+    as the paper's inner loop does.
+    """
+
+    base: int
+    stride: int
+    region: int
+
+    def __post_init__(self) -> None:
+        if self.region <= 0:
+            raise ValueError("region must be positive")
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+
+    def resolve(self, iteration: int, rng: DeterministicRng) -> int:
+        return self.base + (iteration * self.stride) % self.region
+
+    def footprint_bytes(self) -> int:
+        return self.region
+
+
+@dataclass(frozen=True)
+class LineCoverPattern(AddressPattern):
+    """Walk every ``word_bytes``-sized word of consecutive cache lines.
+
+    Used by the code generator to make loads and stores touch every byte of
+    the previously fetched cache line, so the whole line becomes ACE (the
+    "cover every location in previous cache line" step of the paper's
+    generator framework).
+    """
+
+    base: int
+    line_bytes: int
+    region: int
+    word_bytes: int = 8
+    slot: int = 0
+    slots: int = 1
+    iteration_offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.line_bytes <= 0 or self.region <= 0 or self.word_bytes <= 0:
+            raise ValueError("line_bytes, region and word_bytes must be positive")
+        if self.slots <= 0 or not 0 <= self.slot < self.slots:
+            raise ValueError("slot must be within [0, slots)")
+
+    def resolve(self, iteration: int, rng: DeterministicRng) -> int:
+        effective = max(0, iteration + self.iteration_offset)
+        words_per_line = max(1, self.line_bytes // self.word_bytes)
+        word_index = (effective * self.slots + self.slot) % words_per_line
+        line_index = (effective * self.line_bytes) % self.region
+        return self.base + line_index + word_index * self.word_bytes
+
+    def footprint_bytes(self) -> int:
+        return self.region
+
+
+@dataclass(frozen=True)
+class RandomPattern(AddressPattern):
+    """Uniformly random aligned accesses within a working-set region."""
+
+    base: int
+    region: int
+    alignment: int = 8
+
+    def __post_init__(self) -> None:
+        if self.region <= 0:
+            raise ValueError("region must be positive")
+        if self.alignment <= 0:
+            raise ValueError("alignment must be positive")
+
+    def resolve(self, iteration: int, rng: DeterministicRng) -> int:
+        slots = max(1, self.region // self.alignment)
+        return self.base + rng.randint(0, slots - 1) * self.alignment
+
+    def footprint_bytes(self) -> int:
+        return self.region

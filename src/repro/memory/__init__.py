@@ -1,0 +1,18 @@
+"""Memory hierarchy substrate: caches, DTLB and lifetime-based ACE analysis."""
+
+from repro.memory.lifetime import AceEvent, LifetimeTracker
+from repro.memory.cache import Cache, CacheAccessResult, CacheConfig
+from repro.memory.tlb import Tlb, TlbConfig
+from repro.memory.hierarchy import MemoryAccessOutcome, MemoryHierarchy
+
+__all__ = [
+    "AceEvent",
+    "LifetimeTracker",
+    "Cache",
+    "CacheAccessResult",
+    "CacheConfig",
+    "Tlb",
+    "TlbConfig",
+    "MemoryAccessOutcome",
+    "MemoryHierarchy",
+]

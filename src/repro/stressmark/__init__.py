@@ -1,0 +1,22 @@
+"""AVF stressmark generation — the paper's primary contribution.
+
+The package ties together the knob space (Section IV-B of the paper), the
+code generator that turns a knob setting into a 100 %-ACE candidate program,
+the SER fitness function, and the genetic algorithm that searches the knob
+space for the setting that approaches the worst-case observable SER.
+"""
+
+from repro.stressmark.knobs import KnobSpace, StressmarkKnobs
+from repro.stressmark.codegen import CodeGenerator
+from repro.stressmark.fitness import FitnessFunction, GroupWeights
+from repro.stressmark.generator import StressmarkGenerator, StressmarkResult
+
+__all__ = [
+    "KnobSpace",
+    "StressmarkKnobs",
+    "CodeGenerator",
+    "FitnessFunction",
+    "GroupWeights",
+    "StressmarkGenerator",
+    "StressmarkResult",
+]

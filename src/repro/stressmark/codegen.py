@@ -1,0 +1,334 @@
+"""Stressmark code generator (Section IV-B and Figure 2 of the paper).
+
+Given a :class:`~repro.stressmark.knobs.StressmarkKnobs` setting, the
+generator emits a :class:`~repro.isa.Program` with the framework shape of
+Figure 2:
+
+* a data region sized to cover every DTLB entry (page size x DTLB entries,
+  and at least twice the L2 so the pointer chase always misses the L2 in the
+  L2-miss variant);
+* a self-dependent strided (pointer-chasing) load that produces one blocking
+  long-latency miss per iteration (or an L2 hit in the L2-hit variant);
+* ACE loads and stores that cover every word of the *previous* cache line so
+  the whole line (and hence the DL1, DTLB and L2) holds ACE data;
+* arithmetic instructions arranged into dependence chains from loads to
+  stores, with the requested dependency distance, chain length, long-latency
+  fraction and reg-reg fraction;
+* a configurable number of instructions data-dependent on the blocking load
+  (IQ occupancy in the miss shadow);
+* a perfectly predictable loop-closing branch (no front-end flushes).
+
+Every emitted instruction is ACE: every loaded or produced value transitively
+feeds a store, and the initialised array is treated as program output (the
+paper's "dump memory to file" step), which is reflected in the program's
+warm-up region declaration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import (
+    ARCH_REG_COUNT,
+    Instruction,
+    make_alu,
+    make_branch,
+    make_load,
+    make_mul,
+    make_store,
+)
+from repro.isa.memoryref import LineCoverPattern, PointerChasePattern
+from repro.isa.program import BranchBehavior, Program, WarmupRegion
+from repro.stressmark.knobs import StressmarkKnobs
+from repro.uarch.config import MachineConfig
+from repro.utils.rng import DeterministicRng
+
+#: Register roles used by the generator.  The top registers are reserved as
+#: loop-invariant "constants": they are never written inside the loop, only
+#: read as reg-reg second operands, so their architected values stay ACE for
+#: the whole run — this is how the reg-reg knob drives register-file AVF
+#: ("the generated code utilizes every architected register", Section VI).
+_CHASE_REG = 1
+_INDEX_REG = 2
+_POOL_START = 3
+_CONSTANT_REG_COUNT = 10
+_POOL = list(range(_POOL_START, ARCH_REG_COUNT - _CONSTANT_REG_COUNT))
+_CONSTANT_REGS = list(range(ARCH_REG_COUNT - _CONSTANT_REG_COUNT, ARCH_REG_COUNT))
+
+
+@dataclass(frozen=True)
+class _RepairedCounts:
+    """Knob counts after repair to fit the loop size."""
+
+    loads: int
+    stores: int
+    independent: int
+    dependent_on_miss: int
+    chain_arithmetic: int
+
+
+class CodeGenerator:
+    """Turns knob settings into candidate stressmark programs."""
+
+    #: Fixed framework instructions: pointer-chase load, index update, branch.
+    FIXED_OVERHEAD = 3
+
+    def __init__(self, config: MachineConfig, base_address: int = 0) -> None:
+        self.config = config
+        self.base_address = base_address
+
+    # ------------------------------------------------------------ regions
+
+    def chase_region_bytes(self, use_l2_miss: bool) -> int:
+        """Size of the pointer-chase data region.
+
+        The L2-miss variant covers the whole DTLB reach and at least twice
+        the L2 so every chase access misses the L2; the L2-hit variant stays
+        within half the L2 (but beyond the DL1) so the chase hits the L2.
+        """
+        dtlb_reach = self.config.dtlb.reach_bytes
+        if use_l2_miss:
+            return max(dtlb_reach, 2 * self.config.l2.size_bytes)
+        half_l2 = self.config.l2.size_bytes // 2
+        return max(2 * self.config.dl1.size_bytes, min(half_l2, dtlb_reach))
+
+    # ----------------------------------------------------------- generate
+
+    def generate(self, knobs: StressmarkKnobs, name: str | None = None) -> Program:
+        """Generate the candidate program for one knob setting."""
+        rng = DeterministicRng(knobs.random_seed).spawn("codegen")
+        counts = self._repair_counts(knobs)
+        region = self.chase_region_bytes(knobs.use_l2_miss)
+        line_bytes = self.config.dl1.line_bytes
+
+        chase_pattern = PointerChasePattern(
+            base=self.base_address, stride=line_bytes, region=region
+        )
+        chase = make_load(_CHASE_REG, chase_pattern, srcs=[_CHASE_REG], label="chase")
+        index_update = make_alu(_INDEX_REG, [_INDEX_REG], label="index_update")
+
+        streams = self._build_streams(knobs, counts, region, rng)
+        scheduled = self._schedule(streams, knobs.dependency_distance, rng)
+
+        body: list[Instruction] = [chase, index_update]
+        body.extend(scheduled)
+        branch_index = len(body)
+        body.append(make_branch(srcs=[_INDEX_REG], label="loop_branch"))
+
+        program_name = name or f"stressmark_{self.config.name}_{'miss' if knobs.use_l2_miss else 'hit'}"
+        return Program(
+            name=program_name,
+            body=body,
+            iterations=10**9,
+            branch_behaviors={branch_index: BranchBehavior.LOOP_CLOSING},
+            pointer_chase_indices=frozenset({0}),
+            warmup_regions=[
+                WarmupRegion(
+                    base=self.base_address,
+                    size_bytes=region,
+                    dirty=True,
+                    ace=True,
+                    word_fraction=1.0,
+                    recurrent=True,
+                )
+            ],
+            metadata={"knobs": knobs.to_genome(), "region_bytes": region},
+        )
+
+    # ------------------------------------------------------------- repair
+
+    def _repair_counts(self, knobs: StressmarkKnobs) -> _RepairedCounts:
+        """Scale the requested I-mix so it fits within the loop size."""
+        slots = max(1, knobs.loop_size - self.FIXED_OVERHEAD)
+        requested = (
+            knobs.num_loads
+            + knobs.num_stores
+            + knobs.num_independent_arithmetic
+            + knobs.num_dependent_on_miss
+        )
+        loads = knobs.num_loads
+        stores = knobs.num_stores
+        independent = knobs.num_independent_arithmetic
+        dependent = knobs.num_dependent_on_miss
+        if requested > slots:
+            scale = slots / requested
+            loads = int(loads * scale)
+            stores = int(stores * scale)
+            independent = int(independent * scale)
+            dependent = int(dependent * scale)
+        chain_arithmetic = max(0, slots - loads - stores - independent - dependent)
+        return _RepairedCounts(
+            loads=loads,
+            stores=stores,
+            independent=independent,
+            dependent_on_miss=dependent,
+            chain_arithmetic=chain_arithmetic,
+        )
+
+    # ------------------------------------------------------------ streams
+
+    def _build_streams(
+        self,
+        knobs: StressmarkKnobs,
+        counts: _RepairedCounts,
+        region: int,
+        rng: DeterministicRng,
+    ) -> list[list[Instruction]]:
+        """Build dependence streams (chains) of instructions to be scheduled."""
+        line_bytes = self.config.dl1.line_bytes
+        cover_slots = max(1, counts.loads + counts.stores)
+
+        pool_cursor = 0
+
+        def next_pool_register() -> int:
+            nonlocal pool_cursor
+            register = _POOL[pool_cursor % len(_POOL)]
+            pool_cursor += 1
+            return register
+
+        reg_reg_cursor = 0
+
+        def reg_reg_sources(primary: int) -> list[int]:
+            """Sources for an arithmetic op honouring the reg-reg fraction.
+
+            Reg-reg instructions read one of the reserved loop-invariant
+            registers, keeping every architected register's value live (ACE).
+            """
+            nonlocal reg_reg_cursor
+            if rng.coin(knobs.fraction_reg_reg):
+                reg_reg_cursor += 1
+                secondary = _CONSTANT_REGS[reg_reg_cursor % len(_CONSTANT_REGS)]
+                return [primary, secondary]
+            return [primary]
+
+        def make_arith(dest: int, srcs: list[int], label: str) -> Instruction:
+            if rng.coin(knobs.fraction_long_latency_arithmetic):
+                return make_mul(dest, srcs, label=label)
+            return make_alu(dest, srcs, label=label)
+
+        # Cover loads: hit the previous cache line and keep every word ACE.
+        load_instructions: list[Instruction] = []
+        load_dests: list[int] = []
+        for slot in range(counts.loads):
+            dest = next_pool_register()
+            load_dests.append(dest)
+            pattern = LineCoverPattern(
+                base=self.base_address,
+                line_bytes=line_bytes,
+                region=region,
+                slots=cover_slots,
+                slot=slot,
+                iteration_offset=-1,
+            )
+            load_instructions.append(
+                make_load(dest, pattern, srcs=[_INDEX_REG], label="cover_load")
+            )
+
+        # Cover stores: write the remaining words of the previous line; their
+        # value sources are wired to chain results / load results below.
+        store_slots = list(range(counts.loads, counts.loads + counts.stores))
+
+        # Dependence chains: load -> arithmetic... -> store value.
+        chain_count = 0
+        if counts.chain_arithmetic > 0:
+            chain_count = max(1, round(counts.chain_arithmetic / knobs.avg_dependence_chain_length))
+        chain_lengths = self._split_evenly(counts.chain_arithmetic, chain_count)
+
+        streams: list[list[Instruction]] = []
+        store_value_sources: list[int] = []
+
+        for chain_index, chain_length in enumerate(chain_lengths):
+            stream: list[Instruction] = []
+            if load_dests:
+                source = load_dests[chain_index % len(load_dests)]
+            else:
+                source = _INDEX_REG
+            current = source
+            for _ in range(chain_length):
+                dest = next_pool_register()
+                stream.append(make_arith(dest, reg_reg_sources(current), label="chain_arith"))
+                current = dest
+            store_value_sources.append(current)
+            if stream:
+                streams.append(stream)
+
+        # Loads not consumed by a chain become their own streams.
+        for index, instruction in enumerate(load_instructions):
+            streams.append([instruction])
+            if index >= len(store_value_sources):
+                store_value_sources.append(load_dests[index])
+
+        # Independent arithmetic: short self-contained streams.
+        for index in range(counts.independent):
+            dest = next_pool_register()
+            streams.append(
+                [make_arith(dest, reg_reg_sources(_INDEX_REG), label="independent_arith")]
+            )
+            store_value_sources.append(dest)
+
+        # Instructions dependent on the blocking load (IQ occupancy knob).
+        for _ in range(counts.dependent_on_miss):
+            dest = next_pool_register()
+            streams.append(
+                [make_arith(dest, [_CHASE_REG] + reg_reg_sources(_CHASE_REG)[1:], label="dependent_on_miss")]
+            )
+
+        # Stores: cover the remaining words of the previous line, consuming
+        # produced values so every value transitively reaches memory.
+        if not store_value_sources:
+            store_value_sources = [_INDEX_REG]
+        for store_index, slot in enumerate(store_slots):
+            value = store_value_sources[store_index % len(store_value_sources)]
+            pattern = LineCoverPattern(
+                base=self.base_address,
+                line_bytes=line_bytes,
+                region=region,
+                slots=cover_slots,
+                slot=slot,
+                iteration_offset=-1,
+            )
+            streams.append(
+                [make_store(pattern, srcs=[value, _INDEX_REG], label="cover_store")]
+            )
+
+        return streams
+
+    # ---------------------------------------------------------- scheduling
+
+    @staticmethod
+    def _split_evenly(total: int, parts: int) -> list[int]:
+        """Split ``total`` into ``parts`` near-equal positive chunks."""
+        if parts <= 0 or total <= 0:
+            return []
+        base = total // parts
+        remainder = total % parts
+        return [base + (1 if index < remainder else 0) for index in range(parts)]
+
+    @staticmethod
+    def _schedule(
+        streams: list[list[Instruction]], dependency_distance: int, rng: DeterministicRng
+    ) -> list[Instruction]:
+        """Interleave dependence streams to honour the dependency distance.
+
+        Streams are processed in batches of ``dependency_distance``; within a
+        batch instructions are drawn round-robin, so two consecutive
+        instructions of the same stream end up roughly ``dependency_distance``
+        slots apart.  A distance of one degenerates to depth-first placement
+        (dependent instructions back to back), matching the knob's meaning.
+        """
+        if not streams:
+            return []
+        order = list(range(len(streams)))
+        rng.shuffle(order)
+        shuffled = [list(streams[index]) for index in order]
+
+        scheduled: list[Instruction] = []
+        batch_size = max(1, dependency_distance)
+        for start in range(0, len(shuffled), batch_size):
+            batch = [stream for stream in shuffled[start : start + batch_size] if stream]
+            while batch:
+                for stream in list(batch):
+                    scheduled.append(stream.pop(0))
+                    if not stream:
+                        batch.remove(stream)
+        return scheduled

@@ -1,0 +1,103 @@
+"""Fitness functions for the stressmark GA.
+
+The paper's fitness metric is the observable SER of the candidate under the
+configured circuit-level fault rates.  Two formulations are provided:
+
+* :meth:`FitnessFunction.overall` — the literal overall SER: AVF x bits x
+  fault-rate summed over every structure and normalised by total bits.
+  Because caches hold orders of magnitude more bits than the core, this
+  formulation is dominated by the (nearly candidate-invariant) cache term.
+* :meth:`FitnessFunction.balanced` — the default used by
+  :class:`~repro.stressmark.generator.StressmarkGenerator`: a weighted sum of
+  the normalised group SERs (core, DL1+DTLB, L2).  The core carries the
+  largest weight so the GA retains a strong optimisation signal on the
+  queueing structures and register file, while the cache terms keep the
+  incentive to maintain ACE loads/stores — mirroring how the paper's GA
+  adapts the I-mix per fault-rate scenario (Section VI-A).  This choice is a
+  documented reproduction decision (see DESIGN.md and EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.avf.analysis import StructureGroup, normalized_group_ser
+from repro.uarch.faultrates import FaultRateModel, unit_fault_rates
+from repro.uarch.pipeline import SimulationResult
+
+
+@dataclass(frozen=True)
+class GroupWeights:
+    """Relative weights of the structure groups in the fitness function."""
+
+    core: float = 1.0
+    dl1_dtlb: float = 0.5
+    l2: float = 0.25
+
+    def __post_init__(self) -> None:
+        if min(self.core, self.dl1_dtlb, self.l2) < 0.0:
+            raise ValueError("group weights must be non-negative")
+        if self.core + self.dl1_dtlb + self.l2 == 0.0:
+            raise ValueError("at least one group weight must be positive")
+
+
+@dataclass(frozen=True)
+class FitnessFunction:
+    """Callable fitness: maps a simulation result to a scalar SER score."""
+
+    fault_rates: FaultRateModel
+    weights: GroupWeights
+    name: str = "balanced"
+
+    @classmethod
+    def balanced(
+        cls, fault_rates: FaultRateModel | None = None, weights: GroupWeights | None = None
+    ) -> "FitnessFunction":
+        """Default fitness: weighted sum of normalised group SERs."""
+        return cls(
+            fault_rates=fault_rates or unit_fault_rates(),
+            weights=weights or GroupWeights(),
+            name="balanced",
+        )
+
+    @classmethod
+    def overall(cls, fault_rates: FaultRateModel | None = None) -> "FitnessFunction":
+        """Literal overall SER (bit-weighted across every structure)."""
+        return cls(
+            fault_rates=fault_rates or unit_fault_rates(),
+            weights=GroupWeights(),
+            name="overall",
+        )
+
+    @classmethod
+    def core_only(cls, fault_rates: FaultRateModel | None = None) -> "FitnessFunction":
+        """Core-only SER fitness (used in ablation benchmarks)."""
+        return cls(
+            fault_rates=fault_rates or unit_fault_rates(),
+            weights=GroupWeights(core=1.0, dl1_dtlb=0.0, l2=0.0),
+            name="core_only",
+        )
+
+    def __call__(self, result: SimulationResult) -> float:
+        """Score one simulation result."""
+        if self.name == "overall":
+            return self._overall_ser(result)
+        weights = self.weights
+        score = 0.0
+        score += weights.core * normalized_group_ser(result, StructureGroup.CORE, self.fault_rates)
+        score += weights.dl1_dtlb * normalized_group_ser(
+            result, StructureGroup.DL1_DTLB, self.fault_rates
+        )
+        score += weights.l2 * normalized_group_ser(result, StructureGroup.L2, self.fault_rates)
+        return score
+
+    def _overall_ser(self, result: SimulationResult) -> float:
+        total_bits = 0.0
+        weighted = 0.0
+        for name, accumulator in result.accumulators.items():
+            bits = float(accumulator.total_bits)
+            total_bits += bits
+            weighted += result.avf(name) * bits * self.fault_rates.rate(name)
+        if total_bits == 0.0:
+            return 0.0
+        return weighted / total_bits

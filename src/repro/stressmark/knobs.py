@@ -1,0 +1,166 @@
+"""Knob definitions for the stressmark code generator (Section IV-B).
+
+The paper's code generator exposes nine knobs; we reproduce them one-for-one:
+
+1. I-mix (number of loads / stores / independent arithmetic instructions)
+2. Dependency distance
+3. Fraction of long-latency arithmetic
+4. Average dependence chain length
+5. Register usage (fraction of reg-reg vs. immediate arithmetic)
+6. Number of instructions dependent on the L2 miss
+7. Random seed (instruction placement)
+8. Code generator switch (L2-miss vs. L2-hit inner loop)
+9. Loop size (bounded at 1.2x the ROB size, as in Section IV-B)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.ga.genes import BoolGene, FloatGene, GeneSpace, IntGene
+from repro.uarch.config import MachineConfig
+
+
+@dataclass(frozen=True)
+class StressmarkKnobs:
+    """One complete knob setting (a point in the code-generator search space).
+
+    The counts are *requests*; the code generator repairs them to fit within
+    ``loop_size`` after accounting for the fixed framework instructions
+    (pointer-chase load, index update and loop branch).
+    """
+
+    loop_size: int
+    num_loads: int
+    num_stores: int
+    num_independent_arithmetic: int
+    num_dependent_on_miss: int
+    avg_dependence_chain_length: float
+    dependency_distance: int
+    fraction_long_latency_arithmetic: float
+    fraction_reg_reg: float
+    random_seed: int
+    use_l2_miss: bool = True
+
+    def __post_init__(self) -> None:
+        if self.loop_size < 4:
+            raise ValueError("loop_size must be at least 4")
+        for name in (
+            "num_loads",
+            "num_stores",
+            "num_independent_arithmetic",
+            "num_dependent_on_miss",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.avg_dependence_chain_length < 1.0:
+            raise ValueError("avg_dependence_chain_length must be >= 1")
+        if self.dependency_distance < 1:
+            raise ValueError("dependency_distance must be >= 1")
+        for name in ("fraction_long_latency_arithmetic", "fraction_reg_reg"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+
+    # ------------------------------------------------------------ encoding
+
+    def to_genome(self) -> dict[str, object]:
+        """Encode the knobs as a GA genome."""
+        return {
+            "loop_size": self.loop_size,
+            "num_loads": self.num_loads,
+            "num_stores": self.num_stores,
+            "num_independent_arithmetic": self.num_independent_arithmetic,
+            "num_dependent_on_miss": self.num_dependent_on_miss,
+            "avg_dependence_chain_length": self.avg_dependence_chain_length,
+            "dependency_distance": self.dependency_distance,
+            "fraction_long_latency_arithmetic": self.fraction_long_latency_arithmetic,
+            "fraction_reg_reg": self.fraction_reg_reg,
+            "random_seed": self.random_seed,
+            "use_l2_miss": self.use_l2_miss,
+        }
+
+    @classmethod
+    def from_genome(cls, genome: Mapping[str, object]) -> "StressmarkKnobs":
+        """Decode a GA genome into knobs."""
+        return cls(
+            loop_size=int(genome["loop_size"]),
+            num_loads=int(genome["num_loads"]),
+            num_stores=int(genome["num_stores"]),
+            num_independent_arithmetic=int(genome["num_independent_arithmetic"]),
+            num_dependent_on_miss=int(genome["num_dependent_on_miss"]),
+            avg_dependence_chain_length=float(genome["avg_dependence_chain_length"]),
+            dependency_distance=int(genome["dependency_distance"]),
+            fraction_long_latency_arithmetic=float(genome["fraction_long_latency_arithmetic"]),
+            fraction_reg_reg=float(genome["fraction_reg_reg"]),
+            random_seed=int(genome["random_seed"]),
+            use_l2_miss=bool(genome["use_l2_miss"]),
+        )
+
+    def derive(self, **overrides: object) -> "StressmarkKnobs":
+        """Return a copy with fields overridden."""
+        return replace(self, **overrides)
+
+    def as_table(self) -> dict[str, object]:
+        """Knob table in the paper's Figure 5a / 8c / 8d / 9b format."""
+        return {
+            "Loop Size": self.loop_size,
+            "No. of loads": self.num_loads,
+            "No. of stores": self.num_stores,
+            "No. of Independent Arithmetic Instructions": self.num_independent_arithmetic,
+            "No. of instructions dependent on L2 miss": self.num_dependent_on_miss,
+            "Avg. Dependence Chain Length": round(self.avg_dependence_chain_length, 2),
+            "Dependency Distance": self.dependency_distance,
+            "Fraction of Long Latency Arithmetic": round(self.fraction_long_latency_arithmetic, 2),
+            "Fraction of Reg-Reg arithmetic instructions": round(self.fraction_reg_reg, 2),
+            "Code generator": "L2 miss" if self.use_l2_miss else "L2 hit",
+        }
+
+
+@dataclass(frozen=True)
+class KnobSpace:
+    """Bounds of the knob space for a given machine configuration.
+
+    The paper restricts the loop to at most 1.2x the ROB size and lets the GA
+    pick everything else; the I-mix counts are bounded by the loop size.
+    """
+
+    config: MachineConfig
+    max_loop_factor: float = 1.2
+    min_loop_size: int = 16
+    max_dependency_distance: int = 8
+    max_chain_length: float = 16.0
+    max_random_seed: int = 2**16 - 1
+    allow_l2_hit_generator: bool = True
+    fixed_overhead: int = field(default=3, init=True)
+
+    def max_loop_size(self) -> int:
+        """Largest inner-loop size allowed (1.2x ROB, as in the paper)."""
+        return int(round(self.config.rob_entries * self.max_loop_factor))
+
+    def gene_space(self) -> GeneSpace:
+        """GA gene space corresponding to these bounds."""
+        max_loop = self.max_loop_size()
+        max_slots = max(1, max_loop - self.fixed_overhead)
+        genes = [
+            IntGene("loop_size", self.min_loop_size, max_loop),
+            IntGene("num_loads", 0, max_slots),
+            IntGene("num_stores", 0, max_slots),
+            IntGene("num_independent_arithmetic", 0, max_slots),
+            IntGene("num_dependent_on_miss", 0, min(self.config.iq_entries, max_slots)),
+            FloatGene("avg_dependence_chain_length", 1.0, self.max_chain_length),
+            IntGene("dependency_distance", 1, self.max_dependency_distance),
+            FloatGene("fraction_long_latency_arithmetic", 0.0, 1.0),
+            FloatGene("fraction_reg_reg", 0.0, 1.0),
+            IntGene("random_seed", 0, self.max_random_seed),
+        ]
+        if self.allow_l2_hit_generator:
+            genes.append(BoolGene("use_l2_miss"))
+        return GeneSpace(genes)
+
+    def decode(self, genome: Mapping[str, object]) -> StressmarkKnobs:
+        """Decode a genome, defaulting the generator switch when it is fixed."""
+        values = dict(genome)
+        values.setdefault("use_l2_miss", True)
+        return StressmarkKnobs.from_genome(values)

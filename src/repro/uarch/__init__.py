@@ -1,0 +1,24 @@
+"""Microarchitecture substrate: configurations, fault rates, structures, pipeline."""
+
+from repro.uarch.config import (
+    MachineConfig,
+    baseline_config,
+    config_a,
+)
+from repro.uarch.faultrates import FaultRateModel, edr_fault_rates, rhc_fault_rates, unit_fault_rates
+from repro.uarch.structures import AceAccumulator, StructureName
+from repro.uarch.pipeline import OutOfOrderCore, SimulationResult
+
+__all__ = [
+    "MachineConfig",
+    "baseline_config",
+    "config_a",
+    "FaultRateModel",
+    "unit_fault_rates",
+    "rhc_fault_rates",
+    "edr_fault_rates",
+    "AceAccumulator",
+    "StructureName",
+    "OutOfOrderCore",
+    "SimulationResult",
+]

@@ -1,0 +1,79 @@
+"""Circuit-level fault-rate models (unit, RHC and EDR of Figure 8a).
+
+The paper assumes an arbitrary raw fault rate of 1 unit/bit for every
+structure in the baseline study, and the two SER-mitigation scenarios of
+Figure 8a:
+
+* **RHC** (radiation-hardened circuitry on ROB/LQ/SQ): ROB 0.25, LQ tag/data
+  0.4, SQ tag/data 0.35, everything else 1.
+* **EDR** (error detection and recovery on ROB/LQ/SQ): those structures are
+  fully protected (0), everything else 1.
+
+Cache, DTLB and L2 fault rates are unchanged (1 unit/bit) in all scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.uarch.structures import StructureName
+
+
+@dataclass(frozen=True)
+class FaultRateModel:
+    """Per-structure circuit-level fault rates in units/bit."""
+
+    name: str
+    rates: Mapping[StructureName, float] = field(default_factory=dict)
+    default_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        for structure, rate in self.rates.items():
+            if rate < 0.0:
+                raise ValueError(f"fault rate for {structure} must be non-negative")
+        if self.default_rate < 0.0:
+            raise ValueError("default fault rate must be non-negative")
+
+    def rate(self, structure: StructureName) -> float:
+        """Raw fault rate for ``structure`` in units/bit."""
+        return float(self.rates.get(structure, self.default_rate))
+
+    def with_rate(self, structure: StructureName, rate: float) -> "FaultRateModel":
+        """Return a copy with one structure's rate overridden."""
+        updated = dict(self.rates)
+        updated[structure] = rate
+        return FaultRateModel(name=self.name, rates=updated, default_rate=self.default_rate)
+
+
+def unit_fault_rates() -> FaultRateModel:
+    """All structures at 1 unit/bit (the paper's baseline assumption)."""
+    return FaultRateModel(name="unit")
+
+
+def rhc_fault_rates() -> FaultRateModel:
+    """Radiation-hardened ROB/LQ/SQ (Figure 8a, column RHC)."""
+    return FaultRateModel(
+        name="rhc",
+        rates={
+            StructureName.ROB: 0.25,
+            StructureName.LQ_TAG: 0.4,
+            StructureName.LQ_DATA: 0.4,
+            StructureName.SQ_TAG: 0.35,
+            StructureName.SQ_DATA: 0.35,
+        },
+    )
+
+
+def edr_fault_rates() -> FaultRateModel:
+    """Error detection and recovery on ROB/LQ/SQ (Figure 8a, column EDR)."""
+    return FaultRateModel(
+        name="edr",
+        rates={
+            StructureName.ROB: 0.0,
+            StructureName.LQ_TAG: 0.0,
+            StructureName.LQ_DATA: 0.0,
+            StructureName.SQ_TAG: 0.0,
+            StructureName.SQ_DATA: 0.0,
+        },
+    )

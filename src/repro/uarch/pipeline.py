@@ -1,0 +1,530 @@
+"""Cycle-level out-of-order core model with ACE/AVF accounting.
+
+The model is a one-pass timing simulator: dynamic instructions are processed
+in program order and their dispatch, issue, completion and commit cycles are
+computed subject to the machine's structural constraints (ROB/IQ/LQ/SQ/rename
+register capacity, dispatch/issue/commit bandwidth, memory-issue ports,
+functional-unit counts, branch misprediction redirects and data-memory
+latency).  Every dynamic instruction then contributes occupancy and ACE
+intervals to the per-structure accumulators, which is exactly the information
+ACE analysis needs:
+
+* **ROB** entries are occupied from dispatch to commit and are ACE when the
+  instruction is ACE.
+* **IQ** entries are occupied (and ACE) from dispatch to issue.
+* **LQ/SQ** entries are occupied from dispatch to commit; the tag array is
+  ACE once the address is computed at issue, the LQ data array only once the
+  data has returned from the memory hierarchy, and the SQ data array once the
+  store's operands are ready (the paper's Section IV-A.1 distinction).
+* **Rename registers** are ACE from the producer's completion until the last
+  read by an ACE consumer.
+* **FUs** are ACE while executing ACE arithmetic instructions.
+* **DL1/DTLB/L2** ACE time comes from the lifetime analysis embedded in the
+  memory hierarchy.
+
+Branch mispredictions redirect fetch: the front-end is stalled until the
+branch resolves plus the misprediction penalty, which drains the windows the
+same way wrong-path flushes do (wrong-path entries are un-ACE and therefore
+never contribute ACE time anyway).
+
+Front-end miss behaviour of workloads (I-cache / I-TLB misses and fetch
+inefficiencies) is modelled statistically: programs may carry
+``metadata["frontend_miss_rate"]`` (per-instruction probability) and
+``metadata["frontend_miss_penalty"]`` (cycles), which inject fetch bubbles.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.branch.predictors import HybridPredictor
+from repro.isa.instructions import Instruction, InstructionClass
+from repro.isa.program import BranchBehavior, DynamicOp, Program
+from repro.memory.hierarchy import MemoryAccessOutcome, MemoryHierarchy
+from repro.uarch.config import MachineConfig
+from repro.uarch.structures import AceAccumulator, StructureName, core_structure_accumulators
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class _RegisterRecord:
+    """Lifetime record of one renamed register value."""
+
+    complete_cycle: int
+    width_fraction: float
+    ace: bool
+    last_ace_read: Optional[int] = None
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate performance-side statistics of a run."""
+
+    total_cycles: int = 0
+    committed_instructions: int = 0
+    committed_ace_instructions: int = 0
+    branch_count: int = 0
+    branch_mispredictions: int = 0
+    l2_misses: int = 0
+    dl1_miss_rate: float = 0.0
+    l2_miss_rate: float = 0.0
+    dtlb_miss_rate: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return self.committed_instructions / self.total_cycles
+
+    @property
+    def branch_misprediction_rate(self) -> float:
+        if self.branch_count == 0:
+            return 0.0
+        return self.branch_mispredictions / self.branch_count
+
+
+@dataclass
+class SimulationResult:
+    """Result of one detailed simulation: ACE accumulators plus statistics."""
+
+    program_name: str
+    config: MachineConfig
+    accumulators: Mapping[StructureName, AceAccumulator]
+    stats: SimulationStats
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.stats.total_cycles
+
+    def avf(self, structure: StructureName) -> float:
+        """AVF of one structure over the run."""
+        return self.accumulators[structure].avf(self.stats.total_cycles)
+
+    def occupancy(self, structure: StructureName) -> float:
+        """Average occupancy of one structure over the run."""
+        return self.accumulators[structure].average_occupancy(self.stats.total_cycles)
+
+    def avf_by_structure(self) -> dict[StructureName, float]:
+        """AVF of every tracked structure."""
+        return {name: self.avf(name) for name in self.accumulators}
+
+
+class OutOfOrderCore:
+    """Out-of-order core simulator for a given :class:`MachineConfig`."""
+
+    def __init__(self, config: MachineConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        program: Program,
+        max_instructions: int = 50_000,
+        functional_setup: bool = True,
+    ) -> SimulationResult:
+        """Simulate ``program`` for up to ``max_instructions`` body instructions.
+
+        ``functional_setup`` executes the program's setup section as a warm-up
+        of the memory hierarchy (cache/TLB contents and lifetime state) without
+        occupying core structures, mirroring the common practice of functional
+        cache warm-up before a detailed simulation window.
+        """
+        if max_instructions <= 0:
+            raise ValueError("max_instructions must be positive")
+
+        config = self.config
+        rng = DeterministicRng(self.seed).spawn("sim", program.name)
+        hierarchy = MemoryHierarchy(
+            dl1_config=config.dl1,
+            l2_config=config.l2,
+            dtlb_config=config.dtlb,
+            memory_latency=config.memory_latency,
+            tlb_miss_penalty=config.tlb_miss_penalty,
+        )
+        predictor = HybridPredictor(
+            global_entries=config.branch_predictor_global_entries,
+            local_history_entries=config.branch_predictor_local_entries,
+            choice_entries=config.branch_predictor_choice_entries,
+        )
+        accumulators = core_structure_accumulators(config)
+        stats = SimulationStats()
+
+        frontend_miss_rate = float(program.metadata.get("frontend_miss_rate", 0.0))
+        frontend_miss_penalty = int(program.metadata.get("frontend_miss_penalty", 10))
+
+        # Independent, reproducible randomness streams for the different
+        # stochastic behaviours of the run (addresses, branches, front-end).
+        memory_rng = rng.spawn("memory")
+        branch_rng = rng.spawn("branch")
+        frontend_rng = rng.spawn("frontend")
+
+        if functional_setup:
+            self._run_functional_setup(program, hierarchy, rng)
+
+        # Per-cycle bandwidth counters.
+        dispatch_slots: dict[int, int] = defaultdict(int)
+        issue_slots: dict[int, int] = defaultdict(int)
+        mem_slots: dict[int, int] = defaultdict(int)
+        alu_slots: dict[int, int] = defaultdict(int)
+        mul_slots: dict[int, int] = defaultdict(int)
+        commit_slots: dict[int, int] = defaultdict(int)
+
+        # Structural occupancy state.
+        rob_commits: deque[int] = deque()
+        lq_commits: deque[int] = deque()
+        sq_commits: deque[int] = deque()
+        iq_issue_heap: list[int] = []
+        rename_commit_heap: list[int] = []
+        # Live-in architected state: the value sitting in each architected
+        # register at the start of the window is ACE from cycle 0 until its
+        # last read (base addresses, loop-invariant constants, etc.).
+        register_state: dict[int, _RegisterRecord] = {
+            register: _RegisterRecord(complete_cycle=0, width_fraction=1.0, ace=True)
+            for register in range(config.architected_registers)
+        }
+        register_ready: dict[int, int] = defaultdict(int)
+
+        min_dispatch_cycle = 1
+        fetch_resume_cycle = 0
+        last_commit_cycle = 0
+        final_cycle = 1
+
+        body_budget = max_instructions
+        processed = 0
+
+        for op in program.dynamic_stream():
+            if op.in_setup and functional_setup:
+                continue
+            if processed >= body_budget:
+                break
+            processed += 1
+
+            instruction = op.instruction
+            is_memory = instruction.opclass.is_memory
+            is_nop = instruction.opclass is InstructionClass.NOP
+
+            # ---------------------------------------------------- dispatch
+            dispatch = max(min_dispatch_cycle, fetch_resume_cycle)
+
+            if frontend_miss_rate > 0.0 and frontend_rng.coin(frontend_miss_rate):
+                dispatch += frontend_miss_penalty
+
+            if len(rob_commits) >= config.rob_entries:
+                dispatch = max(dispatch, rob_commits[0])
+            if instruction.is_load or instruction.opclass is InstructionClass.PREFETCH:
+                if len(lq_commits) >= config.lq_entries:
+                    dispatch = max(dispatch, lq_commits[0])
+            elif instruction.is_store:
+                if len(sq_commits) >= config.sq_entries:
+                    dispatch = max(dispatch, sq_commits[0])
+
+            if instruction.writes_register:
+                while rename_commit_heap and rename_commit_heap[0] <= dispatch:
+                    heapq.heappop(rename_commit_heap)
+                if len(rename_commit_heap) >= config.free_rename_registers:
+                    dispatch = max(dispatch, rename_commit_heap[0])
+                    while rename_commit_heap and rename_commit_heap[0] <= dispatch:
+                        heapq.heappop(rename_commit_heap)
+
+            if not is_nop:
+                while iq_issue_heap and iq_issue_heap[0] <= dispatch:
+                    heapq.heappop(iq_issue_heap)
+                if len(iq_issue_heap) >= config.iq_entries:
+                    dispatch = max(dispatch, iq_issue_heap[0])
+                    while iq_issue_heap and iq_issue_heap[0] <= dispatch:
+                        heapq.heappop(iq_issue_heap)
+
+            while dispatch_slots[dispatch] >= config.dispatch_width:
+                dispatch += 1
+            dispatch_slots[dispatch] += 1
+            min_dispatch_cycle = dispatch
+
+            # ------------------------------------------------------- issue
+            ready = dispatch
+            for src in instruction.srcs:
+                ready = max(ready, register_ready[src])
+
+            if is_nop:
+                issue = dispatch
+                complete = dispatch
+                latency = 0
+            else:
+                issue = max(dispatch + 1, ready)
+                is_mul_class = instruction.opclass in (
+                    InstructionClass.INT_MUL,
+                    InstructionClass.INT_DIV,
+                )
+                while True:
+                    if issue_slots[issue] >= config.issue_width:
+                        issue += 1
+                        continue
+                    if is_memory and mem_slots[issue] >= config.memory_issue_width:
+                        issue += 1
+                        continue
+                    if is_mul_class and mul_slots[issue] >= config.int_multipliers:
+                        issue += 1
+                        continue
+                    if (
+                        not is_memory
+                        and not is_mul_class
+                        and alu_slots[issue] >= config.int_alus
+                    ):
+                        issue += 1
+                        continue
+                    break
+                issue_slots[issue] += 1
+                if is_memory:
+                    mem_slots[issue] += 1
+                elif is_mul_class:
+                    mul_slots[issue] += 1
+                else:
+                    alu_slots[issue] += 1
+
+                latency, outcome = self._execution_latency(
+                    instruction, op, issue, hierarchy, memory_rng
+                )
+                if outcome is not None and outcome.is_l2_miss:
+                    stats.l2_misses += 1
+                complete = issue + latency
+
+            # ------------------------------------------------------ commit
+            commit = max(complete + 1, last_commit_cycle)
+            while commit_slots[commit] >= config.commit_width:
+                commit += 1
+            commit_slots[commit] += 1
+            last_commit_cycle = commit
+            final_cycle = max(final_cycle, commit)
+
+            # Stores update the data cache when they retire.
+            if instruction.is_store and instruction.address_pattern is not None:
+                address = instruction.address_pattern.resolve(max(op.iteration, 0), memory_rng)
+                hierarchy.access(address, is_write=True, cycle=commit, ace=instruction.ace)
+
+            # ------------------------------------------------ branch logic
+            if instruction.is_branch:
+                stats.branch_count += 1
+                taken = self._branch_outcome(program, op, branch_rng)
+                pc = op.index_in_body if not op.in_setup else 4096 + op.index_in_body
+                mispredicted = predictor.update(pc, taken)
+                if mispredicted:
+                    stats.branch_mispredictions += 1
+                    fetch_resume_cycle = max(
+                        fetch_resume_cycle, complete + config.branch_misprediction_penalty
+                    )
+
+            # -------------------------------------------- structural state
+            rob_commits.append(commit)
+            if len(rob_commits) > config.rob_entries:
+                rob_commits.popleft()
+            if instruction.is_load or instruction.opclass is InstructionClass.PREFETCH:
+                lq_commits.append(commit)
+                if len(lq_commits) > config.lq_entries:
+                    lq_commits.popleft()
+            elif instruction.is_store:
+                sq_commits.append(commit)
+                if len(sq_commits) > config.sq_entries:
+                    sq_commits.popleft()
+            if not is_nop:
+                heapq.heappush(iq_issue_heap, issue)
+            if instruction.writes_register:
+                heapq.heappush(rename_commit_heap, commit)
+
+            # -------------------------------------------------- ACE credit
+            self._account(
+                accumulators,
+                instruction,
+                dispatch=dispatch,
+                issue=issue,
+                complete=complete,
+                commit=commit,
+                latency=latency,
+            )
+            self._account_register_reads(register_state, instruction, issue)
+            if instruction.writes_register and instruction.dest is not None:
+                self._retire_register_record(
+                    accumulators[StructureName.RF], register_state.get(instruction.dest)
+                )
+                register_state[instruction.dest] = _RegisterRecord(
+                    complete_cycle=complete,
+                    width_fraction=instruction.width.ace_fraction(),
+                    ace=instruction.ace,
+                )
+                register_ready[instruction.dest] = complete
+
+            stats.committed_instructions += 1
+            if instruction.ace:
+                stats.committed_ace_instructions += 1
+
+        # Finalise open state.
+        for record in register_state.values():
+            self._retire_register_record(accumulators[StructureName.RF], record)
+        hierarchy.finalize(final_cycle)
+
+        stats.total_cycles = final_cycle
+        stats.dl1_miss_rate = hierarchy.dl1.stats.miss_rate
+        stats.l2_miss_rate = hierarchy.l2.stats.miss_rate
+        stats.dtlb_miss_rate = hierarchy.dtlb.stats.miss_rate
+
+        accumulators = dict(accumulators)
+        accumulators[StructureName.DL1] = self._cache_accumulator(
+            StructureName.DL1, hierarchy.dl1.config.num_lines,
+            hierarchy.dl1.config.line_bytes * 8, hierarchy.dl1.lifetime.ace_bit_cycles(),
+        )
+        accumulators[StructureName.L2] = self._cache_accumulator(
+            StructureName.L2, hierarchy.l2.config.num_lines,
+            hierarchy.l2.config.line_bytes * 8, hierarchy.l2.lifetime.ace_bit_cycles(),
+        )
+        accumulators[StructureName.DTLB] = self._cache_accumulator(
+            StructureName.DTLB, hierarchy.dtlb.config.entries,
+            hierarchy.dtlb.config.entry_bits, hierarchy.dtlb.ace_bit_cycles(),
+        )
+
+        return SimulationResult(
+            program_name=program.name,
+            config=config,
+            accumulators=accumulators,
+            stats=stats,
+            metadata=dict(program.metadata),
+        )
+
+    # -------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _cache_accumulator(
+        name: StructureName, entries: int, bits_per_entry: int, ace_bit_cycles: float
+    ) -> AceAccumulator:
+        accumulator = AceAccumulator(name=name, entries=entries, bits_per_entry=bits_per_entry)
+        accumulator.add_bit_cycles(ace_bit_cycles)
+        return accumulator
+
+    def _run_functional_setup(
+        self, program: Program, hierarchy: MemoryHierarchy, rng: DeterministicRng
+    ) -> None:
+        """Warm the memory hierarchy with the program's declared footprint.
+
+        Warm-up has two parts: the declared :class:`WarmupRegion` footprints
+        (walked at line granularity) and the explicit setup instructions
+        (replayed functionally, without core occupancy accounting).
+        """
+        for region in program.warmup_regions:
+            hierarchy.warm_region(
+                base=region.base,
+                size_bytes=region.size_bytes,
+                dirty=region.dirty,
+                ace=region.ace,
+                word_fraction=region.word_fraction,
+                recurrent=region.recurrent,
+            )
+        setup_rng = rng.spawn("setup")
+        for index, instruction in enumerate(program.setup):
+            if instruction.address_pattern is None:
+                continue
+            address = instruction.address_pattern.resolve(index, setup_rng)
+            hierarchy.access(
+                address,
+                is_write=instruction.is_store,
+                cycle=0,
+                ace=instruction.ace,
+            )
+
+    def _execution_latency(
+        self,
+        instruction: Instruction,
+        op: DynamicOp,
+        issue: int,
+        hierarchy: MemoryHierarchy,
+        rng: DeterministicRng,
+    ) -> tuple[int, Optional[MemoryAccessOutcome]]:
+        """Latency of an issued instruction; memory ops access the hierarchy."""
+        config = self.config
+        if instruction.latency_override is not None:
+            return instruction.latency_override, None
+        opclass = instruction.opclass
+        if opclass is InstructionClass.INT_ALU or opclass is InstructionClass.BRANCH:
+            return config.alu_latency, None
+        if opclass is InstructionClass.INT_MUL:
+            return config.multiply_latency, None
+        if opclass is InstructionClass.INT_DIV:
+            return config.divide_latency, None
+        if opclass in (InstructionClass.LOAD, InstructionClass.PREFETCH):
+            address = instruction.address_pattern.resolve(max(op.iteration, 0), rng)
+            outcome = hierarchy.access(
+                address, is_write=False, cycle=issue, ace=instruction.ace
+            )
+            return outcome.latency, outcome
+        if opclass is InstructionClass.STORE:
+            # Address generation only; the data-cache write happens at commit.
+            return config.alu_latency, None
+        return 0, None
+
+    @staticmethod
+    def _branch_outcome(program: Program, op: DynamicOp, rng: DeterministicRng) -> bool:
+        """Dynamic outcome of a branch instance."""
+        behavior = program.branch_behavior(op.index_in_body)
+        if behavior is BranchBehavior.LOOP_CLOSING:
+            return op.iteration < program.iterations - 1
+        return rng.coin(op.instruction.taken_probability)
+
+    def _account(
+        self,
+        accumulators: Mapping[StructureName, AceAccumulator],
+        instruction: Instruction,
+        dispatch: int,
+        issue: int,
+        complete: int,
+        commit: int,
+        latency: int,
+    ) -> None:
+        """Record occupancy and ACE intervals for one dynamic instruction."""
+        ace = 1.0 if instruction.ace else 0.0
+        width_fraction = instruction.data_ace_fraction()
+
+        accumulators[StructureName.ROB].add_interval(dispatch, commit, ace)
+
+        if instruction.opclass is not InstructionClass.NOP:
+            accumulators[StructureName.IQ].add_interval(dispatch, issue, ace)
+
+        if instruction.is_load or instruction.opclass is InstructionClass.PREFETCH:
+            accumulators[StructureName.LQ_TAG].add_interval(dispatch, issue, 0.0)
+            accumulators[StructureName.LQ_TAG].add_interval(issue, commit, ace)
+            accumulators[StructureName.LQ_DATA].add_interval(dispatch, complete, 0.0)
+            accumulators[StructureName.LQ_DATA].add_interval(complete, commit, width_fraction)
+        elif instruction.is_store:
+            accumulators[StructureName.SQ_TAG].add_interval(dispatch, issue, 0.0)
+            accumulators[StructureName.SQ_TAG].add_interval(issue, commit, ace)
+            accumulators[StructureName.SQ_DATA].add_interval(dispatch, issue, 0.0)
+            accumulators[StructureName.SQ_DATA].add_interval(issue, commit, width_fraction)
+
+        if instruction.is_arithmetic:
+            accumulators[StructureName.FU].add_interval(issue, issue + max(1, latency), ace)
+
+    @staticmethod
+    def _account_register_reads(
+        register_state: Mapping[int, _RegisterRecord], instruction: Instruction, issue: int
+    ) -> None:
+        """Mark source registers as read (for RF ACE lifetime) at issue time."""
+        if not instruction.ace:
+            return
+        for src in instruction.srcs:
+            record = register_state.get(src)
+            if record is None:
+                continue
+            if record.last_ace_read is None or issue > record.last_ace_read:
+                record.last_ace_read = issue
+
+    @staticmethod
+    def _retire_register_record(
+        rf_accumulator: AceAccumulator, record: Optional[_RegisterRecord]
+    ) -> None:
+        """Credit the ACE lifetime of a register value being overwritten."""
+        if record is None or not record.ace or record.last_ace_read is None:
+            return
+        rf_accumulator.add_interval(
+            record.complete_cycle, record.last_ace_read, record.width_fraction
+        )

@@ -1,0 +1,12 @@
+"""Shared utilities: deterministic RNG helpers and small statistics helpers."""
+
+from repro.utils.rng import DeterministicRng, derive_seed
+from repro.utils.stats import RunningMean, geometric_mean, weighted_mean
+
+__all__ = [
+    "DeterministicRng",
+    "derive_seed",
+    "RunningMean",
+    "geometric_mean",
+    "weighted_mean",
+]

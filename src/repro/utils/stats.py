@@ -1,0 +1,63 @@
+"""Small statistics helpers used across AVF reporting and experiments."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+class RunningMean:
+    """Incremental mean/maximum tracker used for per-cycle occupancy stats."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.maximum = float("-inf")
+
+    def add(self, value: float) -> None:
+        """Accumulate one observation."""
+        self.count += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Mean of the accumulated observations (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    @property
+    def max(self) -> float:
+        """Maximum observation (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.maximum
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean; returns 0.0 when total weight is zero."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    total_weight = float(sum(weights))
+    if total_weight == 0.0:
+        return 0.0
+    return sum(v * w for v, w in zip(values, weights)) / total_weight
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; returns 0.0 for an empty iterable."""
+    items = [float(v) for v in values]
+    if not items:
+        return 0.0
+    if any(v <= 0.0 for v in items):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in items) / len(items))
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high]."""
+    if low > high:
+        raise ValueError("clamp requires low <= high")
+    return max(low, min(high, value))

@@ -1,0 +1,35 @@
+"""Synthetic workload proxies for SPEC CPU2006 and MiBench.
+
+The paper evaluates its stressmark against 11 SPEC CPU2006 integer programs,
+10 SPEC CPU2006 floating-point programs and 12 MiBench programs, simulated
+for 100 M instructions at SimPoint-selected regions.  Those binaries (and an
+Alpha cross-compilation toolchain) are not redistributable, so this package
+provides *synthetic proxies*: per-program workload profiles whose instruction
+mix, working-set size, memory behaviour, branch behaviour, ILP and un-ACE
+fraction are calibrated to the qualitative characterisation the paper
+reports (integer codes with moderate miss rates and branchy control flow,
+floating-point codes with higher ILP and larger streaming working sets,
+MiBench kernels with small working sets and low SER).  See DESIGN.md for the
+substitution rationale.
+"""
+
+from repro.workloads.profiles import WorkloadProfile, WorkloadSuite
+from repro.workloads.synthetic import build_workload
+from repro.workloads.suite import (
+    all_profiles,
+    mibench_profiles,
+    profile_by_name,
+    spec_fp_profiles,
+    spec_int_profiles,
+)
+
+__all__ = [
+    "WorkloadProfile",
+    "WorkloadSuite",
+    "build_workload",
+    "all_profiles",
+    "mibench_profiles",
+    "profile_by_name",
+    "spec_fp_profiles",
+    "spec_int_profiles",
+]

@@ -1,0 +1,125 @@
+"""Workload profile definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class WorkloadSuite(Enum):
+    """Benchmark suite a proxy belongs to."""
+
+    SPEC_INT = "spec_int"
+    SPEC_FP = "spec_fp"
+    MIBENCH = "mibench"
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Microarchitecture-independent characterisation of one workload proxy.
+
+    Attributes
+    ----------
+    name / suite:
+        Identification; names carry a ``_proxy`` suffix to make clear these
+        are synthetic stand-ins, not the SPEC/MiBench binaries.
+    load_fraction / store_fraction / branch_fraction:
+        Dynamic instruction mix; the remainder is arithmetic.
+    long_latency_fraction:
+        Fraction of arithmetic executed on the long-latency unit (multiplies
+        for integer codes; a proxy for FP latency in FP codes).
+    chain_length / dependency_distance:
+        ILP shape: average dependence-chain depth and the spacing of
+        dependent instructions in the generated loop body.
+    working_set_bytes:
+        Size of the randomly/stride accessed resident working set.
+    streaming_fraction:
+        Fraction of memory accesses that stream through a region larger than
+        the L2 (producing compulsory misses with little reuse).
+    random_access_fraction:
+        Fraction of non-streaming accesses with random (rather than strided)
+        addresses.
+    branch_predictability:
+        Fraction of branches that are strongly biased (easy to predict);
+        the rest are weakly biased and mispredict frequently.
+    branch_taken_probability:
+        Taken probability of the weakly biased branches.
+    dead_fraction / nop_fraction / prefetch_fraction:
+        Un-ACE components of the dynamic stream (dynamically dead results,
+        compiler NOP padding, software prefetches).
+    narrow_width_fraction:
+        Fraction of operations producing 32-bit results on the 64-bit
+        datapath (halving the ACE bits of their data fields).
+    frontend_miss_rate / frontend_miss_penalty:
+        Statistical model of I-cache/I-TLB misses and fetch inefficiencies.
+    body_size:
+        Static size of the generated inner loop.
+    dirty_working_set_fraction:
+        Fraction of the working set that holds data the program writes (and
+        is therefore dirty/ACE in the caches at steady state).
+    """
+
+    name: str
+    suite: WorkloadSuite
+    load_fraction: float
+    store_fraction: float
+    branch_fraction: float
+    long_latency_fraction: float
+    chain_length: float
+    dependency_distance: int
+    working_set_bytes: int
+    streaming_fraction: float
+    random_access_fraction: float
+    branch_predictability: float
+    branch_taken_probability: float
+    dead_fraction: float
+    nop_fraction: float
+    prefetch_fraction: float
+    narrow_width_fraction: float
+    frontend_miss_rate: float
+    body_size: int = 160
+    frontend_miss_penalty: int = 10
+    dirty_working_set_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        fractions = (
+            self.load_fraction,
+            self.store_fraction,
+            self.branch_fraction,
+            self.long_latency_fraction,
+            self.streaming_fraction,
+            self.random_access_fraction,
+            self.branch_predictability,
+            self.branch_taken_probability,
+            self.dead_fraction,
+            self.nop_fraction,
+            self.prefetch_fraction,
+            self.narrow_width_fraction,
+            self.frontend_miss_rate,
+            self.dirty_working_set_fraction,
+        )
+        for value in fractions:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"profile {self.name}: fractions must be within [0, 1]")
+        if self.load_fraction + self.store_fraction + self.branch_fraction > 0.95:
+            raise ValueError(f"profile {self.name}: memory+branch mix leaves no arithmetic")
+        if self.working_set_bytes <= 0:
+            raise ValueError(f"profile {self.name}: working set must be positive")
+        if self.body_size < 16:
+            raise ValueError(f"profile {self.name}: body_size must be at least 16")
+        if self.chain_length < 1.0:
+            raise ValueError(f"profile {self.name}: chain_length must be >= 1")
+        if self.dependency_distance < 1:
+            raise ValueError(f"profile {self.name}: dependency_distance must be >= 1")
+
+    @property
+    def arithmetic_fraction(self) -> float:
+        """Fraction of the mix that is arithmetic."""
+        return max(
+            0.0, 1.0 - self.load_fraction - self.store_fraction - self.branch_fraction
+        )
+
+    @property
+    def ace_instruction_fraction(self) -> float:
+        """Approximate fraction of ACE instructions in the dynamic stream."""
+        return max(0.0, 1.0 - self.dead_fraction - self.nop_fraction - self.prefetch_fraction)

@@ -1,0 +1,443 @@
+"""The 33 workload proxies used as the paper's SER-coverage baseline.
+
+Eleven SPEC CPU2006 integer proxies, ten SPEC CPU2006 floating-point proxies
+and twelve MiBench proxies.  Parameter values are calibrated to the
+qualitative behaviour the paper reports (and to well-known characterisations
+of the suites): integer codes are branchy with moderate working sets, FP
+codes have higher ILP, more long-latency arithmetic and larger streaming
+footprints (and hence the higher queue SER the paper observes), and MiBench
+kernels have small working sets and low SER.  The absolute values are not —
+and cannot be — trace-accurate; see DESIGN.md for the substitution argument.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.workloads.profiles import WorkloadProfile, WorkloadSuite
+
+_KB = 1024
+_MB = 1024 * 1024
+
+
+def _int_profile(name: str, **overrides: object) -> WorkloadProfile:
+    """SPEC CPU2006 integer baseline parameters."""
+    parameters: dict[str, object] = dict(
+        suite=WorkloadSuite.SPEC_INT,
+        load_fraction=0.26,
+        store_fraction=0.11,
+        branch_fraction=0.17,
+        long_latency_fraction=0.08,
+        chain_length=2.5,
+        dependency_distance=3,
+        working_set_bytes=2 * _MB,
+        streaming_fraction=0.10,
+        random_access_fraction=0.35,
+        branch_predictability=0.90,
+        branch_taken_probability=0.55,
+        dead_fraction=0.10,
+        nop_fraction=0.03,
+        prefetch_fraction=0.01,
+        narrow_width_fraction=0.45,
+        frontend_miss_rate=0.010,
+        body_size=160,
+        dirty_working_set_fraction=0.5,
+    )
+    parameters.update(overrides)
+    return WorkloadProfile(name=name, **parameters)
+
+
+def _fp_profile(name: str, **overrides: object) -> WorkloadProfile:
+    """SPEC CPU2006 floating-point baseline parameters."""
+    parameters: dict[str, object] = dict(
+        suite=WorkloadSuite.SPEC_FP,
+        load_fraction=0.30,
+        store_fraction=0.12,
+        branch_fraction=0.04,
+        long_latency_fraction=0.45,
+        chain_length=3.5,
+        dependency_distance=4,
+        working_set_bytes=4 * _MB,
+        streaming_fraction=0.30,
+        random_access_fraction=0.10,
+        branch_predictability=0.985,
+        branch_taken_probability=0.85,
+        dead_fraction=0.05,
+        nop_fraction=0.02,
+        prefetch_fraction=0.02,
+        narrow_width_fraction=0.10,
+        frontend_miss_rate=0.004,
+        body_size=192,
+        dirty_working_set_fraction=0.6,
+    )
+    parameters.update(overrides)
+    return WorkloadProfile(name=name, **parameters)
+
+
+def _mibench_profile(name: str, **overrides: object) -> WorkloadProfile:
+    """MiBench baseline parameters."""
+    parameters: dict[str, object] = dict(
+        suite=WorkloadSuite.MIBENCH,
+        load_fraction=0.22,
+        store_fraction=0.09,
+        branch_fraction=0.20,
+        long_latency_fraction=0.06,
+        chain_length=1.8,
+        dependency_distance=2,
+        working_set_bytes=32 * _KB,
+        streaming_fraction=0.0,
+        random_access_fraction=0.20,
+        branch_predictability=0.88,
+        branch_taken_probability=0.60,
+        dead_fraction=0.12,
+        nop_fraction=0.05,
+        prefetch_fraction=0.0,
+        narrow_width_fraction=0.70,
+        frontend_miss_rate=0.006,
+        body_size=128,
+        dirty_working_set_fraction=0.4,
+    )
+    parameters.update(overrides)
+    return WorkloadProfile(name=name, **parameters)
+
+
+@lru_cache(maxsize=1)
+def spec_int_profiles() -> tuple[WorkloadProfile, ...]:
+    """Eleven SPEC CPU2006 integer proxies."""
+    return (
+        _int_profile(
+            "400.perlbench_proxy",
+            branch_fraction=0.21,
+            working_set_bytes=1 * _MB,
+            branch_predictability=0.92,
+            dead_fraction=0.12,
+            frontend_miss_rate=0.02,
+        ),
+        _int_profile(
+            "401.bzip2_proxy",
+            load_fraction=0.28,
+            store_fraction=0.12,
+            working_set_bytes=3 * _MB,
+            random_access_fraction=0.45,
+            branch_predictability=0.86,
+            dead_fraction=0.08,
+        ),
+        _int_profile(
+            "403.gcc_proxy",
+            load_fraction=0.27,
+            store_fraction=0.14,
+            branch_fraction=0.16,
+            working_set_bytes=6 * _MB,
+            streaming_fraction=0.22,
+            random_access_fraction=0.30,
+            branch_predictability=0.93,
+            dead_fraction=0.06,
+            dirty_working_set_fraction=0.75,
+            frontend_miss_rate=0.015,
+        ),
+        _int_profile(
+            "429.mcf_proxy",
+            load_fraction=0.31,
+            store_fraction=0.09,
+            working_set_bytes=8 * _MB,
+            streaming_fraction=0.35,
+            random_access_fraction=0.55,
+            branch_predictability=0.88,
+            chain_length=2.0,
+        ),
+        _int_profile(
+            "445.gobmk_proxy",
+            branch_fraction=0.20,
+            branch_predictability=0.84,
+            working_set_bytes=512 * _KB,
+            dead_fraction=0.13,
+            frontend_miss_rate=0.02,
+        ),
+        _int_profile(
+            "456.hmmer_proxy",
+            load_fraction=0.30,
+            store_fraction=0.15,
+            branch_fraction=0.08,
+            chain_length=3.0,
+            dependency_distance=4,
+            working_set_bytes=256 * _KB,
+            branch_predictability=0.97,
+            dead_fraction=0.05,
+        ),
+        _int_profile(
+            "458.sjeng_proxy",
+            branch_fraction=0.19,
+            branch_predictability=0.85,
+            working_set_bytes=768 * _KB,
+            dead_fraction=0.14,
+            frontend_miss_rate=0.018,
+        ),
+        _int_profile(
+            "462.libquantum_proxy",
+            load_fraction=0.24,
+            store_fraction=0.07,
+            branch_fraction=0.13,
+            working_set_bytes=8 * _MB,
+            streaming_fraction=0.45,
+            random_access_fraction=0.05,
+            branch_predictability=0.97,
+            chain_length=2.0,
+            narrow_width_fraction=0.3,
+        ),
+        _int_profile(
+            "464.h264ref_proxy",
+            load_fraction=0.32,
+            store_fraction=0.14,
+            branch_fraction=0.10,
+            chain_length=3.0,
+            working_set_bytes=1 * _MB,
+            branch_predictability=0.94,
+            narrow_width_fraction=0.6,
+            dead_fraction=0.07,
+        ),
+        _int_profile(
+            "471.omnetpp_proxy",
+            load_fraction=0.29,
+            store_fraction=0.13,
+            branch_fraction=0.18,
+            working_set_bytes=6 * _MB,
+            streaming_fraction=0.18,
+            random_access_fraction=0.5,
+            branch_predictability=0.89,
+        ),
+        _int_profile(
+            "473.astar_proxy",
+            load_fraction=0.28,
+            branch_fraction=0.17,
+            working_set_bytes=4 * _MB,
+            random_access_fraction=0.45,
+            branch_predictability=0.87,
+            dead_fraction=0.09,
+        ),
+    )
+
+
+@lru_cache(maxsize=1)
+def spec_fp_profiles() -> tuple[WorkloadProfile, ...]:
+    """Ten SPEC CPU2006 floating-point proxies."""
+    return (
+        _fp_profile(
+            "410.bwaves_proxy",
+            streaming_fraction=0.45,
+            working_set_bytes=8 * _MB,
+            chain_length=4.0,
+            long_latency_fraction=0.5,
+        ),
+        _fp_profile(
+            "433.milc_proxy",
+            streaming_fraction=0.5,
+            working_set_bytes=8 * _MB,
+            load_fraction=0.33,
+            store_fraction=0.14,
+        ),
+        _fp_profile(
+            "434.zeusmp_proxy",
+            streaming_fraction=0.4,
+            working_set_bytes=6 * _MB,
+            long_latency_fraction=0.5,
+            chain_length=4.5,
+        ),
+        _fp_profile(
+            "435.gromacs_proxy",
+            streaming_fraction=0.15,
+            working_set_bytes=1 * _MB,
+            long_latency_fraction=0.55,
+            chain_length=4.0,
+            branch_fraction=0.06,
+        ),
+        _fp_profile(
+            "436.cactusADM_proxy",
+            streaming_fraction=0.35,
+            working_set_bytes=8 * _MB,
+            chain_length=5.0,
+            dependency_distance=5,
+        ),
+        _fp_profile(
+            "437.leslie3d_proxy",
+            streaming_fraction=0.4,
+            working_set_bytes=6 * _MB,
+            long_latency_fraction=0.5,
+        ),
+        _fp_profile(
+            "444.namd_proxy",
+            streaming_fraction=0.1,
+            working_set_bytes=1 * _MB,
+            long_latency_fraction=0.6,
+            chain_length=4.0,
+            branch_fraction=0.05,
+            dead_fraction=0.04,
+        ),
+        _fp_profile(
+            "447.dealII_proxy",
+            load_fraction=0.34,
+            store_fraction=0.14,
+            branch_fraction=0.05,
+            streaming_fraction=0.28,
+            working_set_bytes=4 * _MB,
+            chain_length=3.0,
+            dependency_distance=3,
+            long_latency_fraction=0.4,
+            dead_fraction=0.03,
+            dirty_working_set_fraction=0.7,
+        ),
+        _fp_profile(
+            "450.soplex_proxy",
+            load_fraction=0.32,
+            streaming_fraction=0.3,
+            working_set_bytes=6 * _MB,
+            random_access_fraction=0.25,
+            branch_fraction=0.08,
+        ),
+        _fp_profile(
+            "459.GemsFDTD_proxy",
+            load_fraction=0.33,
+            store_fraction=0.15,
+            branch_fraction=0.03,
+            streaming_fraction=0.35,
+            working_set_bytes=8 * _MB,
+            chain_length=4.0,
+            long_latency_fraction=0.45,
+            dead_fraction=0.03,
+            dirty_working_set_fraction=0.7,
+        ),
+    )
+
+
+@lru_cache(maxsize=1)
+def mibench_profiles() -> tuple[WorkloadProfile, ...]:
+    """Twelve MiBench proxies."""
+    return (
+        _mibench_profile(
+            "basicmath_proxy",
+            long_latency_fraction=0.35,
+            chain_length=2.5,
+            branch_fraction=0.12,
+            working_set_bytes=16 * _KB,
+        ),
+        _mibench_profile(
+            "bitcount_proxy",
+            load_fraction=0.12,
+            store_fraction=0.04,
+            branch_fraction=0.24,
+            working_set_bytes=8 * _KB,
+            narrow_width_fraction=0.85,
+        ),
+        _mibench_profile(
+            "qsort_proxy",
+            load_fraction=0.27,
+            store_fraction=0.12,
+            branch_fraction=0.22,
+            random_access_fraction=0.5,
+            working_set_bytes=256 * _KB,
+            branch_predictability=0.82,
+        ),
+        _mibench_profile(
+            "susan_proxy",
+            load_fraction=0.30,
+            store_fraction=0.10,
+            branch_fraction=0.10,
+            long_latency_fraction=0.30,
+            chain_length=2.8,
+            dependency_distance=3,
+            working_set_bytes=128 * _KB,
+            dead_fraction=0.05,
+            narrow_width_fraction=0.5,
+            branch_predictability=0.95,
+        ),
+        _mibench_profile(
+            "dijkstra_proxy",
+            load_fraction=0.28,
+            branch_fraction=0.21,
+            random_access_fraction=0.45,
+            working_set_bytes=192 * _KB,
+            branch_predictability=0.85,
+        ),
+        _mibench_profile(
+            "patricia_proxy",
+            load_fraction=0.26,
+            branch_fraction=0.23,
+            random_access_fraction=0.55,
+            working_set_bytes=256 * _KB,
+            branch_predictability=0.83,
+        ),
+        _mibench_profile(
+            "stringsearch_proxy",
+            load_fraction=0.30,
+            store_fraction=0.05,
+            branch_fraction=0.25,
+            working_set_bytes=16 * _KB,
+            branch_predictability=0.86,
+            narrow_width_fraction=0.9,
+        ),
+        _mibench_profile(
+            "blowfish_proxy",
+            load_fraction=0.25,
+            store_fraction=0.12,
+            branch_fraction=0.08,
+            chain_length=2.5,
+            working_set_bytes=8 * _KB,
+            branch_predictability=0.97,
+            narrow_width_fraction=0.8,
+            dead_fraction=0.06,
+        ),
+        _mibench_profile(
+            "sha_proxy",
+            load_fraction=0.20,
+            store_fraction=0.08,
+            branch_fraction=0.07,
+            chain_length=3.0,
+            working_set_bytes=8 * _KB,
+            branch_predictability=0.98,
+            narrow_width_fraction=0.75,
+            dead_fraction=0.05,
+        ),
+        _mibench_profile(
+            "crc32_proxy",
+            load_fraction=0.30,
+            store_fraction=0.03,
+            branch_fraction=0.15,
+            working_set_bytes=4 * _KB,
+            branch_predictability=0.99,
+            narrow_width_fraction=0.9,
+            chain_length=1.5,
+        ),
+        _mibench_profile(
+            "fft_proxy",
+            load_fraction=0.26,
+            store_fraction=0.13,
+            branch_fraction=0.08,
+            long_latency_fraction=0.45,
+            chain_length=3.5,
+            dependency_distance=4,
+            working_set_bytes=64 * _KB,
+            narrow_width_fraction=0.2,
+            dead_fraction=0.06,
+        ),
+        _mibench_profile(
+            "adpcm_proxy",
+            load_fraction=0.18,
+            store_fraction=0.09,
+            branch_fraction=0.18,
+            working_set_bytes=16 * _KB,
+            chain_length=2.2,
+            narrow_width_fraction=0.9,
+        ),
+    )
+
+
+def all_profiles() -> tuple[WorkloadProfile, ...]:
+    """All 33 workload proxies (11 INT + 10 FP + 12 MiBench)."""
+    return spec_int_profiles() + spec_fp_profiles() + mibench_profiles()
+
+
+def profile_by_name(name: str) -> WorkloadProfile:
+    """Look up a profile by its exact name."""
+    for profile in all_profiles():
+        if profile.name == name:
+            return profile
+    raise KeyError(f"unknown workload profile: {name!r}")

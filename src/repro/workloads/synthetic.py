@@ -1,0 +1,247 @@
+"""Synthetic program construction from a workload profile."""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    ARCH_REG_COUNT,
+    Instruction,
+    OperandWidth,
+    make_alu,
+    make_branch,
+    make_load,
+    make_mul,
+    make_nop,
+    make_prefetch,
+    make_store,
+)
+from repro.isa.memoryref import AddressPattern, RandomPattern, StridedPattern
+from repro.isa.program import BranchBehavior, Program, WarmupRegion
+from repro.uarch.config import MachineConfig
+from repro.utils.rng import DeterministicRng
+from repro.workloads.profiles import WorkloadProfile
+
+#: Register roles: r1 holds the streaming pointer, r2 the loop index,
+#: r3..r31 form the general pool.
+_STREAM_REG = 1
+_INDEX_REG = 2
+_POOL = list(range(3, ARCH_REG_COUNT))
+
+#: Streaming regions are placed far above the working set so they never alias.
+_STREAM_REGION_BASE = 1 << 30
+_STREAM_REGION_BYTES = 8 * 1024 * 1024
+
+
+def build_workload(
+    profile: WorkloadProfile, config: MachineConfig, seed: int = 0
+) -> Program:
+    """Build a synthetic :class:`Program` realising one workload profile.
+
+    The generated loop body follows the profile's instruction mix, ILP shape,
+    memory behaviour (resident working set plus optional streaming accesses),
+    branch behaviour, operand widths and un-ACE content.  The program is
+    deterministic for a given ``(profile, config, seed)``.
+    """
+    rng = DeterministicRng(seed).spawn("workload", profile.name)
+    body: list[Instruction] = []
+    branch_behaviors: dict[int, BranchBehavior] = {}
+
+    counts = _instruction_counts(profile)
+    line_bytes = config.dl1.line_bytes
+
+    pool_cursor = 0
+
+    def next_register() -> int:
+        nonlocal pool_cursor
+        register = _POOL[pool_cursor % len(_POOL)]
+        pool_cursor += 1
+        return register
+
+    def operand_width() -> OperandWidth:
+        if rng.coin(profile.narrow_width_fraction):
+            return OperandWidth.WORD32
+        return OperandWidth.WORD64
+
+    def is_dead() -> bool:
+        return rng.coin(profile.dead_fraction)
+
+    def data_pattern(for_store: bool) -> AddressPattern:
+        if rng.coin(profile.streaming_fraction):
+            return StridedPattern(
+                base=_STREAM_REGION_BASE + (rng.randint(0, 63) * line_bytes),
+                stride=line_bytes,
+                region=_STREAM_REGION_BYTES,
+            )
+        if rng.coin(profile.random_access_fraction):
+            return RandomPattern(base=0, region=profile.working_set_bytes, alignment=8)
+        stride = rng.choice([8, 8, 16, line_bytes])
+        offset = rng.randint(0, max(0, profile.working_set_bytes // 8 - 1)) * 8
+        return StridedPattern(
+            base=offset % profile.working_set_bytes,
+            stride=stride,
+            region=profile.working_set_bytes,
+        )
+
+    def make_arithmetic(dest: int, srcs: list[int], ace: bool) -> Instruction:
+        width = operand_width()
+        if rng.coin(profile.long_latency_fraction):
+            return make_mul(dest, srcs, width=width, ace=ace, label="arith")
+        return make_alu(dest, srcs, width=width, ace=ace, label="arith")
+
+    # ------------------------------------------------------ loads & chains
+    load_dests: list[int] = []
+    produced_values: list[int] = []
+    chain_budget = counts["arithmetic"]
+
+    streams: list[list[Instruction]] = []
+    for load_index in range(counts["loads"]):
+        dest = next_register()
+        load_dests.append(dest)
+        ace = not is_dead()
+        stream: list[Instruction] = [
+            make_load(dest, data_pattern(for_store=False), srcs=[_INDEX_REG],
+                      width=operand_width(), ace=ace, label="load")
+        ]
+        # Attach a dependence chain of arithmetic behind some loads.
+        chain_length = 0
+        if chain_budget > 0:
+            chain_length = min(chain_budget, max(0, round(rng.gauss(profile.chain_length, 0.75))))
+            chain_budget -= chain_length
+        current = dest
+        for _ in range(chain_length):
+            chain_dest = next_register()
+            stream.append(make_arithmetic(chain_dest, [current], ace=ace and not is_dead()))
+            current = chain_dest
+        produced_values.append(current)
+        streams.append(stream)
+
+    # Remaining arithmetic not attached to loads (register-resident compute).
+    while chain_budget > 0:
+        dest = next_register()
+        source = produced_values[-1] if produced_values and rng.coin(0.5) else _INDEX_REG
+        length = min(chain_budget, max(1, round(rng.gauss(profile.chain_length, 0.75))))
+        chain_budget -= length
+        stream = []
+        current = source
+        for _ in range(length):
+            chain_dest = next_register()
+            stream.append(make_arithmetic(chain_dest, [current], ace=not is_dead()))
+            current = chain_dest
+        produced_values.append(current)
+        streams.append(stream)
+
+    # ------------------------------------------------------------- stores
+    for store_index in range(counts["stores"]):
+        if produced_values:
+            value = produced_values[store_index % len(produced_values)]
+        else:
+            value = _INDEX_REG
+        streams.append(
+            [
+                make_store(
+                    data_pattern(for_store=True),
+                    srcs=[value, _INDEX_REG],
+                    width=operand_width(),
+                    ace=not is_dead(),
+                    label="store",
+                )
+            ]
+        )
+
+    # ---------------------------------------------------------- prefetches
+    for _ in range(counts["prefetches"]):
+        streams.append([make_prefetch(data_pattern(for_store=False), label="prefetch")])
+
+    # --------------------------------------------------------------- nops
+    for _ in range(counts["nops"]):
+        streams.append([make_nop(label="nop")])
+
+    # ---------------------------------------------------------- scheduling
+    body.append(make_alu(_INDEX_REG, [_INDEX_REG], label="index_update"))
+    scheduled = _interleave(streams, profile.dependency_distance, rng)
+    body.extend(scheduled)
+
+    # ------------------------------------------------------------ branches
+    # Conditional branches are spread through the body; the loop-closing
+    # branch at the end is always present.
+    interior_branches = max(0, counts["branches"] - 1)
+    if interior_branches:
+        positions = sorted(
+            rng.sample(range(1, len(body) + interior_branches), interior_branches)
+        )
+        for offset, position in enumerate(positions):
+            predictable = rng.coin(profile.branch_predictability)
+            taken_probability = 0.95 if predictable else profile.branch_taken_probability
+            source = produced_values[offset % len(produced_values)] if produced_values else _INDEX_REG
+            body.insert(
+                min(position, len(body)),
+                make_branch(srcs=[source], taken_probability=taken_probability, label="branch"),
+            )
+    branch_index = len(body)
+    body.append(make_branch(srcs=[_INDEX_REG], label="loop_branch"))
+    branch_behaviors[branch_index] = BranchBehavior.LOOP_CLOSING
+
+    warmup = [
+        WarmupRegion(
+            base=0,
+            size_bytes=profile.working_set_bytes,
+            dirty=True,
+            ace=True,
+            word_fraction=profile.dirty_working_set_fraction,
+            recurrent=False,
+        )
+    ]
+
+    return Program(
+        name=profile.name,
+        body=body,
+        iterations=10**9,
+        branch_behaviors=branch_behaviors,
+        warmup_regions=warmup,
+        metadata={
+            "suite": profile.suite.value,
+            "frontend_miss_rate": profile.frontend_miss_rate,
+            "frontend_miss_penalty": profile.frontend_miss_penalty,
+            "working_set_bytes": profile.working_set_bytes,
+        },
+    )
+
+
+def _instruction_counts(profile: WorkloadProfile) -> dict[str, int]:
+    """Integer instruction counts per body for one profile."""
+    body = profile.body_size
+    loads = int(round(profile.load_fraction * body))
+    stores = int(round(profile.store_fraction * body))
+    branches = max(1, int(round(profile.branch_fraction * body)))
+    nops = int(round(profile.nop_fraction * body))
+    prefetches = int(round(profile.prefetch_fraction * body))
+    used = loads + stores + branches + nops + prefetches + 1  # +1 index update
+    arithmetic = max(0, body - used)
+    return {
+        "loads": loads,
+        "stores": stores,
+        "branches": branches,
+        "nops": nops,
+        "prefetches": prefetches,
+        "arithmetic": arithmetic,
+    }
+
+
+def _interleave(
+    streams: list[list[Instruction]], dependency_distance: int, rng: DeterministicRng
+) -> list[Instruction]:
+    """Interleave dependence streams (same scheme as the stressmark codegen)."""
+    if not streams:
+        return []
+    order = list(range(len(streams)))
+    rng.shuffle(order)
+    shuffled = [list(streams[index]) for index in order]
+    scheduled: list[Instruction] = []
+    batch_size = max(1, dependency_distance)
+    for start in range(0, len(shuffled), batch_size):
+        batch = [stream for stream in shuffled[start : start + batch_size] if stream]
+        while batch:
+            for stream in list(batch):
+                scheduled.append(stream.pop(0))
+                if not stream:
+                    batch.remove(stream)
+    return scheduled

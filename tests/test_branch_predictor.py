@@ -1,0 +1,125 @@
+"""Tests for the hybrid (tournament) branch predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.branch.predictors import (
+    BimodalPredictor,
+    HybridPredictor,
+    LocalHistoryPredictor,
+    SaturatingCounter,
+)
+from repro.utils.rng import DeterministicRng
+
+
+class TestSaturatingCounter:
+    def test_initial_midpoint(self):
+        counter = SaturatingCounter(bits=2)
+        assert counter.value == 2
+
+    def test_saturates_high(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+
+    def test_saturates_low(self):
+        counter = SaturatingCounter(bits=2)
+        for _ in range(10):
+            counter.decrement()
+        assert counter.value == 0
+
+    def test_predict_threshold(self):
+        counter = SaturatingCounter(bits=2, initial=2)
+        assert counter.predict_taken
+        counter.decrement()
+        assert not counter.predict_taken
+
+    def test_update_direction(self):
+        counter = SaturatingCounter(bits=2, initial=1)
+        counter.update(True)
+        assert counter.value == 2
+        counter.update(False)
+        assert counter.value == 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+
+
+class TestComponents:
+    def test_bimodal_learns_always_taken(self):
+        predictor = BimodalPredictor(entries=256)
+        for _ in range(20):
+            predictor.update(pc=17, taken=True)
+        assert predictor.predict(pc=17)
+
+    def test_bimodal_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+    def test_local_learns_alternating_pattern(self):
+        predictor = LocalHistoryPredictor(history_entries=64, history_bits=6)
+        outcomes = [True, False] * 200
+        correct = 0
+        for outcome in outcomes:
+            if predictor.predict(pc=5) == outcome:
+                correct += 1
+            predictor.update(pc=5, taken=outcome)
+        # After warm-up the local history recognises the period-2 pattern.
+        assert correct / len(outcomes) > 0.8
+
+    def test_local_power_of_two(self):
+        with pytest.raises(ValueError):
+            LocalHistoryPredictor(history_entries=100)
+
+
+class TestHybridPredictor:
+    def test_learns_biased_branch(self):
+        predictor = HybridPredictor()
+        mispredictions = 0
+        for _ in range(500):
+            mispredictions += predictor.update(pc=3, taken=True)
+        assert mispredictions < 10
+
+    def test_random_branch_mispredicts_often(self):
+        predictor = HybridPredictor()
+        rng = DeterministicRng(0)
+        mispredictions = 0
+        trials = 2000
+        for _ in range(trials):
+            mispredictions += predictor.update(pc=3, taken=rng.coin(0.5))
+        assert mispredictions / trials > 0.3
+
+    def test_loop_branch_highly_predictable(self):
+        predictor = HybridPredictor()
+        mispredictions = 0
+        # A loop branch: taken 99 times, not taken once, repeatedly.
+        for _ in range(20):
+            for index in range(100):
+                taken = index != 99
+                mispredictions += predictor.update(pc=8, taken=taken)
+        assert mispredictions / 2000 < 0.1
+
+    def test_statistics(self):
+        predictor = HybridPredictor()
+        for _ in range(50):
+            predictor.update(pc=1, taken=True)
+        assert predictor.stats.predictions == 50
+        assert 0.0 <= predictor.misprediction_rate <= 1.0
+
+    def test_distinguishes_branches(self):
+        predictor = HybridPredictor()
+        for _ in range(200):
+            predictor.update(pc=1, taken=True)
+            predictor.update(pc=2, taken=False)
+        assert predictor.predict(pc=1)
+        assert not predictor.predict(pc=2)
+
+    def test_choice_entries_validation(self):
+        with pytest.raises(ValueError):
+            HybridPredictor(choice_entries=1000)
+
+    def test_empty_rate_is_zero(self):
+        assert HybridPredictor().misprediction_rate == 0.0

@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, main
+
+
+class TestParser:
+    def test_all_experiments_registered(self):
+        expected = {
+            "table1", "table2", "table3",
+            "figure3", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
+            "bound", "stressmark",
+        }
+        assert expected == set(COMMANDS)
+
+    def test_parser_accepts_known_experiment(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "quick"
+
+    def test_parser_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure42"])
+
+    def test_scale_and_fault_rate_options(self):
+        args = build_parser().parse_args(["stressmark", "--scale", "default", "--fault-rates", "rhc"])
+        assert args.scale == "default"
+        assert args.fault_rates == "rhc"
+
+
+class TestCheapCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table3" in output and "figure5" in output
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "Table I" in output
+        assert "ROB" in output
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        output = capsys.readouterr().out
+        assert "Configuration A" in output
+
+    def test_bound(self, capsys):
+        assert main(["bound"]) == 0
+        output = capsys.readouterr().out
+        assert "0.90" in output  # baseline bound ~0.903 (paper: 0.899)

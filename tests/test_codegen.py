@@ -1,0 +1,183 @@
+"""Tests for the stressmark code generator."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.instructions import InstructionClass
+from repro.isa.program import BranchBehavior
+from repro.stressmark.codegen import CodeGenerator
+from repro.stressmark.knobs import KnobSpace, StressmarkKnobs
+from repro.stressmark.generator import reference_knobs
+from repro.uarch.config import baseline_config, config_a
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return CodeGenerator(baseline_config())
+
+
+def knobs(**overrides) -> StressmarkKnobs:
+    base = reference_knobs(baseline_config())
+    return base.derive(**overrides) if overrides else base
+
+
+class TestLoopStructure:
+    def test_body_size_equals_loop_size(self, generator):
+        program = generator.generate(knobs())
+        assert program.body_size == knobs().loop_size
+
+    def test_first_instruction_is_pointer_chase(self, generator):
+        program = generator.generate(knobs())
+        chase = program.body[0]
+        assert chase.opclass is InstructionClass.LOAD
+        assert chase.dest in chase.srcs  # self-dependent: no MLP across iterations
+        assert 0 in program.pointer_chase_indices
+
+    def test_last_instruction_is_loop_branch(self, generator):
+        program = generator.generate(knobs())
+        branch_index = program.body_size - 1
+        assert program.body[branch_index].opclass is InstructionClass.BRANCH
+        assert program.branch_behavior(branch_index) is BranchBehavior.LOOP_CLOSING
+
+    def test_every_instruction_is_ace(self, generator):
+        program = generator.generate(knobs())
+        assert program.ace_instruction_fraction() == pytest.approx(1.0)
+
+    def test_instruction_counts_match_knobs(self, generator):
+        program = generator.generate(knobs())
+        labels = [instruction.label for instruction in program.body]
+        assert labels.count("cover_load") == knobs().num_loads
+        assert labels.count("cover_store") == knobs().num_stores
+        assert labels.count("independent_arith") == knobs().num_independent_arithmetic
+        assert labels.count("dependent_on_miss") == knobs().num_dependent_on_miss
+
+    def test_dependent_on_miss_reads_chase_register(self, generator):
+        program = generator.generate(knobs())
+        chase_dest = program.body[0].dest
+        dependent = [i for i in program.body if i.label == "dependent_on_miss"]
+        assert dependent
+        assert all(chase_dest in instruction.srcs for instruction in dependent)
+
+    def test_stores_consume_produced_values(self, generator):
+        program = generator.generate(knobs())
+        produced = {i.dest for i in program.body if i.dest is not None}
+        stores = [i for i in program.body if i.label == "cover_store"]
+        assert stores
+        assert all(any(src in produced for src in i.srcs) for i in stores)
+
+    def test_oversubscribed_knobs_are_repaired(self, generator):
+        overloaded = knobs(num_loads=200, num_stores=200, loop_size=60)
+        program = generator.generate(overloaded)
+        assert program.body_size <= 60
+
+    def test_warmup_region_covers_chase_region(self, generator):
+        program = generator.generate(knobs())
+        region = generator.chase_region_bytes(use_l2_miss=True)
+        assert program.warmup_regions[0].size_bytes == region
+        assert program.warmup_regions[0].recurrent
+
+    def test_metadata_records_knobs(self, generator):
+        program = generator.generate(knobs())
+        assert program.metadata["knobs"] == knobs().to_genome()
+
+
+class TestGeneratorVariants:
+    def test_l2_miss_region_exceeds_l2(self, generator):
+        config = baseline_config()
+        region = generator.chase_region_bytes(use_l2_miss=True)
+        assert region >= 2 * config.l2.size_bytes
+        assert region >= config.dtlb.reach_bytes
+
+    def test_l2_hit_region_fits_in_l2_but_exceeds_dl1(self, generator):
+        config = baseline_config()
+        region = generator.chase_region_bytes(use_l2_miss=False)
+        assert region <= config.l2.size_bytes
+        assert region >= 2 * config.dl1.size_bytes
+
+    def test_config_a_regions_scale(self):
+        generator = CodeGenerator(config_a())
+        config = config_a()
+        assert generator.chase_region_bytes(True) >= 2 * config.l2.size_bytes
+        assert generator.chase_region_bytes(True) >= config.dtlb.reach_bytes
+
+    def test_program_name_encodes_variant(self, generator):
+        assert "miss" in generator.generate(knobs(use_l2_miss=True)).name
+        assert "hit" in generator.generate(knobs(use_l2_miss=False)).name
+
+
+class TestLongLatencyFraction:
+    def test_all_long_latency(self, generator):
+        program = generator.generate(knobs(fraction_long_latency_arithmetic=1.0))
+        arithmetic = [i for i in program.body
+                      if i.label in ("chain_arith", "independent_arith", "dependent_on_miss")]
+        assert arithmetic
+        assert all(i.opclass is InstructionClass.INT_MUL for i in arithmetic)
+
+    def test_all_short_latency(self, generator):
+        program = generator.generate(knobs(fraction_long_latency_arithmetic=0.0))
+        arithmetic = [i for i in program.body
+                      if i.label in ("chain_arith", "independent_arith", "dependent_on_miss")]
+        assert all(i.opclass is InstructionClass.INT_ALU for i in arithmetic)
+
+
+class TestRegReg:
+    def test_full_reg_reg_uses_two_sources(self, generator):
+        program = generator.generate(knobs(fraction_reg_reg=1.0, fraction_long_latency_arithmetic=0.5))
+        chains = [i for i in program.body if i.label in ("chain_arith", "independent_arith")]
+        assert chains
+        assert all(len(i.srcs) == 2 for i in chains)
+
+    def test_no_reg_reg_uses_single_source(self, generator):
+        program = generator.generate(knobs(fraction_reg_reg=0.0))
+        chains = [i for i in program.body if i.label in ("chain_arith", "independent_arith")]
+        assert all(len(i.srcs) == 1 for i in chains)
+
+
+class TestDeterminismAndScheduling:
+    def test_same_seed_same_program(self, generator):
+        a = generator.generate(knobs())
+        b = generator.generate(knobs())
+        assert [repr(i) for i in a.body] == [repr(i) for i in b.body]
+
+    def test_different_seed_changes_schedule(self, generator):
+        a = generator.generate(knobs(random_seed=1))
+        b = generator.generate(knobs(random_seed=2))
+        assert [i.label for i in a.body] != [i.label for i in b.body]
+
+    def test_dependency_distance_spreads_chains(self, generator):
+        """With distance d, consecutive chain instructions sit ~d slots apart."""
+        tight = generator.generate(knobs(dependency_distance=1, avg_dependence_chain_length=4.0,
+                                          num_loads=10, num_stores=10,
+                                          num_independent_arithmetic=0, num_dependent_on_miss=0))
+        spread = generator.generate(knobs(dependency_distance=6, avg_dependence_chain_length=4.0,
+                                           num_loads=10, num_stores=10,
+                                           num_independent_arithmetic=0, num_dependent_on_miss=0))
+
+        def average_producer_consumer_gap(program):
+            gaps = []
+            last_writer = {}
+            for position, instruction in enumerate(program.body):
+                for src in instruction.srcs:
+                    if src in last_writer:
+                        gaps.append(position - last_writer[src])
+                if instruction.dest is not None:
+                    last_writer[instruction.dest] = position
+            return sum(gaps) / len(gaps) if gaps else 0.0
+
+        assert average_producer_consumer_gap(spread) > average_producer_consumer_gap(tight)
+
+
+class TestRandomKnobsAlwaysGenerate:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=100_000))
+    def test_any_sampled_knob_setting_produces_a_valid_program(self, seed):
+        config = baseline_config()
+        space = KnobSpace(config)
+        genome = space.gene_space().sample(DeterministicRng(seed))
+        program = CodeGenerator(config).generate(space.decode(genome))
+        assert 4 <= program.body_size <= space.max_loop_size()
+        assert program.body[-1].opclass is InstructionClass.BRANCH
+        assert program.ace_instruction_fraction() == pytest.approx(1.0)

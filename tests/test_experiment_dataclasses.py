@@ -1,0 +1,107 @@
+"""Unit tests for the experiment result dataclasses (no simulation needed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avf.analysis import StructureGroup
+from repro.experiments.figures import Figure6Result, SerComparisonResult, SerComparisonRow
+from repro.experiments.tables import Table3Row
+from repro.uarch.structures import StructureName
+from repro.workloads.profiles import WorkloadSuite
+
+
+def row(name: str, qs: float, stressmark: bool = False) -> SerComparisonRow:
+    return SerComparisonRow(
+        program=name,
+        is_stressmark=stressmark,
+        ser={
+            StructureGroup.QS: qs,
+            StructureGroup.QS_RF: qs * 0.8,
+            StructureGroup.DL1_DTLB: qs * 0.9,
+            StructureGroup.L2: qs * 0.7,
+        },
+    )
+
+
+class TestSerComparisonResult:
+    def _result(self) -> SerComparisonResult:
+        result = SerComparisonResult(figure="test", config_name="baseline", fault_rate_name="unit")
+        result.rows = [row("stressmark", 0.8, stressmark=True), row("a", 0.4), row("b", 0.5)]
+        return result
+
+    def test_stressmark_row(self):
+        assert self._result().stressmark_row().program == "stressmark"
+
+    def test_best_workload_excludes_stressmark(self):
+        assert self._result().best_workload(StructureGroup.QS).program == "b"
+
+    def test_margin(self):
+        assert self._result().stressmark_margin(StructureGroup.QS) == pytest.approx(0.8 / 0.5)
+
+    def test_margin_with_zero_best_is_infinite(self):
+        result = SerComparisonResult(figure="t", config_name="c", fault_rate_name="unit")
+        result.rows = [row("stressmark", 0.8, stressmark=True), row("a", 0.0)]
+        assert result.stressmark_margin(StructureGroup.QS) == float("inf")
+
+    def test_missing_stressmark_raises(self):
+        result = SerComparisonResult(figure="t", config_name="c", fault_rate_name="unit")
+        result.rows = [row("a", 0.4)]
+        with pytest.raises(ValueError):
+            result.stressmark_row()
+
+    def test_missing_workloads_raises(self):
+        result = SerComparisonResult(figure="t", config_name="c", fault_rate_name="unit")
+        result.rows = [row("stressmark", 0.8, stressmark=True)]
+        with pytest.raises(ValueError):
+            result.best_workload(StructureGroup.QS)
+
+    def test_as_dict_rounding(self):
+        serialised = row("x", 0.123456).as_dict()
+        assert serialised["ser_qs"] == pytest.approx(0.1235)
+        assert serialised["program"] == "x"
+
+
+class TestFigure6Result:
+    def _result(self) -> Figure6Result:
+        result = Figure6Result(suite=WorkloadSuite.MIBENCH)
+        result.rows = {
+            "stressmark": {StructureName.ROB: 0.9, StructureName.FU: 0.1},
+            "a": {StructureName.ROB: 0.5, StructureName.FU: 0.6},
+        }
+        return result
+
+    def test_avf_lookup(self):
+        assert self._result().avf("a", StructureName.ROB) == 0.5
+
+    def test_stressmark_exceeds(self):
+        result = self._result()
+        assert result.stressmark_exceeds(StructureName.ROB)
+        assert not result.stressmark_exceeds(StructureName.FU)
+
+
+class TestTable3Row:
+    def _row(self) -> Table3Row:
+        return Table3Row(
+            configuration="baseline",
+            stressmark_ser=0.63,
+            best_program_name="447.dealII_proxy",
+            best_program_ser=0.46,
+            sum_of_highest_per_structure_ser=0.58,
+            raw_circuit_ser=1.0,
+        )
+
+    def test_margin_over_best_program(self):
+        assert self._row().stressmark_margin_over_best_program() == pytest.approx(0.63 / 0.46)
+
+    def test_sum_of_highest_error_matches_paper_definition(self):
+        # Paper: the estimate errs by 8% for the baseline configuration.
+        assert self._row().sum_of_highest_error() == pytest.approx(abs(0.58 - 0.63) / 0.63)
+
+    def test_zero_best_program(self):
+        zero = Table3Row("c", 0.5, "x", 0.0, 0.4, 1.0)
+        assert zero.stressmark_margin_over_best_program() == float("inf")
+
+    def test_zero_stressmark(self):
+        zero = Table3Row("c", 0.0, "x", 0.0, 0.4, 1.0)
+        assert zero.sum_of_highest_error() == 0.0

@@ -1,0 +1,76 @@
+"""Tests for experiment scales and the caching experiment context."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext, ExperimentScale
+from repro.uarch.config import baseline_config
+from repro.uarch.faultrates import rhc_fault_rates, unit_fault_rates
+from repro.workloads.profiles import WorkloadSuite
+from repro.workloads.suite import mibench_profiles, profile_by_name
+
+
+class TestExperimentScale:
+    def test_quick_preset(self):
+        scale = ExperimentScale.quick()
+        assert scale.workload_instructions < 10_000
+        assert scale.ga_population <= 10
+
+    def test_default_preset_larger_than_quick(self):
+        assert ExperimentScale.default().workload_instructions > ExperimentScale.quick().workload_instructions
+
+    def test_paper_preset_matches_paper_numbers(self):
+        scale = ExperimentScale.paper()
+        assert scale.workload_instructions == 100_000_000
+        assert scale.ga_population == 50
+        assert scale.ga_generations == 50
+
+    def test_ga_parameters_use_paper_rates(self):
+        params = ExperimentScale.quick().ga_parameters()
+        assert params.crossover_rate == pytest.approx(0.73)
+        assert params.mutation_rate == pytest.approx(0.05)
+        assert params.population_size == ExperimentScale.quick().ga_population
+
+
+class TestExperimentContext:
+    def test_workload_simulations_cached_across_fault_models(self, tiny_scale):
+        context = ExperimentContext(tiny_scale)
+        profile = profile_by_name("crc32_proxy")
+        config = baseline_config()
+        first = context.run_workload(profile, config, unit_fault_rates())
+        second = context.run_workload(profile, config, rhc_fault_rates())
+        # The underlying simulation is shared: AVF identical, SER re-weighted.
+        for structure in first.structure_avf:
+            assert first.structure_avf[structure] == pytest.approx(second.structure_avf[structure])
+        assert second.core_ser <= first.core_ser
+
+    def test_workload_reports_selected_profiles(self, shared_context):
+        reports = shared_context.workload_reports(profiles=mibench_profiles()[:3])
+        assert len(reports.reports) >= 3
+        assert "basicmath_proxy" in reports.reports
+
+    def test_by_suite_filter(self, shared_context):
+        reports = shared_context.workload_reports(profiles=mibench_profiles()[:3])
+        mibench_only = reports.by_suite(WorkloadSuite.MIBENCH)
+        assert set(mibench_only) <= set(reports.reports)
+        assert mibench_only
+
+    def test_best_by(self, shared_context):
+        reports = shared_context.workload_reports(profiles=mibench_profiles()[:3])
+        name, report = reports.best_by(lambda r: r.core_ser)
+        assert report.core_ser == max(r.core_ser for r in reports.reports.values())
+        assert name in reports.reports
+
+    def test_stressmark_cached(self, shared_context):
+        first = shared_context.stressmark()
+        second = shared_context.stressmark()
+        assert first is second
+
+    def test_clear_drops_cache(self, tiny_scale):
+        context = ExperimentContext(tiny_scale)
+        profile = profile_by_name("crc32_proxy")
+        context.run_workload(profile, baseline_config())
+        context.clear()
+        assert not context._workload_cache
+        assert not context._stressmark_cache

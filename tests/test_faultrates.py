@@ -1,0 +1,85 @@
+"""Tests for the circuit-level fault-rate models (Figure 8a)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.uarch.faultrates import FaultRateModel, edr_fault_rates, rhc_fault_rates, unit_fault_rates
+from repro.uarch.structures import StructureName
+
+
+class TestUnitModel:
+    def test_all_rates_one(self):
+        model = unit_fault_rates()
+        for structure in StructureName:
+            assert model.rate(structure) == 1.0
+
+    def test_name(self):
+        assert unit_fault_rates().name == "unit"
+
+
+class TestRhcModel:
+    """Figure 8a, RHC column: hardened ROB (0.25), LQ (0.4), SQ (0.35)."""
+
+    def test_hardened_structures(self):
+        model = rhc_fault_rates()
+        assert model.rate(StructureName.ROB) == 0.25
+        assert model.rate(StructureName.LQ_TAG) == 0.4
+        assert model.rate(StructureName.LQ_DATA) == 0.4
+        assert model.rate(StructureName.SQ_TAG) == 0.35
+        assert model.rate(StructureName.SQ_DATA) == 0.35
+
+    def test_unhardened_structures(self):
+        model = rhc_fault_rates()
+        for structure in (StructureName.IQ, StructureName.FU, StructureName.RF):
+            assert model.rate(structure) == 1.0
+
+    def test_caches_unchanged(self):
+        model = rhc_fault_rates()
+        for structure in (StructureName.DL1, StructureName.DTLB, StructureName.L2):
+            assert model.rate(structure) == 1.0
+
+
+class TestEdrModel:
+    """Figure 8a, EDR column: ROB/LQ/SQ fully protected (rate 0)."""
+
+    def test_protected_structures_zero(self):
+        model = edr_fault_rates()
+        for structure in (
+            StructureName.ROB,
+            StructureName.LQ_TAG,
+            StructureName.LQ_DATA,
+            StructureName.SQ_TAG,
+            StructureName.SQ_DATA,
+        ):
+            assert model.rate(structure) == 0.0
+
+    def test_unprotected_structures(self):
+        model = edr_fault_rates()
+        for structure in (StructureName.IQ, StructureName.FU, StructureName.RF):
+            assert model.rate(structure) == 1.0
+
+    def test_caches_unchanged(self):
+        model = edr_fault_rates()
+        for structure in (StructureName.DL1, StructureName.DTLB, StructureName.L2):
+            assert model.rate(structure) == 1.0
+
+
+class TestFaultRateModel:
+    def test_default_rate(self):
+        model = FaultRateModel(name="custom", rates={}, default_rate=0.5)
+        assert model.rate(StructureName.IQ) == 0.5
+
+    def test_with_rate_returns_new_model(self):
+        model = unit_fault_rates()
+        derived = model.with_rate(StructureName.IQ, 0.1)
+        assert derived.rate(StructureName.IQ) == 0.1
+        assert model.rate(StructureName.IQ) == 1.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRateModel(name="bad", rates={StructureName.IQ: -1.0})
+
+    def test_negative_default_rejected(self):
+        with pytest.raises(ValueError):
+            FaultRateModel(name="bad", default_rate=-0.5)

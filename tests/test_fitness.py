@@ -1,0 +1,75 @@
+"""Tests for the stressmark fitness functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stressmark.codegen import CodeGenerator
+from repro.stressmark.fitness import FitnessFunction, GroupWeights
+from repro.stressmark.generator import reference_knobs
+from repro.uarch.config import baseline_config
+from repro.uarch.faultrates import edr_fault_rates, unit_fault_rates
+from repro.uarch.pipeline import OutOfOrderCore
+
+
+@pytest.fixture(scope="module")
+def stressmark_result():
+    config = baseline_config()
+    program = CodeGenerator(config).generate(reference_knobs(config))
+    return OutOfOrderCore(config, seed=1).run(program, max_instructions=4_000)
+
+
+class TestGroupWeights:
+    def test_defaults(self):
+        weights = GroupWeights()
+        assert weights.core > weights.dl1_dtlb > weights.l2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GroupWeights(core=-1.0)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(ValueError):
+            GroupWeights(core=0.0, dl1_dtlb=0.0, l2=0.0)
+
+
+class TestFitnessFunctions:
+    def test_balanced_positive_for_stressmark(self, stressmark_result):
+        fitness = FitnessFunction.balanced()
+        assert fitness(stressmark_result) > 0.5
+
+    def test_overall_dominated_by_caches(self, stressmark_result):
+        """The literal overall SER is close to the cache AVF (caches dominate bits)."""
+        fitness = FitnessFunction.overall()
+        value = fitness(stressmark_result)
+        assert 0.5 < value <= 1.0
+
+    def test_core_only_ignores_caches(self, stressmark_result):
+        from repro.avf.analysis import StructureGroup, normalized_group_ser
+
+        fitness = FitnessFunction.core_only()
+        expected = normalized_group_ser(stressmark_result, StructureGroup.CORE, unit_fault_rates())
+        assert fitness(stressmark_result) == pytest.approx(expected)
+
+    def test_edr_rates_reduce_fitness(self, stressmark_result):
+        balanced_unit = FitnessFunction.balanced(unit_fault_rates())
+        balanced_edr = FitnessFunction.balanced(edr_fault_rates())
+        assert balanced_edr(stressmark_result) < balanced_unit(stressmark_result)
+
+    def test_custom_weights_change_score(self, stressmark_result):
+        cache_heavy = FitnessFunction(
+            fault_rates=unit_fault_rates(),
+            weights=GroupWeights(core=0.1, dl1_dtlb=1.0, l2=1.0),
+            name="balanced",
+        )
+        core_heavy = FitnessFunction(
+            fault_rates=unit_fault_rates(),
+            weights=GroupWeights(core=1.0, dl1_dtlb=0.1, l2=0.1),
+            name="balanced",
+        )
+        assert cache_heavy(stressmark_result) != pytest.approx(core_heavy(stressmark_result))
+
+    def test_names(self):
+        assert FitnessFunction.balanced().name == "balanced"
+        assert FitnessFunction.overall().name == "overall"
+        assert FitnessFunction.core_only().name == "core_only"

@@ -1,0 +1,115 @@
+"""Tests for GA gene descriptors and the gene space."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ga.genes import BoolGene, FloatGene, GeneSpace, IntGene
+from repro.utils.rng import DeterministicRng
+
+
+RNG = DeterministicRng(11)
+
+
+class TestIntGene:
+    def test_sample_in_bounds(self):
+        gene = IntGene("x", 5, 10)
+        assert all(5 <= gene.sample(RNG) <= 10 for _ in range(100))
+
+    def test_mutation_stays_in_bounds(self):
+        gene = IntGene("x", 0, 20)
+        value = 10
+        for _ in range(100):
+            value = gene.mutate(value, RNG)
+            assert 0 <= value <= 20
+
+    def test_crossover_in_bounds(self):
+        gene = IntGene("x", 0, 100)
+        for _ in range(100):
+            child = gene.crossover(10, 90, RNG)
+            assert 0 <= child <= 100
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            IntGene("x", 10, 5)
+
+    @given(low=st.integers(-50, 50), span=st.integers(0, 100), value=st.integers(-200, 200))
+    def test_mutation_clamps_any_value(self, low, span, value):
+        gene = IntGene("x", low, low + span)
+        assert low <= gene.mutate(value, DeterministicRng(0)) <= low + span
+
+
+class TestFloatGene:
+    def test_sample_in_bounds(self):
+        gene = FloatGene("f", 0.0, 1.0)
+        assert all(0.0 <= gene.sample(RNG) <= 1.0 for _ in range(100))
+
+    def test_mutation_stays_in_bounds(self):
+        gene = FloatGene("f", 0.0, 1.0)
+        value = 0.5
+        for _ in range(200):
+            value = gene.mutate(value, RNG)
+            assert 0.0 <= value <= 1.0
+
+    def test_crossover_between_parents_or_blend(self):
+        gene = FloatGene("f", 0.0, 10.0)
+        for _ in range(100):
+            child = gene.crossover(2.0, 8.0, RNG)
+            assert 0.0 <= child <= 10.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            FloatGene("f", 1.0, 0.0)
+
+
+class TestBoolGene:
+    def test_sample_both_values(self):
+        gene = BoolGene("b")
+        samples = {gene.sample(RNG) for _ in range(50)}
+        assert samples == {True, False}
+
+    def test_mutation_flips(self):
+        gene = BoolGene("b")
+        assert gene.mutate(True, RNG) is False
+        assert gene.mutate(False, RNG) is True
+
+    def test_crossover_picks_parent(self):
+        gene = BoolGene("b")
+        assert gene.crossover(True, True, RNG) is True
+
+
+class TestGeneSpace:
+    def _space(self):
+        return GeneSpace([IntGene("a", 0, 10), FloatGene("b", 0.0, 1.0), BoolGene("c")])
+
+    def test_names(self):
+        assert self._space().names == ["a", "b", "c"]
+
+    def test_len_and_iter(self):
+        space = self._space()
+        assert len(space) == 3
+        assert [gene.name for gene in space] == ["a", "b", "c"]
+
+    def test_sample_complete_genome(self):
+        genome = self._space().sample(RNG)
+        assert set(genome) == {"a", "b", "c"}
+
+    def test_lookup(self):
+        assert self._space().gene("a").name == "a"
+
+    def test_validate_accepts_complete(self):
+        space = self._space()
+        space.validate({"a": 1, "b": 0.5, "c": True})
+
+    def test_validate_rejects_missing(self):
+        with pytest.raises(ValueError):
+            self._space().validate({"a": 1})
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            GeneSpace([IntGene("a", 0, 1), IntGene("a", 0, 2)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            GeneSpace([])

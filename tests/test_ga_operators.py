@@ -1,0 +1,124 @@
+"""Tests for GA operators: selection, crossover, mutation, migration, cataclysm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ga.genes import FloatGene, GeneSpace, IntGene
+from repro.ga.individual import Individual, best_of, population_diversity
+from repro.ga.operators import cataclysm, crossover, migrate, mutate, tournament_selection
+from repro.utils.rng import DeterministicRng
+
+
+SPACE = GeneSpace([IntGene("x", 0, 100), FloatGene("y", 0.0, 1.0)])
+
+
+def make_population(fitnesses):
+    return [
+        Individual(genome={"x": index * 10, "y": 0.1 * index}, fitness=fitness)
+        for index, fitness in enumerate(fitnesses)
+    ]
+
+
+class TestIndividual:
+    def test_evaluated_flag(self):
+        assert not Individual(genome={"x": 1}).evaluated
+        assert Individual(genome={"x": 1}, fitness=0.5).evaluated
+
+    def test_copy_is_independent(self):
+        individual = Individual(genome={"x": 1}, fitness=0.5)
+        clone = individual.copy()
+        clone.genome["x"] = 2
+        assert individual.genome["x"] == 1
+
+    def test_signature_stable(self):
+        a = Individual(genome={"x": 1, "y": 2})
+        b = Individual(genome={"y": 2, "x": 1})
+        assert a.genome_signature() == b.genome_signature()
+
+    def test_best_of(self):
+        population = make_population([0.1, 0.9, 0.5])
+        assert best_of(population).fitness == 0.9
+
+    def test_best_of_requires_evaluated(self):
+        with pytest.raises(ValueError):
+            best_of([Individual(genome={"x": 1})])
+
+    def test_population_diversity(self):
+        identical = [Individual(genome={"x": 1}) for _ in range(4)]
+        assert population_diversity(identical) == pytest.approx(0.25)
+        distinct = [Individual(genome={"x": index}) for index in range(4)]
+        assert population_diversity(distinct) == pytest.approx(1.0)
+        assert population_diversity([]) == 0.0
+
+
+class TestTournamentSelection:
+    def test_prefers_fitter_individuals(self):
+        rng = DeterministicRng(1)
+        population = make_population([0.0, 1.0])
+        wins = sum(
+            tournament_selection(population, rng, tournament_size=2).fitness == 1.0
+            for _ in range(200)
+        )
+        assert wins > 140
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            tournament_selection([], DeterministicRng(0))
+
+
+class TestCrossover:
+    def test_child_genes_within_parent_values(self):
+        rng = DeterministicRng(2)
+        left = Individual(genome={"x": 10, "y": 0.2}, fitness=1.0)
+        right = Individual(genome={"x": 90, "y": 0.8}, fitness=2.0)
+        for _ in range(50):
+            child = crossover(SPACE, left, right, rng)
+            assert 10 <= child.genome["x"] <= 90
+            assert 0.2 <= child.genome["y"] <= 0.8
+            assert child.fitness is None
+
+
+class TestMutation:
+    def test_zero_rate_is_identity(self):
+        individual = Individual(genome={"x": 50, "y": 0.5})
+        mutated = mutate(SPACE, individual, DeterministicRng(3), mutation_rate=0.0)
+        assert mutated.genome == individual.genome
+
+    def test_full_rate_changes_genes_within_bounds(self):
+        individual = Individual(genome={"x": 50, "y": 0.5})
+        mutated = mutate(SPACE, individual, DeterministicRng(3), mutation_rate=1.0)
+        assert 0 <= mutated.genome["x"] <= 100
+        assert 0.0 <= mutated.genome["y"] <= 1.0
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            mutate(SPACE, Individual(genome={"x": 1, "y": 0.1}), DeterministicRng(0), 1.5)
+
+
+class TestMigration:
+    def test_replaces_weakest(self):
+        rng = DeterministicRng(4)
+        population = make_population([0.9, 0.1, 0.5, 0.7])
+        migrated = migrate(SPACE, population, rng, count=1)
+        fitnesses = [ind.fitness for ind in migrated]
+        assert 0.1 not in fitnesses
+        assert len(migrated) == 4
+
+    def test_zero_count_noop(self):
+        population = make_population([0.1, 0.2])
+        assert migrate(SPACE, population, DeterministicRng(0), count=0) is population
+
+
+class TestCataclysm:
+    def test_keeps_best_and_restores_diversity(self):
+        rng = DeterministicRng(5)
+        best = Individual(genome={"x": 42, "y": 0.42}, fitness=0.99)
+        population = [best] + [best.copy() for _ in range(9)]
+        reseeded = cataclysm(SPACE, population, rng, mutation_rate=0.05)
+        assert len(reseeded) == 10
+        assert any(ind.genome == best.genome and ind.fitness == 0.99 for ind in reseeded)
+        assert population_diversity(reseeded) > 0.5
+
+    def test_empty_population(self):
+        assert cataclysm(SPACE, [], DeterministicRng(0), 0.05) == []

@@ -1,0 +1,139 @@
+"""Tests for the synthetic ISA instruction definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instructions import (
+    ARCH_REG_COUNT,
+    Instruction,
+    InstructionClass,
+    OperandWidth,
+    make_alu,
+    make_branch,
+    make_div,
+    make_load,
+    make_mul,
+    make_nop,
+    make_prefetch,
+    make_store,
+)
+from repro.isa.memoryref import FixedPattern
+
+
+PATTERN = FixedPattern(address=64)
+
+
+class TestInstructionClass:
+    def test_memory_classes(self):
+        assert InstructionClass.LOAD.is_memory
+        assert InstructionClass.STORE.is_memory
+        assert InstructionClass.PREFETCH.is_memory
+        assert not InstructionClass.INT_ALU.is_memory
+
+    def test_arithmetic_classes(self):
+        assert InstructionClass.INT_ALU.is_arithmetic
+        assert InstructionClass.INT_MUL.is_arithmetic
+        assert InstructionClass.INT_DIV.is_arithmetic
+        assert not InstructionClass.LOAD.is_arithmetic
+        assert not InstructionClass.BRANCH.is_arithmetic
+
+
+class TestOperandWidth:
+    def test_bits(self):
+        assert OperandWidth.WORD32.bits == 32
+        assert OperandWidth.WORD64.bits == 64
+
+    def test_ace_fraction(self):
+        assert OperandWidth.WORD64.ace_fraction() == pytest.approx(1.0)
+        assert OperandWidth.WORD32.ace_fraction() == pytest.approx(0.5)
+
+    def test_ace_fraction_capped(self):
+        assert OperandWidth.WORD64.ace_fraction(datapath_bits=32) == pytest.approx(1.0)
+
+
+class TestFactories:
+    def test_alu(self):
+        instruction = make_alu(3, [1, 2])
+        assert instruction.opclass is InstructionClass.INT_ALU
+        assert instruction.dest == 3
+        assert instruction.srcs == (1, 2)
+        assert instruction.ace
+        assert instruction.writes_register
+
+    def test_mul_and_div(self):
+        assert make_mul(1, [2]).opclass is InstructionClass.INT_MUL
+        assert make_div(1, [2]).opclass is InstructionClass.INT_DIV
+
+    def test_load_requires_pattern(self):
+        with pytest.raises(ValueError):
+            Instruction(opclass=InstructionClass.LOAD, dest=1)
+
+    def test_load(self):
+        instruction = make_load(4, PATTERN, srcs=[2])
+        assert instruction.is_load
+        assert instruction.address_pattern is PATTERN
+        assert instruction.writes_register
+
+    def test_store(self):
+        instruction = make_store(PATTERN, srcs=[5])
+        assert instruction.is_store
+        assert instruction.dest is None
+        assert not instruction.writes_register
+
+    def test_store_requires_value_source(self):
+        with pytest.raises(ValueError):
+            make_store(PATTERN, srcs=[])
+
+    def test_branch(self):
+        instruction = make_branch(srcs=[1], taken_probability=0.3)
+        assert instruction.is_branch
+        assert instruction.taken_probability == pytest.approx(0.3)
+        assert not instruction.writes_register
+
+    def test_branch_probability_validation(self):
+        with pytest.raises(ValueError):
+            make_branch(taken_probability=1.5)
+
+    def test_nop_is_unace(self):
+        instruction = make_nop()
+        assert instruction.opclass is InstructionClass.NOP
+        assert not instruction.ace
+        assert instruction.data_ace_fraction() == 0.0
+
+    def test_prefetch_is_unace_memory(self):
+        instruction = make_prefetch(PATTERN)
+        assert instruction.opclass.is_memory
+        assert not instruction.ace
+
+
+class TestValidation:
+    def test_destination_range(self):
+        with pytest.raises(ValueError):
+            make_alu(ARCH_REG_COUNT, [0])
+
+    def test_source_range(self):
+        with pytest.raises(ValueError):
+            make_alu(0, [ARCH_REG_COUNT])
+
+    def test_negative_register(self):
+        with pytest.raises(ValueError):
+            make_alu(0, [-1])
+
+
+class TestAceFraction:
+    def test_unace_instruction_zero(self):
+        assert make_alu(1, [2], ace=False).data_ace_fraction() == 0.0
+
+    def test_narrow_width_half(self):
+        assert make_alu(1, [2], width=OperandWidth.WORD32).data_ace_fraction() == pytest.approx(0.5)
+
+    def test_full_width(self):
+        assert make_load(1, PATTERN).data_ace_fraction() == pytest.approx(1.0)
+
+
+class TestImmutability:
+    def test_frozen(self):
+        instruction = make_alu(1, [2])
+        with pytest.raises(AttributeError):
+            instruction.dest = 5  # type: ignore[misc]

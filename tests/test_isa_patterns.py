@@ -1,0 +1,125 @@
+"""Tests for memory address patterns."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.memoryref import (
+    FixedPattern,
+    LineCoverPattern,
+    PointerChasePattern,
+    RandomPattern,
+    StridedPattern,
+)
+from repro.utils.rng import DeterministicRng
+
+
+RNG = DeterministicRng(0)
+
+
+class TestFixedPattern:
+    def test_constant(self):
+        pattern = FixedPattern(address=1024)
+        assert pattern.resolve(0, RNG) == 1024
+        assert pattern.resolve(999, RNG) == 1024
+
+    def test_footprint(self):
+        assert FixedPattern(address=0).footprint_bytes() == 1
+
+
+class TestStridedPattern:
+    def test_progression(self):
+        pattern = StridedPattern(base=0, stride=8, region=64)
+        assert [pattern.resolve(i, RNG) for i in range(4)] == [0, 8, 16, 24]
+
+    def test_wraps_at_region(self):
+        pattern = StridedPattern(base=0, stride=8, region=32)
+        assert pattern.resolve(4, RNG) == 0
+
+    def test_base_offset(self):
+        pattern = StridedPattern(base=100, stride=4, region=16)
+        assert pattern.resolve(1, RNG) == 104
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StridedPattern(base=0, stride=0, region=64)
+        with pytest.raises(ValueError):
+            StridedPattern(base=0, stride=8, region=0)
+
+    @given(iteration=st.integers(min_value=0, max_value=10**6))
+    def test_stays_in_region(self, iteration):
+        pattern = StridedPattern(base=256, stride=24, region=4096)
+        address = pattern.resolve(iteration, RNG)
+        assert 256 <= address < 256 + 4096
+
+
+class TestPointerChasePattern:
+    def test_same_sequence_as_strided(self):
+        chase = PointerChasePattern(base=0, stride=64, region=1024)
+        strided = StridedPattern(base=0, stride=64, region=1024)
+        assert [chase.resolve(i, RNG) for i in range(20)] == [
+            strided.resolve(i, RNG) for i in range(20)
+        ]
+
+    def test_footprint(self):
+        assert PointerChasePattern(base=0, stride=64, region=2048).footprint_bytes() == 2048
+
+
+class TestLineCoverPattern:
+    def test_covers_every_word_across_slots(self):
+        line_bytes, word_bytes, slots = 64, 8, 8
+        patterns = [
+            LineCoverPattern(base=0, line_bytes=line_bytes, region=line_bytes,
+                             word_bytes=word_bytes, slot=slot, slots=slots)
+            for slot in range(slots)
+        ]
+        addresses = {pattern.resolve(0, RNG) for pattern in patterns}
+        assert addresses == {word * word_bytes for word in range(8)}
+
+    def test_advances_one_line_per_iteration(self):
+        pattern = LineCoverPattern(base=0, line_bytes=64, region=4096, slots=1)
+        line0 = pattern.resolve(0, RNG) // 64
+        line1 = pattern.resolve(1, RNG) // 64
+        assert line1 == line0 + 1
+
+    def test_iteration_offset_targets_previous_line(self):
+        current = LineCoverPattern(base=0, line_bytes=64, region=4096, slots=1)
+        previous = LineCoverPattern(base=0, line_bytes=64, region=4096, slots=1, iteration_offset=-1)
+        assert previous.resolve(5, RNG) // 64 == current.resolve(4, RNG) // 64
+
+    def test_negative_offset_clamped_at_zero(self):
+        pattern = LineCoverPattern(base=0, line_bytes=64, region=4096, slots=1, iteration_offset=-1)
+        assert pattern.resolve(0, RNG) < 64
+
+    def test_slot_validation(self):
+        with pytest.raises(ValueError):
+            LineCoverPattern(base=0, line_bytes=64, region=64, slot=4, slots=4)
+
+    @given(iteration=st.integers(min_value=0, max_value=10**5),
+           slot=st.integers(min_value=0, max_value=15))
+    def test_stays_in_region(self, iteration, slot):
+        pattern = LineCoverPattern(base=0, line_bytes=64, region=8192, slot=slot, slots=16)
+        assert 0 <= pattern.resolve(iteration, RNG) < 8192
+
+
+class TestRandomPattern:
+    def test_within_region_and_aligned(self):
+        rng = DeterministicRng(42)
+        pattern = RandomPattern(base=4096, region=1024, alignment=8)
+        for iteration in range(200):
+            address = pattern.resolve(iteration, rng)
+            assert 4096 <= address < 4096 + 1024
+            assert (address - 4096) % 8 == 0
+
+    def test_deterministic_given_rng_state(self):
+        pattern = RandomPattern(base=0, region=4096)
+        a = [pattern.resolve(i, DeterministicRng(7)) for i in range(5)]
+        b = [pattern.resolve(i, DeterministicRng(7)) for i in range(5)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RandomPattern(base=0, region=0)
+        with pytest.raises(ValueError):
+            RandomPattern(base=0, region=64, alignment=0)

@@ -1,0 +1,114 @@
+"""Tests for stressmark knobs and the knob space."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.stressmark.knobs import KnobSpace, StressmarkKnobs
+from repro.uarch.config import baseline_config, config_a
+from repro.utils.rng import DeterministicRng
+
+
+def valid_knobs(**overrides):
+    values = dict(
+        loop_size=81,
+        num_loads=29,
+        num_stores=28,
+        num_independent_arithmetic=5,
+        num_dependent_on_miss=7,
+        avg_dependence_chain_length=2.14,
+        dependency_distance=6,
+        fraction_long_latency_arithmetic=0.8,
+        fraction_reg_reg=0.93,
+        random_seed=7,
+        use_l2_miss=True,
+    )
+    values.update(overrides)
+    return StressmarkKnobs(**values)
+
+
+class TestStressmarkKnobs:
+    def test_paper_figure5a_values_valid(self):
+        knobs = valid_knobs()
+        assert knobs.loop_size == 81
+        assert knobs.num_loads == 29
+
+    def test_genome_roundtrip(self):
+        knobs = valid_knobs()
+        assert StressmarkKnobs.from_genome(knobs.to_genome()) == knobs
+
+    def test_derive(self):
+        knobs = valid_knobs().derive(num_loads=10)
+        assert knobs.num_loads == 10
+        assert knobs.num_stores == 28
+
+    def test_as_table_keys(self):
+        table = valid_knobs().as_table()
+        assert table["Loop Size"] == 81
+        assert table["No. of loads"] == 29
+        assert table["Code generator"] == "L2 miss"
+        assert valid_knobs(use_l2_miss=False).as_table()["Code generator"] == "L2 hit"
+
+    def test_validation_loop_size(self):
+        with pytest.raises(ValueError):
+            valid_knobs(loop_size=2)
+
+    def test_validation_negative_counts(self):
+        with pytest.raises(ValueError):
+            valid_knobs(num_loads=-1)
+
+    def test_validation_chain_length(self):
+        with pytest.raises(ValueError):
+            valid_knobs(avg_dependence_chain_length=0.5)
+
+    def test_validation_dependency_distance(self):
+        with pytest.raises(ValueError):
+            valid_knobs(dependency_distance=0)
+
+    def test_validation_fractions(self):
+        with pytest.raises(ValueError):
+            valid_knobs(fraction_reg_reg=1.5)
+        with pytest.raises(ValueError):
+            valid_knobs(fraction_long_latency_arithmetic=-0.1)
+
+
+class TestKnobSpace:
+    def test_max_loop_size_is_1_2x_rob(self):
+        space = KnobSpace(baseline_config())
+        assert space.max_loop_size() == round(80 * 1.2)
+
+    def test_config_a_loop_bound_scales(self):
+        space = KnobSpace(config_a())
+        assert space.max_loop_size() == round(96 * 1.2)
+
+    def test_gene_space_contains_all_knobs(self):
+        space = KnobSpace(baseline_config())
+        names = set(space.gene_space().names)
+        assert {"loop_size", "num_loads", "num_stores", "dependency_distance",
+                "fraction_reg_reg", "random_seed", "use_l2_miss"} <= names
+
+    def test_gene_space_without_l2_switch(self):
+        space = KnobSpace(baseline_config(), allow_l2_hit_generator=False)
+        assert "use_l2_miss" not in space.gene_space().names
+
+    def test_decode_defaults_l2_miss_when_fixed(self):
+        space = KnobSpace(baseline_config(), allow_l2_hit_generator=False)
+        genome = space.gene_space().sample(DeterministicRng(0))
+        knobs = space.decode(genome)
+        assert knobs.use_l2_miss is True
+
+    def test_dependent_on_miss_bounded_by_iq(self):
+        space = KnobSpace(baseline_config())
+        gene = space.gene_space().gene("num_dependent_on_miss")
+        assert gene.high <= baseline_config().iq_entries
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_sampled_genomes_decode_to_valid_knobs(self, seed):
+        space = KnobSpace(baseline_config())
+        genome = space.gene_space().sample(DeterministicRng(seed))
+        knobs = space.decode(genome)
+        assert space.min_loop_size <= knobs.loop_size <= space.max_loop_size()
+        assert 0.0 <= knobs.fraction_reg_reg <= 1.0
+        assert knobs.dependency_distance >= 1

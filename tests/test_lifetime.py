@@ -1,0 +1,175 @@
+"""Tests for the Biswas-style lifetime ACE analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.lifetime import AceEvent, LifetimeTracker
+
+
+class TestIntervalClassification:
+    def test_fill_to_read_is_ace(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_read(0, 0, cycle=100, ace=True)
+        assert tracker.ace_word_cycles == 100
+
+    def test_fill_to_evict_is_unace(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_evict(0, 0, cycle=100)
+        assert tracker.ace_word_cycles == 0
+
+    def test_read_to_read_is_ace(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_read(0, 0, cycle=10, ace=True)
+        tracker.record_read(0, 0, cycle=50, ace=True)
+        assert tracker.ace_word_cycles == 50
+
+    def test_read_to_evict_is_unace(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_read(0, 0, cycle=10, ace=True)
+        tracker.record_evict(0, 0, cycle=100)
+        assert tracker.ace_word_cycles == 10
+
+    def test_write_to_read_is_ace(self):
+        tracker = LifetimeTracker()
+        tracker.record_write(0, 0, cycle=0, ace=True)
+        tracker.record_read(0, 0, cycle=30, ace=True)
+        assert tracker.ace_word_cycles == 30
+
+    def test_write_to_evict_is_ace_when_dirty_data_is_ace(self):
+        tracker = LifetimeTracker()
+        tracker.record_write(0, 0, cycle=0, ace=True)
+        tracker.record_evict(0, 0, cycle=40)
+        assert tracker.ace_word_cycles == 40
+
+    def test_unace_write_to_evict_is_unace(self):
+        tracker = LifetimeTracker()
+        tracker.record_write(0, 0, cycle=0, ace=False)
+        tracker.record_evict(0, 0, cycle=40)
+        assert tracker.ace_word_cycles == 0
+
+    def test_interval_before_write_is_unace(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_write(0, 0, cycle=50, ace=True)
+        tracker.record_read(0, 0, cycle=70, ace=True)
+        # Only the write=>read interval (20 cycles) is ACE.
+        assert tracker.ace_word_cycles == 20
+
+    def test_unace_read_does_not_credit(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_read(0, 0, cycle=25, ace=False)
+        assert tracker.ace_word_cycles == 0
+
+    def test_read_after_unace_read_counts_from_unace_read(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_read(0, 0, cycle=10, ace=False)
+        tracker.record_read(0, 0, cycle=30, ace=True)
+        # fill=>unace-read is not credited; unace-read=>ace-read is.
+        assert tracker.ace_word_cycles == 20
+
+
+class TestWordIndependence:
+    def test_words_tracked_separately(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_fill(0, 1, cycle=0)
+        tracker.record_read(0, 0, cycle=100, ace=True)
+        tracker.record_evict(0, 1, cycle=100)
+        assert tracker.ace_word_cycles == 100
+
+    def test_lines_tracked_separately(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_fill(1, 0, cycle=0)
+        tracker.record_read(1, 0, cycle=60, ace=True)
+        assert tracker.ace_word_cycles == 60
+
+
+class TestFinalize:
+    def test_finalize_treats_dirty_ace_as_needed(self):
+        tracker = LifetimeTracker()
+        tracker.record_write(0, 0, cycle=0, ace=True)
+        tracker.finalize(cycle=200)
+        assert tracker.ace_word_cycles == 200
+
+    def test_finalize_clean_data_unace(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_read(0, 0, cycle=50, ace=True)
+        tracker.finalize(cycle=200)
+        assert tracker.ace_word_cycles == 50
+
+    def test_finalize_clears_state(self):
+        tracker = LifetimeTracker()
+        tracker.record_write(0, 0, cycle=0, ace=True)
+        tracker.finalize(cycle=100)
+        before = tracker.ace_word_cycles
+        tracker.finalize(cycle=500)
+        assert tracker.ace_word_cycles == before
+
+
+class TestWarmWords:
+    def test_warm_dirty_words_are_ace_until_evict(self):
+        tracker = LifetimeTracker()
+        tracker.warm_words(0, range(8), cycle=0, dirty=True, ace=True)
+        tracker.finalize(cycle=100)
+        assert tracker.ace_word_cycles == 8 * 100
+
+    def test_warm_clean_words_unace_until_read(self):
+        tracker = LifetimeTracker()
+        tracker.warm_words(0, range(4), cycle=0, dirty=False, ace=True)
+        tracker.record_read(0, 0, cycle=50, ace=True)
+        tracker.finalize(cycle=100)
+        assert tracker.ace_word_cycles == 50
+
+
+class TestAceBitCycles:
+    def test_scales_with_word_bits(self):
+        tracker = LifetimeTracker(word_bits=32)
+        tracker.record_write(0, 0, cycle=0, ace=True)
+        tracker.record_evict(0, 0, cycle=10)
+        assert tracker.ace_bit_cycles() == pytest.approx(320.0)
+
+    def test_zero_duration_interval(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=5)
+        tracker.record_read(0, 0, cycle=5, ace=True)
+        assert tracker.ace_word_cycles == 0
+
+
+class TestLifetimeProperties:
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.sampled_from(["fill", "read", "write", "evict"]),
+                st.integers(min_value=0, max_value=3),   # word
+                st.booleans(),                            # ace
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_ace_cycles_never_exceed_elapsed_word_time(self, events):
+        """ACE word-cycles can never exceed words x elapsed cycles."""
+        tracker = LifetimeTracker()
+        cycle = 0
+        for kind, word, ace in events:
+            cycle += 5
+            if kind == "fill":
+                tracker.record_fill(0, word, cycle, ace=ace)
+            elif kind == "read":
+                tracker.record_read(0, word, cycle, ace=ace)
+            elif kind == "write":
+                tracker.record_write(0, word, cycle, ace=ace)
+            else:
+                tracker.record_evict(0, word, cycle)
+        tracker.finalize(cycle)
+        assert 0 <= tracker.ace_word_cycles <= 4 * cycle

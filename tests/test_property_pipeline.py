@@ -1,0 +1,124 @@
+"""Property-based tests: simulator invariants under randomly generated programs."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import (
+    FixedPattern,
+    OperandWidth,
+    Program,
+    RandomPattern,
+    StridedPattern,
+    make_alu,
+    make_branch,
+    make_load,
+    make_mul,
+    make_nop,
+    make_store,
+)
+from repro.memory.cache import CacheConfig
+from repro.memory.tlb import TlbConfig
+from repro.uarch.config import MachineConfig
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.uarch.structures import StructureName
+
+
+CONFIG = MachineConfig(
+    name="property",
+    iq_entries=8,
+    rob_entries=24,
+    lq_entries=8,
+    sq_entries=8,
+    rename_registers=64,
+    dl1=CacheConfig(name="dl1", size_bytes=4 * 1024, associativity=2, line_bytes=64, hit_latency=3),
+    il1=CacheConfig(name="il1", size_bytes=4 * 1024, associativity=2, line_bytes=64, hit_latency=1),
+    l2=CacheConfig(name="l2", size_bytes=32 * 1024, associativity=1, line_bytes=64, hit_latency=7),
+    dtlb=TlbConfig(entries=16, page_bytes=4096),
+    memory_latency=100,
+)
+
+
+@st.composite
+def instruction_strategy(draw):
+    """Generate one random, valid instruction."""
+    kind = draw(st.sampled_from(["alu", "mul", "load", "store", "branch", "nop"]))
+    dest = draw(st.integers(min_value=3, max_value=31))
+    src = draw(st.integers(min_value=1, max_value=31))
+    width = draw(st.sampled_from([OperandWidth.WORD32, OperandWidth.WORD64]))
+    ace = draw(st.booleans())
+    pattern_kind = draw(st.sampled_from(["fixed", "strided", "random"]))
+    if pattern_kind == "fixed":
+        pattern = FixedPattern(address=draw(st.integers(min_value=0, max_value=1 << 16)))
+    elif pattern_kind == "strided":
+        pattern = StridedPattern(
+            base=0,
+            stride=draw(st.sampled_from([8, 64, 4096])),
+            region=draw(st.sampled_from([4096, 64 * 1024, 512 * 1024])),
+        )
+    else:
+        pattern = RandomPattern(base=0, region=draw(st.sampled_from([4096, 64 * 1024])))
+
+    if kind == "alu":
+        return make_alu(dest, [src], width=width, ace=ace)
+    if kind == "mul":
+        return make_mul(dest, [src], width=width, ace=ace)
+    if kind == "load":
+        return make_load(dest, pattern, srcs=[src], width=width, ace=ace)
+    if kind == "store":
+        return make_store(pattern, srcs=[src], width=width, ace=ace)
+    if kind == "branch":
+        return make_branch(srcs=[src], taken_probability=draw(st.floats(0.0, 1.0)))
+    return make_nop()
+
+
+@st.composite
+def program_strategy(draw):
+    body = draw(st.lists(instruction_strategy(), min_size=4, max_size=40))
+    return Program(name="random_property_program", body=body, iterations=10**9)
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(program=program_strategy(), seed=st.integers(min_value=0, max_value=1000))
+    def test_results_are_well_formed(self, program, seed):
+        result = OutOfOrderCore(CONFIG, seed=seed).run(program, max_instructions=300)
+
+        # Every committed instruction takes at least one cycle slot.
+        assert result.stats.total_cycles >= result.stats.committed_instructions / CONFIG.commit_width
+        assert result.stats.committed_instructions == 300
+        assert 0.0 < result.stats.ipc <= CONFIG.commit_width
+
+        for structure in StructureName:
+            avf = result.avf(structure)
+            occupancy = result.occupancy(structure)
+            assert 0.0 <= avf <= 1.0
+            assert 0.0 <= occupancy <= 1.0
+            if structure.is_core:
+                # ACE bits are a subset of occupied bits for core structures.
+                assert avf <= occupancy + 1e-9
+
+        assert 0.0 <= result.stats.branch_misprediction_rate <= 1.0
+        assert 0.0 <= result.stats.dl1_miss_rate <= 1.0
+        assert result.stats.committed_ace_instructions <= result.stats.committed_instructions
+
+    @settings(max_examples=8, deadline=None)
+    @given(program=program_strategy())
+    def test_deterministic_given_seed(self, program):
+        first = OutOfOrderCore(CONFIG, seed=9).run(program, max_instructions=200)
+        second = OutOfOrderCore(CONFIG, seed=9).run(program, max_instructions=200)
+        assert first.stats.total_cycles == second.stats.total_cycles
+        assert first.avf_by_structure() == second.avf_by_structure()
+
+    @settings(max_examples=8, deadline=None)
+    @given(program=program_strategy())
+    def test_unace_program_has_zero_core_avf(self, program):
+        """Forcing every instruction un-ACE zeroes core AVF but not occupancy."""
+        from dataclasses import replace
+
+        unace_body = [replace(instruction, ace=False) for instruction in program.body]
+        unace_program = Program(name="unace", body=unace_body, iterations=10**9)
+        result = OutOfOrderCore(CONFIG, seed=1).run(unace_program, max_instructions=200)
+        for structure in StructureName:
+            if structure.is_core and structure is not StructureName.RF:
+                assert result.avf(structure) == 0.0

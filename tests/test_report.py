@@ -1,0 +1,98 @@
+"""Tests for SER report construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.avf.analysis import StructureGroup
+from repro.avf.report import SerReport, build_report
+from repro.isa import FixedPattern, Program, make_alu, make_load, make_store
+from repro.uarch.faultrates import rhc_fault_rates, unit_fault_rates
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.uarch.structures import StructureName
+
+
+@pytest.fixture(scope="module")
+def report_pair(request):
+    from repro.memory.cache import CacheConfig
+    from repro.memory.tlb import TlbConfig
+    from repro.uarch.config import MachineConfig
+
+    config = MachineConfig(
+        name="small",
+        iq_entries=8, rob_entries=24, lq_entries=8, sq_entries=8, rename_registers=64,
+        dl1=CacheConfig(name="dl1", size_bytes=4 * 1024, associativity=2, line_bytes=64, hit_latency=3),
+        il1=CacheConfig(name="il1", size_bytes=4 * 1024, associativity=2, line_bytes=64, hit_latency=1),
+        l2=CacheConfig(name="l2", size_bytes=32 * 1024, associativity=1, line_bytes=64, hit_latency=7),
+        dtlb=TlbConfig(entries=16, page_bytes=4096),
+        memory_latency=100,
+    )
+    pattern = FixedPattern(address=64)
+    body = [make_load(3, pattern, srcs=[2]), make_alu(4, [3]), make_store(pattern, srcs=[4])]
+    program = Program(name="report_sample", body=body, iterations=10**9)
+    result = OutOfOrderCore(config, seed=1).run(program, max_instructions=600)
+    return result, build_report(result, unit_fault_rates())
+
+
+class TestBuildReport:
+    def test_identity_fields(self, report_pair):
+        result, report = report_pair
+        assert report.program_name == "report_sample"
+        assert report.config_name == "small"
+        assert report.fault_rate_name == "unit"
+        assert report.total_cycles == result.stats.total_cycles
+        assert report.committed_instructions == result.stats.committed_instructions
+
+    def test_structure_avf_matches_result(self, report_pair):
+        result, report = report_pair
+        for structure in StructureName:
+            assert report.avf(structure) == pytest.approx(result.avf(structure))
+
+    def test_groups_present(self, report_pair):
+        _, report = report_pair
+        for group in StructureGroup:
+            assert 0.0 <= report.ser(group) <= 1.0
+
+    def test_core_ser_property(self, report_pair):
+        _, report = report_pair
+        assert report.core_ser == report.ser(StructureGroup.CORE)
+
+    def test_stats_keys(self, report_pair):
+        _, report = report_pair
+        for key in ("branch_misprediction_rate", "dl1_miss_rate", "l2_miss_rate", "dtlb_miss_rate"):
+            assert key in report.stats
+
+    def test_default_fault_rates(self, report_pair):
+        result, _ = report_pair
+        report = build_report(result)
+        assert report.fault_rate_name == "unit"
+
+    def test_fault_rates_scale_group_ser(self, report_pair):
+        result, unit_report = report_pair
+        rhc_report = build_report(result, rhc_fault_rates())
+        assert rhc_report.ser(StructureGroup.CORE) <= unit_report.ser(StructureGroup.CORE)
+        # Structure AVF itself is fault-rate independent.
+        for structure in StructureName:
+            assert rhc_report.avf(structure) == pytest.approx(unit_report.avf(structure))
+
+
+class TestAsRow:
+    def test_row_contents(self, report_pair):
+        _, report = report_pair
+        row = report.as_row()
+        assert row["program"] == "report_sample"
+        assert "ser_core" in row
+        assert "avf_rob" in row
+        assert isinstance(row["ipc"], float)
+
+    def test_row_values_rounded(self, report_pair):
+        _, report = report_pair
+        row = report.as_row()
+        assert row["ser_core"] == round(report.core_ser, 4)
+
+
+class TestSerReportIsFrozen:
+    def test_frozen(self, report_pair):
+        _, report = report_pair
+        with pytest.raises(AttributeError):
+            report.program_name = "other"  # type: ignore[misc]

@@ -1,0 +1,126 @@
+"""Tests for ACE accumulators and per-structure accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.uarch.config import baseline_config, config_a
+from repro.uarch.structures import AceAccumulator, StructureName, core_structure_accumulators
+
+
+class TestStructureName:
+    def test_queueing_membership(self):
+        assert StructureName.IQ.is_queueing
+        assert StructureName.ROB.is_queueing
+        assert StructureName.FU.is_queueing
+        assert not StructureName.RF.is_queueing
+        assert not StructureName.DL1.is_queueing
+
+    def test_core_membership(self):
+        assert StructureName.RF.is_core
+        assert StructureName.IQ.is_core
+        assert not StructureName.DL1.is_core
+        assert not StructureName.L2.is_core
+
+
+class TestAceAccumulator:
+    def test_total_bits(self):
+        accumulator = AceAccumulator(StructureName.IQ, entries=20, bits_per_entry=32)
+        assert accumulator.total_bits == 640
+
+    def test_full_occupancy_full_ace(self):
+        accumulator = AceAccumulator(StructureName.IQ, entries=2, bits_per_entry=10)
+        accumulator.add_interval(0, 100, ace_fraction=1.0)
+        accumulator.add_interval(0, 100, ace_fraction=1.0)
+        assert accumulator.avf(100) == pytest.approx(1.0)
+        assert accumulator.average_occupancy(100) == pytest.approx(1.0)
+
+    def test_partial_ace_fraction(self):
+        accumulator = AceAccumulator(StructureName.LQ_DATA, entries=1, bits_per_entry=64)
+        accumulator.add_interval(0, 50, ace_fraction=0.5)
+        assert accumulator.avf(100) == pytest.approx(0.25)
+        assert accumulator.average_occupancy(100) == pytest.approx(0.5)
+
+    def test_unace_occupancy(self):
+        accumulator = AceAccumulator(StructureName.ROB, entries=1, bits_per_entry=76)
+        accumulator.add_interval(0, 100, ace_fraction=0.0)
+        assert accumulator.avf(100) == 0.0
+        assert accumulator.average_occupancy(100) == pytest.approx(1.0)
+
+    def test_empty_interval_ignored(self):
+        accumulator = AceAccumulator(StructureName.ROB, entries=1, bits_per_entry=76)
+        accumulator.add_interval(50, 50, ace_fraction=1.0)
+        accumulator.add_interval(60, 40, ace_fraction=1.0)
+        assert accumulator.ace_bit_cycles == 0.0
+
+    def test_ace_fraction_validation(self):
+        accumulator = AceAccumulator(StructureName.ROB, entries=1, bits_per_entry=76)
+        with pytest.raises(ValueError):
+            accumulator.add_interval(0, 10, ace_fraction=1.5)
+
+    def test_add_bit_cycles(self):
+        accumulator = AceAccumulator(StructureName.DL1, entries=4, bits_per_entry=512)
+        accumulator.add_bit_cycles(1024.0)
+        assert accumulator.avf(1) == pytest.approx(1024.0 / (4 * 512))
+
+    def test_add_bit_cycles_validation(self):
+        accumulator = AceAccumulator(StructureName.DL1, entries=4, bits_per_entry=512)
+        with pytest.raises(ValueError):
+            accumulator.add_bit_cycles(-1.0)
+
+    def test_zero_cycles_zero_avf(self):
+        accumulator = AceAccumulator(StructureName.IQ, entries=2, bits_per_entry=32)
+        assert accumulator.avf(0) == 0.0
+        assert accumulator.average_occupancy(0) == 0.0
+
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            AceAccumulator(StructureName.IQ, entries=0, bits_per_entry=32)
+
+    @given(
+        intervals=st.lists(
+            st.tuples(st.integers(0, 500), st.integers(0, 500), st.floats(0.0, 1.0)),
+            max_size=40,
+        )
+    )
+    def test_avf_never_exceeds_occupancy(self, intervals):
+        accumulator = AceAccumulator(StructureName.ROB, entries=4, bits_per_entry=76)
+        for start, duration, fraction in intervals:
+            accumulator.add_interval(start, start + duration, ace_fraction=fraction)
+        total_cycles = 2000
+        assert accumulator.avf(total_cycles) <= accumulator.average_occupancy(total_cycles) + 1e-9
+
+
+class TestCoreStructureAccumulators:
+    def test_baseline_structures_present(self, baseline):
+        accumulators = core_structure_accumulators(baseline)
+        expected = {
+            StructureName.IQ,
+            StructureName.ROB,
+            StructureName.LQ_TAG,
+            StructureName.LQ_DATA,
+            StructureName.SQ_TAG,
+            StructureName.SQ_DATA,
+            StructureName.RF,
+            StructureName.FU,
+        }
+        assert set(accumulators) == expected
+
+    def test_baseline_bit_counts_match_table1(self, baseline):
+        accumulators = core_structure_accumulators(baseline)
+        assert accumulators[StructureName.IQ].total_bits == 20 * 32
+        assert accumulators[StructureName.ROB].total_bits == 80 * 76
+        assert accumulators[StructureName.RF].total_bits == 80 * 64
+        lsq_bits = accumulators[StructureName.LQ_TAG].total_bits + accumulators[StructureName.LQ_DATA].total_bits
+        assert lsq_bits == 32 * 128
+
+    def test_config_a_scales_structures(self):
+        accumulators = core_structure_accumulators(config_a())
+        assert accumulators[StructureName.IQ].entries == 32
+        assert accumulators[StructureName.ROB].entries == 96
+        assert accumulators[StructureName.RF].entries == 96
+
+    def test_rejects_non_config(self):
+        with pytest.raises(TypeError):
+            core_structure_accumulators("not a config")  # type: ignore[arg-type]

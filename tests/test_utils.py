@@ -1,0 +1,166 @@
+"""Tests for repro.utils: deterministic RNG and statistics helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import DeterministicRng, derive_seed
+from repro.utils.stats import RunningMean, clamp, geometric_mean, weighted_mean
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", 1) == derive_seed(42, "a", 1)
+
+    def test_differs_by_component(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_base(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_returns_int(self):
+        assert isinstance(derive_seed(0), int)
+
+
+class TestDeterministicRng:
+    def test_same_seed_same_sequence(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(7)
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_seed_different_sequence(self):
+        a = DeterministicRng(7)
+        b = DeterministicRng(8)
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+    def test_spawn_independent_of_parent_consumption(self):
+        parent_a = DeterministicRng(3)
+        parent_b = DeterministicRng(3)
+        parent_b.random()  # consume some state
+        child_a = parent_a.spawn("x")
+        child_b = parent_b.spawn("x")
+        assert [child_a.random() for _ in range(5)] == [child_b.random() for _ in range(5)]
+
+    def test_spawn_differs_by_component(self):
+        rng = DeterministicRng(3)
+        assert rng.spawn("x").random() != rng.spawn("y").random()
+
+    def test_randint_bounds(self):
+        rng = DeterministicRng(1)
+        values = [rng.randint(2, 5) for _ in range(200)]
+        assert min(values) >= 2 and max(values) <= 5
+        assert set(values) == {2, 3, 4, 5}
+
+    def test_choice(self):
+        rng = DeterministicRng(1)
+        options = ["a", "b", "c"]
+        assert all(rng.choice(options) in options for _ in range(50))
+
+    def test_coin_extremes(self):
+        rng = DeterministicRng(1)
+        assert not any(rng.coin(0.0) for _ in range(50))
+        assert all(rng.coin(1.0) for _ in range(50))
+
+    def test_coin_probability(self):
+        rng = DeterministicRng(1)
+        hits = sum(rng.coin(0.3) for _ in range(5000))
+        assert 0.25 < hits / 5000 < 0.35
+
+    def test_permutation(self):
+        rng = DeterministicRng(5)
+        perm = rng.permutation(10)
+        assert sorted(perm) == list(range(10))
+
+    def test_shuffle_in_place(self):
+        rng = DeterministicRng(5)
+        items = list(range(20))
+        rng.shuffle(items)
+        assert sorted(items) == list(range(20))
+
+    def test_sample_distinct(self):
+        rng = DeterministicRng(5)
+        sample = rng.sample(list(range(100)), 10)
+        assert len(set(sample)) == 10
+
+    def test_pick_weighted_respects_zero_weight(self):
+        rng = DeterministicRng(9)
+        picks = {rng.pick_weighted([("a", 0.0), ("b", 1.0)]) for _ in range(50)}
+        assert picks == {"b"}
+
+    def test_uniform_bounds(self):
+        rng = DeterministicRng(2)
+        values = [rng.uniform(1.5, 2.5) for _ in range(100)]
+        assert all(1.5 <= value <= 2.5 for value in values)
+
+    @given(seed=st.integers(min_value=0, max_value=2**32))
+    def test_spawn_reproducible_property(self, seed):
+        assert DeterministicRng(seed).spawn("k").random() == DeterministicRng(seed).spawn("k").random()
+
+
+class TestRunningMean:
+    def test_empty(self):
+        tracker = RunningMean()
+        assert tracker.mean == 0.0
+        assert tracker.max == 0.0
+
+    def test_mean_and_max(self):
+        tracker = RunningMean()
+        for value in (1.0, 2.0, 3.0):
+            tracker.add(value)
+        assert tracker.mean == pytest.approx(2.0)
+        assert tracker.max == pytest.approx(3.0)
+        assert tracker.count == 3
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_weights(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_zero_weights(self):
+        assert weighted_mean([1.0, 2.0], [0.0, 0.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        result = geometric_mean(values)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert clamp(-1.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert clamp(2.0, 0.0, 1.0) == 1.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            clamp(0.5, 1.0, 0.0)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_always_within_bounds(self, value):
+        assert 0.0 <= clamp(value, 0.0, 1.0) <= 1.0

@@ -1,0 +1,189 @@
+"""Tests for the synthetic SPEC CPU2006 / MiBench workload proxies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instructions import InstructionClass
+from repro.uarch.config import baseline_config
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.uarch.structures import StructureName
+from repro.workloads.profiles import WorkloadProfile, WorkloadSuite
+from repro.workloads.suite import (
+    all_profiles,
+    mibench_profiles,
+    profile_by_name,
+    spec_fp_profiles,
+    spec_int_profiles,
+)
+from repro.workloads.synthetic import build_workload
+
+
+class TestSuiteComposition:
+    def test_counts_match_paper(self):
+        assert len(spec_int_profiles()) == 11
+        assert len(spec_fp_profiles()) == 10
+        assert len(mibench_profiles()) == 12
+        assert len(all_profiles()) == 33
+
+    def test_names_unique(self):
+        names = [profile.name for profile in all_profiles()]
+        assert len(names) == len(set(names))
+
+    def test_suite_tags(self):
+        assert all(p.suite is WorkloadSuite.SPEC_INT for p in spec_int_profiles())
+        assert all(p.suite is WorkloadSuite.SPEC_FP for p in spec_fp_profiles())
+        assert all(p.suite is WorkloadSuite.MIBENCH for p in mibench_profiles())
+
+    def test_proxy_naming_convention(self):
+        assert all(profile.name.endswith("_proxy") for profile in all_profiles())
+
+    def test_profile_by_name(self):
+        assert profile_by_name("403.gcc_proxy").suite is WorkloadSuite.SPEC_INT
+        with pytest.raises(KeyError):
+            profile_by_name("nonexistent")
+
+    def test_fp_has_higher_ilp_character_than_mibench(self):
+        fp_chain = sum(p.chain_length for p in spec_fp_profiles()) / 10
+        mibench_chain = sum(p.chain_length for p in mibench_profiles()) / 12
+        assert fp_chain > mibench_chain
+
+    def test_fp_branch_fraction_lower_than_int(self):
+        fp_branches = sum(p.branch_fraction for p in spec_fp_profiles()) / 10
+        int_branches = sum(p.branch_fraction for p in spec_int_profiles()) / 11
+        assert fp_branches < int_branches
+
+    def test_mibench_working_sets_small(self):
+        assert all(p.working_set_bytes <= 512 * 1024 for p in mibench_profiles())
+
+    def test_spec_working_sets_larger(self):
+        spec = spec_int_profiles() + spec_fp_profiles()
+        assert all(p.working_set_bytes >= 256 * 1024 for p in spec)
+
+
+class TestProfileValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="bad", suite=WorkloadSuite.MIBENCH,
+                load_fraction=1.5, store_fraction=0.1, branch_fraction=0.1,
+                long_latency_fraction=0.1, chain_length=2.0, dependency_distance=2,
+                working_set_bytes=1024, streaming_fraction=0.0, random_access_fraction=0.0,
+                branch_predictability=0.9, branch_taken_probability=0.5,
+                dead_fraction=0.1, nop_fraction=0.0, prefetch_fraction=0.0,
+                narrow_width_fraction=0.5, frontend_miss_rate=0.0,
+            )
+
+    def test_mix_must_leave_arithmetic(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(
+                name="bad", suite=WorkloadSuite.MIBENCH,
+                load_fraction=0.5, store_fraction=0.4, branch_fraction=0.2,
+                long_latency_fraction=0.1, chain_length=2.0, dependency_distance=2,
+                working_set_bytes=1024, streaming_fraction=0.0, random_access_fraction=0.0,
+                branch_predictability=0.9, branch_taken_probability=0.5,
+                dead_fraction=0.1, nop_fraction=0.0, prefetch_fraction=0.0,
+                narrow_width_fraction=0.5, frontend_miss_rate=0.0,
+            )
+
+    def test_ace_fraction_accounts_for_unace_components(self):
+        profile = profile_by_name("403.gcc_proxy")
+        assert profile.ace_instruction_fraction == pytest.approx(
+            1.0 - profile.dead_fraction - profile.nop_fraction - profile.prefetch_fraction
+        )
+
+    def test_arithmetic_fraction_complement(self):
+        for profile in all_profiles():
+            assert 0.0 < profile.arithmetic_fraction < 1.0
+
+
+class TestBuildWorkload:
+    @pytest.fixture(scope="class")
+    def gcc_program(self):
+        return build_workload(profile_by_name("403.gcc_proxy"), baseline_config(), seed=11)
+
+    def test_deterministic(self):
+        config = baseline_config()
+        profile = profile_by_name("qsort_proxy")
+        a = build_workload(profile, config, seed=5)
+        b = build_workload(profile, config, seed=5)
+        assert [repr(i) for i in a.body] == [repr(i) for i in b.body]
+
+    def test_seed_changes_program(self):
+        config = baseline_config()
+        profile = profile_by_name("qsort_proxy")
+        a = build_workload(profile, config, seed=5)
+        b = build_workload(profile, config, seed=6)
+        assert [repr(i) for i in a.body] != [repr(i) for i in b.body]
+
+    def test_body_size_close_to_profile(self, gcc_program):
+        profile = profile_by_name("403.gcc_proxy")
+        assert abs(gcc_program.body_size - profile.body_size) <= profile.body_size * 0.1
+
+    def test_mix_tracks_profile(self, gcc_program):
+        profile = profile_by_name("403.gcc_proxy")
+        mix = gcc_program.instruction_mix()
+        assert mix.get("load", 0.0) == pytest.approx(profile.load_fraction, abs=0.05)
+        assert mix.get("store", 0.0) == pytest.approx(profile.store_fraction, abs=0.05)
+        assert mix.get("branch", 0.0) == pytest.approx(profile.branch_fraction, abs=0.05)
+
+    def test_unace_content_present(self, gcc_program):
+        profile = profile_by_name("403.gcc_proxy")
+        assert gcc_program.ace_instruction_fraction() < 1.0
+        assert gcc_program.ace_instruction_fraction() == pytest.approx(
+            profile.ace_instruction_fraction, abs=0.12
+        )
+
+    def test_loop_branch_present(self, gcc_program):
+        assert gcc_program.body[-1].opclass is InstructionClass.BRANCH
+
+    def test_warmup_region_matches_working_set(self, gcc_program):
+        profile = profile_by_name("403.gcc_proxy")
+        assert gcc_program.warmup_regions[0].size_bytes == profile.working_set_bytes
+        assert not gcc_program.warmup_regions[0].recurrent
+
+    def test_metadata(self, gcc_program):
+        assert gcc_program.metadata["suite"] == "spec_int"
+        assert gcc_program.metadata["frontend_miss_rate"] > 0.0
+
+    def test_every_profile_builds(self):
+        config = baseline_config()
+        for profile in all_profiles():
+            program = build_workload(profile, config, seed=1)
+            assert program.body_size >= 16
+
+
+class TestWorkloadBehaviour:
+    def test_mibench_runs_faster_than_streaming_fp(self):
+        """Small-footprint kernels should have much higher IPC than streaming FP."""
+        config = baseline_config()
+        core = OutOfOrderCore(config, seed=3)
+        mibench = core.run(build_workload(profile_by_name("blowfish_proxy"), config, seed=11),
+                           max_instructions=2_500)
+        fp = core.run(build_workload(profile_by_name("433.milc_proxy"), config, seed=11),
+                      max_instructions=2_500)
+        assert mibench.stats.ipc > fp.stats.ipc
+
+    def test_branchy_workload_mispredicts_more(self):
+        config = baseline_config()
+        core = OutOfOrderCore(config, seed=3)
+        branchy = core.run(build_workload(profile_by_name("qsort_proxy"), config, seed=11),
+                           max_instructions=2_500)
+        regular = core.run(build_workload(profile_by_name("sha_proxy"), config, seed=11),
+                           max_instructions=2_500)
+        assert branchy.stats.branch_misprediction_rate > regular.stats.branch_misprediction_rate
+
+    def test_streaming_workload_misses_l2(self):
+        config = baseline_config()
+        core = OutOfOrderCore(config, seed=3)
+        result = core.run(build_workload(profile_by_name("433.milc_proxy"), config, seed=11),
+                          max_instructions=2_500)
+        assert result.stats.l2_misses > 0
+
+    def test_workload_avf_below_stressmark_levels(self):
+        """No workload proxy should approach the stressmark's ROB AVF."""
+        config = baseline_config()
+        core = OutOfOrderCore(config, seed=3)
+        result = core.run(build_workload(profile_by_name("447.dealII_proxy"), config, seed=11),
+                          max_instructions=2_500)
+        assert result.avf(StructureName.ROB) < 0.8
