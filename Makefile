@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test benchmarks bench bench-smoke
+
+test:
+	$(PYTHON) -m pytest tests -q
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks -q
+
+# Record/append performance baselines (writes BENCH_pipeline.json / BENCH_ga.json).
+bench:
+	$(PYTHON) -m repro bench
+
+# Tier-2 perf regression gate: fails if the simulator regresses >30% vs the
+# recorded BENCH_pipeline.json baseline (see PERFORMANCE.md).
+bench-smoke:
+	REPRO_PERF_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_perf_simulator.py -m perf_smoke -q

@@ -5,7 +5,12 @@ expensive artefacts (the 33 workload simulations and the GA-generated
 stressmarks per fault-rate scenario) are shared through a session-scoped
 :class:`ExperimentContext` so the full harness runs in minutes at the default
 ``quick`` scale.  Set ``REPRO_BENCH_SCALE=default`` for a higher-fidelity run
-(see EXPERIMENTS.md for the scales used in the recorded results).
+(see EXPERIMENTS.md for the scales used in the recorded results) and
+``REPRO_JOBS=N`` to fan the independent simulations out over N worker
+processes (results are identical for any worker count).
+
+The active scale and job count are printed once per session in the pytest
+header so recorded figures are attributable to their settings.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import os
 import pytest
 
 from repro.experiments.runner import ExperimentContext, ExperimentScale
+from repro.parallel.backends import resolve_jobs
 
 
 def _scale_from_environment() -> ExperimentScale:
@@ -26,11 +32,30 @@ def _scale_from_environment() -> ExperimentScale:
     return ExperimentScale.quick()
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: performance regression gate (run via `make bench-smoke` "
+        "or REPRO_PERF_SMOKE=1; see PERFORMANCE.md)",
+    )
+
+
+def pytest_report_header(config: pytest.Config) -> str:
+    scale = _scale_from_environment()
+    return (
+        f"repro benchmarks: scale={scale.name} "
+        f"(workload={scale.workload_instructions} / stressmark={scale.stressmark_instructions} insns, "
+        f"GA {scale.ga_population}x{scale.ga_generations}) jobs={resolve_jobs()}"
+    )
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
     return _scale_from_environment()
 
 
 @pytest.fixture(scope="session")
-def bench_context(bench_scale: ExperimentScale) -> ExperimentContext:
-    return ExperimentContext(bench_scale)
+def bench_context(bench_scale: ExperimentScale):
+    context = ExperimentContext(bench_scale, jobs=resolve_jobs())
+    yield context
+    context.close()

@@ -8,9 +8,15 @@ Usage (after ``pip install -e .`` / ``python setup.py develop``)::
     python -m repro figure5 --scale default   # GA knobs + convergence
     python -m repro table3                    # worst-case estimation comparison
     python -m repro stressmark --fault-rates rhc   # just generate one stressmark
+    python -m repro figure6 --jobs 4          # fan simulations out over 4 workers
+    python -m repro bench                     # record perf baselines (PERFORMANCE.md)
 
 Every experiment prints the same rows/series the corresponding benchmark
 prints; the CLI exists so results can be regenerated without pytest.
+
+``--jobs N`` (or the ``REPRO_JOBS`` environment variable) runs the
+independent workload simulations and GA fitness evaluations on N worker
+processes; results are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -157,6 +163,35 @@ def _cmd_bound(context: ExperimentContext, args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_bench(context: ExperimentContext, args: argparse.Namespace) -> None:
+    from repro.experiments.bench import run_benchmarks
+
+    metrics = run_benchmarks(jobs=args.jobs)
+    pipeline = metrics["pipeline"]
+    ga = metrics["ga"]
+    parallel = metrics["parallel"]
+    _print_rows(
+        "Benchmark: single detailed simulation (BENCH_pipeline.json)",
+        [{
+            "instructions": pipeline["instructions"],
+            "seconds": pipeline["seconds"],
+            "insn_per_sec": pipeline["instructions_per_second"],
+            "ipc": pipeline["ipc"],
+        }],
+    )
+    _print_rows(
+        "Benchmark: GA generation + parallel speedup (BENCH_ga.json)",
+        [{
+            "ga_seconds": ga["seconds"],
+            "evaluations": ga["evaluations"],
+            "cache_hits": ga["cache_hits"],
+            "par_jobs": parallel["jobs"],
+            "par_speedup": parallel["speedup"],
+            "deterministic": str(parallel["deterministic"]),
+        }],
+    )
+
+
 def _cmd_stressmark(context: ExperimentContext, args: argparse.Namespace) -> None:
     config = config_a() if args.config == "config_a" else baseline_config()
     fault_rates = _fault_rates(args.fault_rates)
@@ -181,6 +216,7 @@ COMMANDS: dict[str, Callable[[ExperimentContext, argparse.Namespace], None]] = {
     "figure9": _cmd_figure9,
     "bound": _cmd_bound,
     "stressmark": _cmd_stressmark,
+    "bench": _cmd_bench,
 }
 
 
@@ -195,18 +231,29 @@ def build_parser() -> argparse.ArgumentParser:
                         help="machine configuration (stressmark command only)")
     parser.add_argument("--fault-rates", choices=["unit", "rhc", "edr"], default="unit",
                         help="circuit-level fault-rate model (stressmark command only)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for simulations/GA evaluations "
+                             "(default: $REPRO_JOBS, then 1; results are "
+                             "identical for any worker count)")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.experiment == "list":
         print("available experiments:")
         for name in sorted(COMMANDS):
             print(f"  {name}")
         return 0
-    context = ExperimentContext(_scale(args.scale))
-    COMMANDS[args.experiment](context, args)
+    try:
+        context = ExperimentContext(_scale(args.scale), jobs=args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+    try:
+        COMMANDS[args.experiment](context, args)
+    finally:
+        context.close()
     return 0
 
 

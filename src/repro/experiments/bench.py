@@ -1,0 +1,204 @@
+"""Performance regression harness (``repro bench``).
+
+Times the repository's three throughput-critical paths and records the
+numbers as *trajectories* in JSON files, so every future change is held to
+the recorded baselines:
+
+* ``BENCH_pipeline.json`` — one 50k-instruction detailed simulation of the
+  reference stressmark on the baseline configuration (the unit of work every
+  GA fitness evaluation pays).
+* ``BENCH_ga.json`` — one full quick-scale GA stressmark search (a small
+  number of generations, the shape of every figure-5/7/8 experiment), plus
+  the wall-clock speedup of the process-pool backend over the serial backend
+  on one batch of independent evaluations.
+
+Each ``repro bench`` run appends an entry to the files' ``entries`` list;
+the first entry is the recorded baseline that ``benchmarks/
+test_perf_simulator.py`` (the ``perf_smoke`` tier-2 gate, see
+PERFORMANCE.md) compares against.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.ga.engine import GAParameters, GeneticAlgorithm
+from repro.ga.individual import Individual
+from repro.parallel.backends import ProcessPoolBackend, SerialBackend, resolve_jobs
+from repro.stressmark.generator import StressmarkEvaluator, StressmarkGenerator, reference_knobs
+from repro.stressmark.knobs import KnobSpace
+from repro.uarch.config import baseline_config
+from repro.uarch.pipeline import OutOfOrderCore
+
+#: Default trajectory file names (written to the current working directory).
+PIPELINE_BENCH_FILE = "BENCH_pipeline.json"
+GA_BENCH_FILE = "BENCH_ga.json"
+
+
+def _best_of(callable_, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        callable_()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def bench_pipeline(instructions: int = 50_000, repeats: int = 3) -> dict:
+    """Time a single detailed simulation of the reference stressmark."""
+    config = baseline_config()
+    generator = StressmarkGenerator(config=config, max_instructions=instructions)
+    program = generator.codegen.generate(reference_knobs(config))
+    core = OutOfOrderCore(config, seed=1)
+    result = core.run(program, max_instructions=instructions)  # warm-up + stats
+    seconds = _best_of(lambda: core.run(program, max_instructions=instructions), repeats)
+    return {
+        "instructions": instructions,
+        "seconds": seconds,
+        "instructions_per_second": instructions / seconds if seconds > 0 else 0.0,
+        "total_cycles": result.stats.total_cycles,
+        "ipc": result.stats.ipc,
+    }
+
+
+def bench_ga(jobs: Optional[int] = None, generations: int = 2, population: int = 8) -> dict:
+    """Time a small GA stressmark search at quick scale."""
+    config = baseline_config()
+    generator = StressmarkGenerator(
+        config=config,
+        ga_parameters=GAParameters(population_size=population, generations=generations, seed=7),
+        max_instructions=6_000,
+        jobs=jobs,
+    )
+    start = time.perf_counter()
+    result = generator.generate(initial_knobs=[reference_knobs(config)])
+    seconds = time.perf_counter() - start
+    ga = result.ga_result
+    return {
+        "jobs": generator.jobs,
+        "generations": generations,
+        "population": population,
+        "seconds": seconds,
+        "evaluations": ga.evaluations,
+        "cache_hits": ga.cache_hits,
+        "cache_misses": ga.cache_misses,
+        "best_fitness": result.fitness,
+    }
+
+
+def bench_parallel_speedup(jobs: Optional[int] = None, batch: int = 8) -> dict:
+    """Serial vs process-pool wall clock on one batch of GA evaluations.
+
+    The batch mirrors one GA generation: ``batch`` independent fitness
+    evaluations of distinct genomes.  Fitness values must be identical under
+    both backends (the determinism contract); the entry records both timings
+    and the speedup.
+    """
+    jobs = resolve_jobs(jobs)
+    config = baseline_config()
+    knob_space = KnobSpace(config)
+    generator = StressmarkGenerator(config=config, max_instructions=6_000)
+    evaluator = StressmarkEvaluator(
+        config=config,
+        fault_rates=generator.fault_rates,
+        fitness=generator.fitness,
+        knob_space=knob_space,
+        max_instructions=generator.max_instructions,
+        simulation_seed=generator.simulation_seed,
+    )
+    reference = reference_knobs(config)
+    individuals = [
+        Individual(genome=reference.derive(random_seed=seed).to_genome())
+        for seed in range(batch)
+    ]
+
+    serial = SerialBackend()
+    serial.evaluate_individuals(evaluator, [individuals[0].copy()])  # untimed warm-up
+    start = time.perf_counter()
+    serial_outcomes = serial.evaluate_individuals(
+        evaluator, [individual.copy() for individual in individuals]
+    )
+    serial_seconds = time.perf_counter() - start
+
+    pool = ProcessPoolBackend(jobs)
+    try:
+        pool.evaluate_individuals(evaluator, [individuals[0].copy()])  # warm the pool
+        start = time.perf_counter()
+        pool_outcomes = pool.evaluate_individuals(
+            evaluator, [individual.copy() for individual in individuals]
+        )
+        pool_seconds = time.perf_counter() - start
+    finally:
+        pool.close()
+
+    serial_fitness = [fitness for fitness, _ in serial_outcomes]
+    pool_fitness = [fitness for fitness, _ in pool_outcomes]
+    return {
+        "jobs": jobs,
+        "batch": batch,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": pool_seconds,
+        "speedup": serial_seconds / pool_seconds if pool_seconds > 0 else 0.0,
+        "deterministic": serial_fitness == pool_fitness,
+    }
+
+
+# ----------------------------------------------------------- trajectories
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+    }
+
+
+def load_trajectory(path: str | Path) -> dict:
+    path = Path(path)
+    if path.exists():
+        return json.loads(path.read_text())
+    return {"benchmark": path.stem, "entries": []}
+
+
+def append_entry(path: str | Path, metrics: dict) -> dict:
+    """Append one run's metrics to a trajectory file; returns the trajectory."""
+    trajectory = load_trajectory(path)
+    trajectory["entries"].append({**_environment(), **metrics})
+    Path(path).write_text(json.dumps(trajectory, indent=2) + "\n")
+    return trajectory
+
+
+def baseline_entry(path: str | Path) -> Optional[dict]:
+    """The first recorded entry of a trajectory (the regression baseline)."""
+    entries = load_trajectory(path).get("entries", [])
+    return entries[0] if entries else None
+
+
+def run_benchmarks(
+    jobs: Optional[int] = None,
+    pipeline_path: str | Path = PIPELINE_BENCH_FILE,
+    ga_path: str | Path = GA_BENCH_FILE,
+    instructions: int = 50_000,
+    repeats: int = 3,
+) -> dict:
+    """Run the full harness, append to the trajectory files, return metrics."""
+    jobs = resolve_jobs(jobs)
+    pipeline_metrics = bench_pipeline(instructions=instructions, repeats=repeats)
+    ga_metrics = bench_ga(jobs=jobs)
+    # The speedup probe always runs multi-worker (default 4) so the recorded
+    # number is meaningful even when the GA itself was benchmarked serially.
+    speedup_metrics = bench_parallel_speedup(jobs=jobs if jobs > 1 else 4)
+    append_entry(pipeline_path, pipeline_metrics)
+    append_entry(ga_path, {"ga": ga_metrics, "parallel": speedup_metrics})
+    return {
+        "pipeline": pipeline_metrics,
+        "ga": ga_metrics,
+        "parallel": speedup_metrics,
+    }

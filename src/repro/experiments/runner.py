@@ -16,12 +16,13 @@ from typing import Iterable, Optional, Sequence
 
 from repro.avf.report import SerReport, build_report
 from repro.ga.engine import GAParameters
+from repro.parallel.backends import EvaluationBackend, create_backend, resolve_jobs
 from repro.stressmark.fitness import FitnessFunction
 from repro.stressmark.generator import StressmarkGenerator, StressmarkResult, reference_knobs
 from repro.stressmark.knobs import KnobSpace
 from repro.uarch.config import MachineConfig, baseline_config
 from repro.uarch.faultrates import FaultRateModel, unit_fault_rates
-from repro.uarch.pipeline import OutOfOrderCore
+from repro.uarch.pipeline import OutOfOrderCore, SimulationResult
 from repro.workloads.profiles import WorkloadProfile, WorkloadSuite
 from repro.workloads.suite import all_profiles
 from repro.workloads.synthetic import build_workload
@@ -118,22 +119,71 @@ def report_suite(report: SerReport) -> str:
     return str(report.stats.get("suite", "")) if isinstance(report.stats, dict) else ""
 
 
+class _WorkloadSimulationTask:
+    """Picklable task: simulate one workload proxy on one configuration."""
+
+    def __init__(self, config: MachineConfig, instructions: int, workload_seed: int, simulation_seed: int) -> None:
+        self.config = config
+        self.instructions = instructions
+        self.workload_seed = workload_seed
+        self.simulation_seed = simulation_seed
+
+    def __call__(self, profile: WorkloadProfile) -> SimulationResult:
+        program = build_workload(profile, self.config, seed=self.workload_seed)
+        core = OutOfOrderCore(self.config, seed=self.simulation_seed)
+        return core.run(program, max_instructions=self.instructions)
+
+
 class ExperimentContext:
     """Caches workload runs and stressmark GA runs shared across figures.
 
     Figures 3, 4 and 6 all need the 33 workload reports on the baseline
     configuration, and Figures 5, 7 and 8 reuse the stressmark GA runs, so
     the context memoises both keyed by (configuration, fault-rate model).
+
+    ``jobs`` > 1 (or ``REPRO_JOBS``) fans the independent workload
+    simulations and the stressmark GA evaluations out across worker
+    processes; reports and caches are always assembled in deterministic
+    order, so results are identical for any worker count.
     """
 
-    def __init__(self, scale: Optional[ExperimentScale] = None) -> None:
+    def __init__(
+        self,
+        scale: Optional[ExperimentScale] = None,
+        jobs: Optional[int] = None,
+        backend: Optional[EvaluationBackend] = None,
+    ) -> None:
         self.scale = scale or ExperimentScale.quick()
+        self.jobs = resolve_jobs(jobs) if backend is None else backend.jobs
+        self._backend = backend
         # AVF is independent of the circuit-level fault rates, so workload
         # simulations are cached per configuration and re-reported under each
         # fault-rate model without re-simulating.
         self._workload_sim_cache: dict[tuple[str, str], object] = {}
         self._workload_cache: dict[tuple[str, str], WorkloadReportSet] = {}
         self._stressmark_cache: dict[tuple[str, str], StressmarkResult] = {}
+        self._workload_tasks: dict[str, _WorkloadSimulationTask] = {}
+
+    @property
+    def backend(self) -> EvaluationBackend:
+        """The evaluation backend (created lazily from ``jobs``)."""
+        if self._backend is None:
+            self._backend = create_backend(self.jobs)
+        return self._backend
+
+    def _workload_task(self, config: MachineConfig) -> _WorkloadSimulationTask:
+        # One stable task object per configuration so the process pool can be
+        # reused across figures instead of restarting per call.
+        task = self._workload_tasks.get(config.name)
+        if task is None or task.config != config:
+            task = _WorkloadSimulationTask(
+                config=config,
+                instructions=self.scale.workload_instructions,
+                workload_seed=self.scale.workload_seed,
+                simulation_seed=self.scale.simulation_seed,
+            )
+            self._workload_tasks[config.name] = task
+        return task
 
     # ----------------------------------------------------------- workloads
 
@@ -172,9 +222,19 @@ class ExperimentContext:
             return cached
 
         report_set = cached or WorkloadReportSet(config=config, fault_rates=fault_rates)
-        for profile in selected:
-            if profile.name not in report_set.reports:
-                report_set.reports[profile.name] = self.run_workload(profile, config, fault_rates)
+        missing = [profile for profile in selected if profile.name not in report_set.reports]
+        # Fan the uncached, independent simulations out through the backend;
+        # reports are then assembled serially in `selected` order.
+        to_simulate = [
+            profile for profile in missing
+            if (config.name, profile.name) not in self._workload_sim_cache
+        ]
+        if len(to_simulate) > 1 and self.backend.jobs > 1:
+            results = self.backend.map(self._workload_task(config), to_simulate)
+            for profile, result in zip(to_simulate, results, strict=True):
+                self._workload_sim_cache[(config.name, profile.name)] = result
+        for profile in missing:
+            report_set.reports[profile.name] = self.run_workload(profile, config, fault_rates)
         self._workload_cache[cache_key] = report_set
         return report_set
 
@@ -204,6 +264,7 @@ class ExperimentContext:
             ga_parameters=self.scale.ga_parameters(),
             max_instructions=self.scale.stressmark_instructions,
             simulation_seed=self.scale.simulation_seed,
+            backend=self.backend,
         )
         seeds = None
         if self.scale.seed_ga_with_reference:
@@ -221,6 +282,11 @@ class ExperimentContext:
         """Drop all cached results."""
         self._workload_cache.clear()
         self._stressmark_cache.clear()
+
+    def close(self) -> None:
+        """Release the evaluation backend's worker processes, if any."""
+        if self._backend is not None:
+            self._backend.close()
 
 
 def max_group_ser(reports: Iterable[SerReport], group) -> float:

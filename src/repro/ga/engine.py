@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.ga.genes import GeneSpace
 from repro.ga.individual import Individual, best_of, population_diversity
 from repro.ga.operators import cataclysm, crossover, migrate, mutate, tournament_selection
+from repro.parallel.backends import EvaluationBackend, SerialBackend
+from repro.parallel.cache import FitnessCache
 from repro.utils.rng import DeterministicRng
 
 
@@ -64,6 +66,16 @@ class GAResult:
     history: list[GenerationStats] = field(default_factory=list)
     evaluations: int = 0
     cataclysm_generations: list[int] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of fitness lookups served by the memoization cache."""
+        lookups = self.cache_hits + self.cache_misses
+        if not lookups:
+            return 0.0
+        return self.cache_hits / lookups
 
     @property
     def best_fitness(self) -> float:
@@ -78,7 +90,22 @@ class GAResult:
 
 
 class GeneticAlgorithm:
-    """Generational GA with elitism, migration and cataclysm-on-convergence."""
+    """Generational GA with elitism, migration and cataclysm-on-convergence.
+
+    ``backend`` decides where fitness evaluations run: the default
+    :class:`SerialBackend` evaluates in-process, while a
+    :class:`~repro.parallel.backends.ProcessPoolBackend` fans a generation out
+    across worker processes.  Results are applied in population order, so a
+    run is bit-identical for any worker count.
+
+    ``fitness_cache`` memoizes evaluations by genome content (see
+    :class:`~repro.parallel.cache.FitnessCache`).  The default creates a
+    private cache per engine; pass ``False`` to disable memoization (for
+    non-deterministic evaluators) or share a preconfigured cache across runs.
+
+    ``on_evaluated`` is called once per newly evaluated individual — cache
+    hits included — in deterministic population order, in the main process.
+    """
 
     def __init__(
         self,
@@ -86,11 +113,24 @@ class GeneticAlgorithm:
         evaluator: Callable[[Individual], float],
         parameters: Optional[GAParameters] = None,
         on_generation: Optional[Callable[[GenerationStats, list[Individual]], None]] = None,
+        backend: Optional[EvaluationBackend] = None,
+        fitness_cache: Union[FitnessCache, bool, None] = None,
+        on_evaluated: Optional[Callable[[Individual], None]] = None,
     ) -> None:
         self.space = space
         self.evaluator = evaluator
         self.parameters = parameters or GAParameters()
         self.on_generation = on_generation
+        self.backend = backend or SerialBackend()
+        if fitness_cache is False:
+            self.fitness_cache: Optional[FitnessCache] = None
+        elif fitness_cache is True or fitness_cache is None:
+            # Bounded by default so long runs with payload-carrying
+            # evaluators cannot grow memory without limit.
+            self.fitness_cache = FitnessCache(max_entries=4096)
+        else:
+            self.fitness_cache = fitness_cache
+        self.on_evaluated = on_evaluated
 
     # ----------------------------------------------------------------- API
 
@@ -99,6 +139,8 @@ class GeneticAlgorithm:
         params = self.parameters
         rng = DeterministicRng(params.seed)
         self._all_time_best = None
+        self._run_cache_hits = 0
+        self._run_cache_misses = 0
         population = self._initial_population(initial_population, rng)
 
         result = GAResult(best=population[0])
@@ -150,11 +192,15 @@ class GeneticAlgorithm:
             result.best.fitness is None or all_time_best.fitness >= result.best.fitness
         ):
             result.best = all_time_best
+        result.cache_hits = self._run_cache_hits
+        result.cache_misses = self._run_cache_misses
         return result
 
     # ------------------------------------------------------------- helpers
 
     _all_time_best: Optional[Individual] = None
+    _run_cache_hits: int = 0
+    _run_cache_misses: int = 0
 
     def _initial_population(
         self, initial: Optional[list[Individual]], rng: DeterministicRng
@@ -168,16 +214,63 @@ class GeneticAlgorithm:
         return population[: params.population_size]
 
     def _evaluate(self, population: list[Individual]) -> int:
-        evaluations = 0
-        for individual in population:
-            if individual.evaluated:
-                continue
-            individual.fitness = float(self.evaluator(individual))
-            evaluations += 1
+        """Evaluate every not-yet-evaluated individual; returns evaluator calls.
+
+        Invariant: already-``evaluated`` individuals (elites carried over by
+        :meth:`_next_generation`) are filtered out *before* anything is
+        submitted to the backend or the cache, so they are never re-simulated
+        and never pay cache-lookup bookkeeping.
+        """
+        pending = [individual for individual in population if not individual.evaluated]
+        if not pending:
+            return 0
+
+        cache = self.fitness_cache
+        to_run: list[Individual] = []
+        run_keys: list[str] = []
+        # Duplicate genomes inside one batch share a single evaluation: the
+        # first occurrence runs, the rest ride along as cache hits.
+        followers: dict[str, list[Individual]] = {}
+        if cache is None:
+            to_run = pending
+        else:
+            for individual in pending:
+                key = cache.key_for(individual.genome)
+                hit = cache.lookup_key(key)
+                if hit is not None:
+                    fitness, payload = hit
+                    individual.fitness = fitness
+                    individual.payload = payload
+                    self._run_cache_hits += 1
+                elif key in followers:
+                    followers[key].append(individual)
+                    self._run_cache_hits += 1
+                else:
+                    followers[key] = []
+                    to_run.append(individual)
+                    run_keys.append(key)
+                    self._run_cache_misses += 1
+
+        outcomes = self.backend.evaluate_individuals(self.evaluator, to_run)
+        for index, (individual, (fitness, payload)) in enumerate(zip(to_run, outcomes, strict=True)):
+            individual.fitness = float(fitness)
+            individual.payload = payload
+            if cache is not None:
+                key = run_keys[index]
+                cache.store_key(key, individual.fitness, payload)
+                for duplicate in followers[key]:
+                    duplicate.fitness = individual.fitness
+                    duplicate.payload = dict(payload)
+
+        # All-time-best tracking and callbacks run in population order in the
+        # main process, so results are identical for any backend/worker count.
+        for individual in pending:
             if self._all_time_best is None or individual.fitness > self._all_time_best.fitness:
                 self._all_time_best = individual.copy()
                 self._all_time_best.payload = dict(individual.payload)
-        return evaluations
+            if self.on_evaluated is not None:
+                self.on_evaluated(individual)
+        return len(to_run)
 
     def _generation_stats(
         self, generation: int, population: list[Individual]

@@ -45,7 +45,7 @@ class CacheConfig:
         return self.size_bytes * 8
 
 
-@dataclass
+@dataclass(slots=True)
 class _Line:
     """One resident cache line."""
 
@@ -56,7 +56,7 @@ class _Line:
     words_touched: set[int] = field(default_factory=set)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheAccessResult:
     """Outcome of a cache access."""
 
@@ -95,13 +95,19 @@ class Cache:
         self.stats = CacheStats()
         self.lifetime = LifetimeTracker(word_bits=config.word_bytes * 8)
         self._sets: list[dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
+        # Geometry hoisted out of the hot access path.
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._word_bytes = config.word_bytes
+        self._associativity = config.associativity
+        self._words_per_line = config.words_per_line
 
     def _decompose(self, address: int) -> tuple[int, int, int]:
         """Return ``(set_index, tag, word_index)`` for a byte address."""
-        line_address = address // self.config.line_bytes
-        set_index = line_address % self.config.num_sets
-        tag = line_address // self.config.num_sets
-        word_index = (address % self.config.line_bytes) // self.config.word_bytes
+        line_address = address // self._line_bytes
+        set_index = line_address % self._num_sets
+        tag = line_address // self._num_sets
+        word_index = (address % self._line_bytes) // self._word_bytes
         return set_index, tag, word_index
 
     def line_address(self, address: int) -> int:
@@ -115,20 +121,23 @@ class Cache:
             return False, None, False
         victim_tag = min(cache_set, key=lambda tag: cache_set[tag].last_use)
         victim = cache_set.pop(victim_tag)
-        line_number = victim_tag * self.config.num_sets + set_index
+        line_number = victim_tag * self._num_sets + set_index
         for word in victim.words_touched:
             self.lifetime.record_evict(line_number, word, cycle)
         self.stats.evictions += 1
         if victim.dirty:
             self.stats.dirty_evictions += 1
-        evicted_address = line_number * self.config.line_bytes
+        evicted_address = line_number * self._line_bytes
         return victim.dirty, evicted_address, victim.dirty_ace
 
     def access(self, address: int, is_write: bool, cycle: int, ace: bool = True) -> CacheAccessResult:
         """Perform a read or write access of one word at ``address``."""
         self.stats.accesses += 1
-        set_index, tag, word_index = self._decompose(address)
-        line_number = tag * self.config.num_sets + set_index
+        line_address = address // self._line_bytes
+        set_index = line_address % self._num_sets
+        tag = line_address // self._num_sets
+        word_index = (address % self._line_bytes) // self._word_bytes
+        line_number = tag * self._num_sets + set_index
         cache_set = self._sets[set_index]
         line = cache_set.get(tag)
 
@@ -137,7 +146,7 @@ class Cache:
         evicted_ace = False
         if line is None:
             self.stats.misses += 1
-            if len(cache_set) >= self.config.associativity:
+            if len(cache_set) >= self._associativity:
                 evicted_dirty, evicted_address, evicted_ace = self._evict(set_index, cycle)
             line = _Line(tag=tag, last_use=cycle)
             cache_set[tag] = line
@@ -189,15 +198,15 @@ class Cache:
         if not 0.0 <= word_fraction <= 1.0:
             raise ValueError("word_fraction must be within [0, 1]")
         set_index, tag, _ = self._decompose(address)
-        line_number = tag * self.config.num_sets + set_index
+        line_number = tag * self._num_sets + set_index
         cache_set = self._sets[set_index]
         line = cache_set.get(tag)
         if line is None:
-            if len(cache_set) >= self.config.associativity:
+            if len(cache_set) >= self._associativity:
                 self._evict(set_index, cycle)
             line = _Line(tag=tag, last_use=cycle)
             cache_set[tag] = line
-        words_to_touch = int(round(word_fraction * self.config.words_per_line))
+        words_to_touch = int(round(word_fraction * self._words_per_line))
         if words_to_touch:
             touched = range(words_to_touch)
             self.lifetime.warm_words(line_number, touched, cycle, dirty=dirty, ace=ace)

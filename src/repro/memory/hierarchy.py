@@ -8,7 +8,7 @@ from repro.memory.cache import Cache, CacheConfig
 from repro.memory.tlb import Tlb, TlbConfig
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryAccessOutcome:
     """Latency and hit/miss breakdown of one data memory access."""
 
@@ -46,6 +46,9 @@ class MemoryHierarchy:
         self.dtlb = Tlb(dtlb_config)
         self.memory_latency = memory_latency
         self.tlb_miss_penalty = tlb_miss_penalty
+        # Latencies hoisted out of the hot access path.
+        self._dl1_hit_latency = dl1_config.hit_latency
+        self._l2_hit_latency = l2_config.hit_latency
 
     def access(self, address: int, is_write: bool, cycle: int, ace: bool = True) -> MemoryAccessOutcome:
         """Perform one data access and return its latency and hit breakdown."""
@@ -56,12 +59,12 @@ class MemoryHierarchy:
         latency = 0 if tlb_hit else self.tlb_miss_penalty
 
         dl1_result = self.dl1.access(address, is_write=is_write, cycle=cycle, ace=ace)
-        latency += self.dl1.config.hit_latency
+        latency += self._dl1_hit_latency
         l2_hit = True
         if not dl1_result.hit:
             # Line fill from L2 (a write miss allocates too: write-allocate).
             l2_result = self.l2.access(address, is_write=False, cycle=cycle, ace=ace)
-            latency += self.l2.config.hit_latency
+            latency += self._l2_hit_latency
             l2_hit = l2_result.hit
             if not l2_result.hit:
                 latency += self.memory_latency

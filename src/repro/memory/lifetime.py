@@ -37,7 +37,7 @@ class AceEvent(Enum):
     EVICT = "evict"
 
 
-@dataclass
+@dataclass(slots=True)
 class _WordState:
     """Lifetime state for one resident word."""
 

@@ -33,7 +33,7 @@ class TlbConfig:
         return self.entries * self.page_bytes
 
 
-@dataclass
+@dataclass(slots=True)
 class _TlbEntry:
     page: int
     fill_cycle: int
@@ -65,9 +65,12 @@ class Tlb:
         self.stats = TlbStats()
         self._entries: dict[int, _TlbEntry] = {}
         self.ace_entry_cycles = 0
+        # Geometry hoisted out of the hot access path.
+        self._page_bytes = config.page_bytes
+        self._capacity = config.entries
 
     def _page(self, address: int) -> int:
-        return address // self.config.page_bytes
+        return address // self._page_bytes
 
     def _retire_entry(self, entry: _TlbEntry) -> None:
         """Credit the ACE residency interval of an entry leaving the TLB."""
@@ -77,11 +80,11 @@ class Tlb:
     def access(self, address: int, cycle: int, ace: bool = True) -> bool:
         """Translate ``address``; returns True on a TLB hit."""
         self.stats.accesses += 1
-        page = self._page(address)
+        page = address // self._page_bytes
         entry = self._entries.get(page)
         if entry is None:
             self.stats.misses += 1
-            if len(self._entries) >= self.config.entries:
+            if len(self._entries) >= self._capacity:
                 victim_page = min(self._entries, key=lambda p: self._entries[p].last_use)
                 victim = self._entries.pop(victim_page)
                 self._retire_entry(victim)

@@ -1,0 +1,33 @@
+"""Parallel + memoized evaluation subsystem.
+
+See PERFORMANCE.md for how the backends, the fitness cache and the
+``--jobs`` / ``REPRO_JOBS`` knobs fit together.
+"""
+
+from repro.parallel.backends import (
+    JOBS_ENV_VAR,
+    EvaluationBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    create_backend,
+    resolve_jobs,
+)
+from repro.parallel.cache import (
+    CacheStats,
+    FitnessCache,
+    evaluation_context_digest,
+    genome_digest,
+)
+
+__all__ = [
+    "JOBS_ENV_VAR",
+    "EvaluationBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "create_backend",
+    "resolve_jobs",
+    "FitnessCache",
+    "CacheStats",
+    "genome_digest",
+    "evaluation_context_digest",
+]

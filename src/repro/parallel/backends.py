@@ -1,0 +1,185 @@
+"""Evaluation backends: serial and process-pool fan-out.
+
+The GA engine, the stressmark generator and the experiment context all push
+batches of independent work (fitness evaluations, workload simulations)
+through an :class:`EvaluationBackend`.  The contract every backend honours:
+
+* **Ordered results** — ``map(fn, items)`` returns results in the order of
+  ``items`` regardless of which worker finished first, so GA runs are
+  bit-identical no matter the worker count.
+* **Per-worker state reuse** — :class:`ProcessPoolBackend` installs the task
+  callable once per worker process (pool initializer), so expensive per-task
+  state (code generator, machine configuration, fitness function) is built
+  once per worker instead of once per item.
+* **Chunked dispatch** — items are shipped to workers in chunks to amortise
+  IPC overhead over many small tasks.
+
+Worker count resolution: an explicit ``jobs`` argument wins, then the
+``REPRO_JOBS`` environment variable, then 1 (serial).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when no explicit worker count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+# Module-global slot holding the task callable inside a worker process; set
+# once by the pool initializer so per-item messages carry only the item.
+_worker_fn: Optional[Callable] = None
+
+
+def _init_worker(fn: Callable) -> None:
+    global _worker_fn
+    _worker_fn = fn
+
+
+def _run_task(item):
+    assert _worker_fn is not None, "worker pool used before initialisation"
+    return _worker_fn(item)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit argument, then ``REPRO_JOBS``, then 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError as exc:
+            raise ValueError(f"{JOBS_ENV_VAR} must be an integer, got {env!r}") from exc
+    return 1
+
+
+class EvaluationBackend(ABC):
+    """Maps a callable over a batch of items with deterministic ordering."""
+
+    jobs: int = 1
+
+    @abstractmethod
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` to every item; results are in input order."""
+
+    def evaluate_individuals(self, evaluator: Callable, individuals: Sequence) -> list[tuple[float, dict]]:
+        """Evaluate GA individuals; returns ``(fitness, payload)`` per individual.
+
+        The GA evaluator protocol mutates ``individual.payload`` in place and
+        returns the fitness.  When evaluation happens in another process those
+        mutations land on a pickled copy, so backends return the payload
+        explicitly and the engine re-applies it on the caller side.
+        """
+        if not individuals:
+            return []
+        task = self._individual_task(evaluator)
+        return self.map(task, individuals)
+
+    def _individual_task(self, evaluator: Callable) -> "_IndividualTask":
+        # Keep the wrapper stable across calls with the same evaluator so
+        # process pools can be reused between GA generations.
+        cached = getattr(self, "_task_cache", None)
+        if cached is None or cached.evaluator is not evaluator:
+            cached = _IndividualTask(evaluator)
+            self._task_cache = cached
+        return cached
+
+    def close(self) -> None:
+        """Release worker resources (no-op for serial backends)."""
+
+    def __enter__(self) -> "EvaluationBackend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class _IndividualTask:
+    """Picklable wrapper turning the GA evaluator protocol into a pure map."""
+
+    def __init__(self, evaluator: Callable) -> None:
+        self.evaluator = evaluator
+
+    def __call__(self, individual) -> tuple[float, dict]:
+        fitness = float(self.evaluator(individual))
+        return fitness, individual.payload
+
+
+class SerialBackend(EvaluationBackend):
+    """In-process evaluation; the default and the reference for determinism."""
+
+    jobs = 1
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ProcessPoolBackend(EvaluationBackend):
+    """Multiprocessing pool backend with chunked, order-preserving dispatch.
+
+    The pool is created lazily on the first :meth:`map` call and kept alive
+    while the mapped callable stays the same object, so per-worker state
+    (installed by the pool initializer) is reused across GA generations.
+    Mapping a different callable recycles the pool.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        chunk_size: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = int(jobs)
+        self.chunk_size = chunk_size
+        self._mp_context = mp_context
+        self._pool = None
+        self._pool_fn: Optional[Callable] = None
+
+    # ------------------------------------------------------------------ map
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        pool = self._ensure_pool(fn)
+        chunk = self.chunk_size or max(1, len(items) // (self.jobs * 4))
+        return pool.map(_run_task, items, chunksize=chunk)
+
+    # ------------------------------------------------------------- plumbing
+
+    def _ensure_pool(self, fn: Callable):
+        if self._pool is None or self._pool_fn is not fn:
+            self.close()
+            context = multiprocessing.get_context(self._mp_context)
+            self._pool = context.Pool(self.jobs, initializer=_init_worker, initargs=(fn,))
+            self._pool_fn = fn
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_fn = None
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def create_backend(jobs: Optional[int] = None, chunk_size: Optional[int] = None) -> EvaluationBackend:
+    """Backend for ``jobs`` workers (resolving ``None`` via ``REPRO_JOBS``)."""
+    resolved = resolve_jobs(jobs)
+    if resolved <= 1:
+        return SerialBackend()
+    return ProcessPoolBackend(resolved, chunk_size=chunk_size)

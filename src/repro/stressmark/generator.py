@@ -15,6 +15,8 @@ from repro.avf.report import SerReport, build_report
 from repro.ga.engine import GAParameters, GAResult, GeneticAlgorithm
 from repro.ga.individual import Individual
 from repro.isa.program import Program
+from repro.parallel.backends import EvaluationBackend, create_backend, resolve_jobs
+from repro.parallel.cache import FitnessCache, evaluation_context_digest
 from repro.stressmark.codegen import CodeGenerator
 from repro.stressmark.fitness import FitnessFunction
 from repro.stressmark.knobs import KnobSpace, StressmarkKnobs
@@ -54,8 +56,74 @@ class EvaluationRecord:
     report: SerReport
 
 
+class StressmarkEvaluator:
+    """Picklable fitness evaluator: genome -> codegen -> simulate -> score.
+
+    Instances are shipped to worker processes by
+    :class:`~repro.parallel.backends.ProcessPoolBackend`; the code generator
+    is excluded from pickling and rebuilt lazily, once per worker, so each
+    worker pays construction cost a single time for the whole GA run.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        fault_rates: FaultRateModel,
+        fitness: FitnessFunction,
+        knob_space: KnobSpace,
+        max_instructions: int,
+        simulation_seed: int,
+    ) -> None:
+        self.config = config
+        self.fault_rates = fault_rates
+        self.fitness = fitness
+        self.knob_space = knob_space
+        self.max_instructions = max_instructions
+        self.simulation_seed = simulation_seed
+        self._codegen: Optional[CodeGenerator] = None
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_codegen"] = None
+        return state
+
+    @property
+    def codegen(self) -> CodeGenerator:
+        if self._codegen is None:
+            self._codegen = CodeGenerator(self.config)
+        return self._codegen
+
+    def context_digest(self) -> str:
+        """Digest of everything besides the genome that shapes the fitness."""
+        return evaluation_context_digest(
+            self.config,
+            self.fault_rates,
+            self.fitness,
+            self.max_instructions,
+            self.simulation_seed,
+        )
+
+    def __call__(self, individual: Individual) -> float:
+        knobs = self.knob_space.decode(individual.genome)
+        program = self.codegen.generate(knobs)
+        core = OutOfOrderCore(self.config, seed=self.simulation_seed)
+        result = core.run(program, max_instructions=self.max_instructions)
+        score = self.fitness(result)
+        report = build_report(result, self.fault_rates)
+        individual.payload["report"] = report
+        individual.payload["program"] = program
+        individual.payload["knobs"] = knobs
+        return score
+
+
 class StressmarkGenerator:
-    """Automated AVF stressmark generation for one machine configuration."""
+    """Automated AVF stressmark generation for one machine configuration.
+
+    ``jobs`` (default: the ``REPRO_JOBS`` environment variable, then 1)
+    selects how many worker processes evaluate GA candidates concurrently;
+    alternatively pass a preconfigured ``backend``.  Results are identical
+    for any worker count.
+    """
 
     def __init__(
         self,
@@ -67,6 +135,8 @@ class StressmarkGenerator:
         max_instructions: int = 8_000,
         simulation_seed: int = 1,
         keep_history: bool = False,
+        jobs: Optional[int] = None,
+        backend: Optional[EvaluationBackend] = None,
     ) -> None:
         if max_instructions <= 0:
             raise ValueError("max_instructions must be positive")
@@ -78,6 +148,8 @@ class StressmarkGenerator:
         self.max_instructions = max_instructions
         self.simulation_seed = simulation_seed
         self.keep_history = keep_history
+        self.jobs = resolve_jobs(jobs) if backend is None else backend.jobs
+        self.backend = backend
         self.codegen = CodeGenerator(config)
         self.history: list[EvaluationRecord] = []
 
@@ -105,21 +177,53 @@ class StressmarkGenerator:
     def generate(self, initial_knobs: Optional[list[StressmarkKnobs]] = None) -> StressmarkResult:
         """Run the GA and return the best stressmark found."""
         space = self.knob_space.gene_space()
-
-        def ga_evaluator(individual: Individual) -> float:
-            knobs = self.knob_space.decode(individual.genome)
-            score, report, program = self.evaluate(knobs)
-            individual.payload["report"] = report
-            individual.payload["program"] = program
-            individual.payload["knobs"] = knobs
-            return score
+        evaluator = StressmarkEvaluator(
+            config=self.config,
+            fault_rates=self.fault_rates,
+            fitness=self.fitness,
+            knob_space=self.knob_space,
+            max_instructions=self.max_instructions,
+            simulation_seed=self.simulation_seed,
+        )
 
         seeds = None
         if initial_knobs:
             seeds = [Individual(genome=knobs.to_genome()) for knobs in initial_knobs]
 
-        engine = GeneticAlgorithm(space, ga_evaluator, self.ga_parameters)
-        ga_result = engine.run(initial_population=seeds)
+        on_evaluated = None
+        if self.keep_history:
+            def on_evaluated(individual: Individual) -> None:
+                self.history.append(
+                    EvaluationRecord(
+                        knobs=individual.payload["knobs"],
+                        fitness=float(individual.fitness),
+                        report=individual.payload["report"],
+                    )
+                )
+
+        backend = self.backend or create_backend(self.jobs)
+        owns_backend = self.backend is None
+        try:
+            # Bound the cache: entries retain full payloads (program + report),
+            # so an unbounded cache would hold every distinct candidate of a
+            # paper-scale run in memory.  A few generations' worth of entries
+            # covers elites, migrants and recent duplicates.
+            cache = FitnessCache(
+                context_digest=evaluator.context_digest(),
+                max_entries=max(256, 4 * self.ga_parameters.population_size),
+            )
+            engine = GeneticAlgorithm(
+                space,
+                evaluator,
+                self.ga_parameters,
+                backend=backend,
+                fitness_cache=cache,
+                on_evaluated=on_evaluated,
+            )
+            ga_result = engine.run(initial_population=seeds)
+        finally:
+            if owns_backend:
+                backend.close()
 
         best = ga_result.best
         knobs = best.payload.get("knobs") or self.knob_space.decode(best.genome)

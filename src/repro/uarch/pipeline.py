@@ -31,32 +31,43 @@ Front-end miss behaviour of workloads (I-cache / I-TLB misses and fetch
 inefficiencies) is modelled statistically: programs may carry
 ``metadata["frontend_miss_rate"]`` (per-instruction probability) and
 ``metadata["frontend_miss_penalty"]`` (cycles), which inject fetch bubbles.
+
+Implementation notes (hot loop)
+-------------------------------
+``run`` is the single hottest function of the repository — every GA fitness
+evaluation is one call — so its inner loop avoids per-dynamic-op Python
+overhead:
+
+* Static per-instruction facts (class flags, latencies, ACE fractions,
+  branch behaviour) are precomputed once per run into flat tuples instead of
+  being re-derived through ``Instruction`` properties per dynamic op.
+* The per-cycle dispatch/commit bandwidth counters collapse to a scalar
+  ``(cycle, count)`` pair each, because their accesses are monotone in the
+  cycle; the issue/memory-port/ALU/multiplier counters use cycle-tagged ring
+  buffers with no per-cycle clearing.  A ring slot is valid only when its
+  tag equals the probed cycle; rings grow (rare) whenever an instruction's
+  issue-to-dispatch span approaches the ring size, which is the exact
+  condition under which two live cycles could alias.
+* ACE intervals are batched into local floating-point accumulators and
+  flushed into the :class:`AceAccumulator` objects once at the end of the
+  run.  The sequence of floating-point additions is unchanged, so results
+  are bit-identical with the straightforward per-op accounting.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import defaultdict, deque
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 from repro.branch.predictors import HybridPredictor
-from repro.isa.instructions import Instruction, InstructionClass
+from repro.isa.instructions import ARCH_REG_COUNT, Instruction, InstructionClass
 from repro.isa.program import BranchBehavior, DynamicOp, Program
 from repro.memory.hierarchy import MemoryAccessOutcome, MemoryHierarchy
 from repro.uarch.config import MachineConfig
 from repro.uarch.structures import AceAccumulator, StructureName, core_structure_accumulators
 from repro.utils.rng import DeterministicRng
-
-
-@dataclass
-class _RegisterRecord:
-    """Lifetime record of one renamed register value."""
-
-    complete_cycle: int
-    width_fraction: float
-    ace: bool
-    last_ace_read: Optional[int] = None
 
 
 @dataclass
@@ -113,6 +124,17 @@ class SimulationResult:
         return {name: self.avf(name) for name in self.accumulators}
 
 
+# Indices into the per-static-instruction info tuples built by
+# ``OutOfOrderCore._instruction_info`` (documentation only; the run loop
+# unpacks the whole tuple at once).
+_INFO_FIELDS = (
+    "index", "is_memory", "is_nop", "is_lq", "is_store", "is_branch",
+    "is_mul", "is_arith", "writes_reg", "dest", "srcs", "ace",
+    "data_frac", "width_frac", "fixed_latency", "pattern",
+    "taken_probability", "loop_closing", "pc",
+)
+
+
 class OutOfOrderCore:
     """Out-of-order core simulator for a given :class:`MachineConfig`."""
 
@@ -157,6 +179,7 @@ class OutOfOrderCore:
 
         frontend_miss_rate = float(program.metadata.get("frontend_miss_rate", 0.0))
         frontend_miss_penalty = int(program.metadata.get("frontend_miss_penalty", 10))
+        has_frontend_misses = frontend_miss_rate > 0.0
 
         # Independent, reproducible randomness streams for the different
         # stochastic behaviours of the run (addresses, branches, front-end).
@@ -167,205 +190,429 @@ class OutOfOrderCore:
         if functional_setup:
             self._run_functional_setup(program, hierarchy, rng)
 
-        # Per-cycle bandwidth counters.
-        dispatch_slots: dict[int, int] = defaultdict(int)
-        issue_slots: dict[int, int] = defaultdict(int)
-        mem_slots: dict[int, int] = defaultdict(int)
-        alu_slots: dict[int, int] = defaultdict(int)
-        mul_slots: dict[int, int] = defaultdict(int)
-        commit_slots: dict[int, int] = defaultdict(int)
+        # -------------------------------------------- static precomputation
+        body_infos = [
+            self._instruction_info(instruction, index, False, program)
+            for index, instruction in enumerate(program.body)
+        ]
+        setup_infos: list[tuple] = []
+        if not functional_setup:
+            setup_infos = [
+                self._instruction_info(instruction, index, True, program)
+                for index, instruction in enumerate(program.setup)
+            ]
 
-        # Structural occupancy state.
+        # ------------------------------------------------ bandwidth counters
+        # Dispatch and commit choices are monotone non-decreasing across ops,
+        # so their per-cycle counters collapse to one (cycle, count) pair.
+        disp_cycle = -1
+        disp_count = 0
+        commit_count = 0
+        # Issue-side counters are not monotone (an independent op can issue
+        # below an older long-latency op), so they live in cycle-tagged ring
+        # buffers: a slot's counts are valid only when ring_tag[slot] equals
+        # the probed cycle.  No per-cycle clearing is ever needed; the rings
+        # grow when an op's issue-to-dispatch span approaches the ring size
+        # (the exact condition under which two live cycles could alias).
+        max_override = 0
+        for info in body_infos:
+            if info[14] is not None and info[14] > max_override:
+                max_override = info[14]
+        for info in setup_infos:
+            if info[14] is not None and info[14] > max_override:
+                max_override = info[14]
+        per_op_latency_bound = (
+            config.memory_latency
+            + config.tlb_miss_penalty
+            + max(config.multiply_latency, config.divide_latency, config.alu_latency, max_override)
+            + 2
+        )
+        window_bound = config.rob_entries * per_op_latency_bound + 1024
+        ring_size = 1 << (min(max(window_bound, 1024), 1 << 17) - 1).bit_length()
+        ring_mask = ring_size - 1
+        ring_tag = [-1] * ring_size
+        ring_issue = [0] * ring_size
+        ring_mem = [0] * ring_size
+        ring_alu = [0] * ring_size
+        ring_mul = [0] * ring_size
+
+        # ------------------------------------------------- structural state
         rob_commits: deque[int] = deque()
         lq_commits: deque[int] = deque()
         sq_commits: deque[int] = deque()
         iq_issue_heap: list[int] = []
         rename_commit_heap: list[int] = []
+
         # Live-in architected state: the value sitting in each architected
         # register at the start of the window is ACE from cycle 0 until its
         # last read (base addresses, loop-invariant constants, etc.).
-        register_state: dict[int, _RegisterRecord] = {
-            register: _RegisterRecord(complete_cycle=0, width_fraction=1.0, ace=True)
-            for register in range(config.architected_registers)
-        }
-        register_ready: dict[int, int] = defaultdict(int)
+        architected = config.architected_registers
+        num_regs = max(ARCH_REG_COUNT, architected)
+        reg_present = [True] * architected + [False] * (num_regs - architected)
+        reg_complete = [0] * num_regs
+        reg_width = [1.0] * num_regs
+        reg_ace = [True] * num_regs
+        reg_last_read = [-1] * num_regs  # -1 == "never read by an ACE consumer"
+        reg_ready = [0] * num_regs
+        extra_regs: list[int] = []  # regs >= architected, in first-write order
+
+        # --------------------------------------------------- batched sums
+        # Each pair mirrors one AceAccumulator's (occupied_entry_cycles,
+        # ace_bit_cycles); the same additions happen in the same order, so
+        # flushing once at the end is bit-identical to per-op accounting.
+        rob_bits = accumulators[StructureName.ROB].bits_per_entry
+        iq_bits = accumulators[StructureName.IQ].bits_per_entry
+        lqt_bits = accumulators[StructureName.LQ_TAG].bits_per_entry
+        lqd_bits = accumulators[StructureName.LQ_DATA].bits_per_entry
+        sqt_bits = accumulators[StructureName.SQ_TAG].bits_per_entry
+        sqd_bits = accumulators[StructureName.SQ_DATA].bits_per_entry
+        rf_bits = accumulators[StructureName.RF].bits_per_entry
+        fu_bits = accumulators[StructureName.FU].bits_per_entry
+        rob_occ = rob_ace = 0.0
+        iq_occ = iq_ace = 0.0
+        lqt_occ = lqt_ace = 0.0
+        lqd_occ = lqd_ace = 0.0
+        sqt_occ = sqt_ace = 0.0
+        sqd_occ = sqd_ace = 0.0
+        rf_occ = rf_ace = 0.0
+        fu_occ = fu_ace = 0.0
+
+        # ------------------------------------------------------ hot locals
+        dispatch_width = config.dispatch_width
+        issue_width = config.issue_width
+        commit_width = config.commit_width
+        memory_issue_width = config.memory_issue_width
+        int_alus = config.int_alus
+        int_multipliers = config.int_multipliers
+        rob_entries = config.rob_entries
+        iq_entries = config.iq_entries
+        lq_entries = config.lq_entries
+        sq_entries = config.sq_entries
+        free_rename = config.free_rename_registers
+        mispredict_penalty = config.branch_misprediction_penalty
+        iterations_total = program.iterations
+        hierarchy_access = hierarchy.access
+        predictor_update = predictor.update
+        branch_random = branch_rng.raw().random
+        frontend_random = frontend_rng.raw().random
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        rob_append = rob_commits.append
+        rob_popleft = rob_commits.popleft
+        lq_append = lq_commits.append
+        lq_popleft = lq_commits.popleft
+        sq_append = sq_commits.append
+        sq_popleft = sq_commits.popleft
+
+        committed = 0
+        committed_ace = 0
+        branch_count = 0
+        branch_mispredictions = 0
+        l2_misses = 0
 
         min_dispatch_cycle = 1
         fetch_resume_cycle = 0
         last_commit_cycle = 0
         final_cycle = 1
 
-        body_budget = max_instructions
+        budget = max_instructions
         processed = 0
+        done = False
 
-        for op in program.dynamic_stream():
-            if op.in_setup and functional_setup:
-                continue
-            if processed >= body_budget:
-                break
-            processed += 1
+        # Dynamic stream: the setup section once (only when it is not handled
+        # functionally), then the body repeated per iteration, truncated at
+        # the instruction budget — mirroring Program.dynamic_stream.
+        def iteration_blocks():
+            if setup_infos:
+                yield -1, setup_infos
+            for iteration in range(iterations_total):
+                yield iteration, body_infos
 
-            instruction = op.instruction
-            is_memory = instruction.opclass.is_memory
-            is_nop = instruction.opclass is InstructionClass.NOP
-
-            # ---------------------------------------------------- dispatch
-            dispatch = max(min_dispatch_cycle, fetch_resume_cycle)
-
-            if frontend_miss_rate > 0.0 and frontend_rng.coin(frontend_miss_rate):
-                dispatch += frontend_miss_penalty
-
-            if len(rob_commits) >= config.rob_entries:
-                dispatch = max(dispatch, rob_commits[0])
-            if instruction.is_load or instruction.opclass is InstructionClass.PREFETCH:
-                if len(lq_commits) >= config.lq_entries:
-                    dispatch = max(dispatch, lq_commits[0])
-            elif instruction.is_store:
-                if len(sq_commits) >= config.sq_entries:
-                    dispatch = max(dispatch, sq_commits[0])
-
-            if instruction.writes_register:
-                while rename_commit_heap and rename_commit_heap[0] <= dispatch:
-                    heapq.heappop(rename_commit_heap)
-                if len(rename_commit_heap) >= config.free_rename_registers:
-                    dispatch = max(dispatch, rename_commit_heap[0])
-                    while rename_commit_heap and rename_commit_heap[0] <= dispatch:
-                        heapq.heappop(rename_commit_heap)
-
-            if not is_nop:
-                while iq_issue_heap and iq_issue_heap[0] <= dispatch:
-                    heapq.heappop(iq_issue_heap)
-                if len(iq_issue_heap) >= config.iq_entries:
-                    dispatch = max(dispatch, iq_issue_heap[0])
-                    while iq_issue_heap and iq_issue_heap[0] <= dispatch:
-                        heapq.heappop(iq_issue_heap)
-
-            while dispatch_slots[dispatch] >= config.dispatch_width:
-                dispatch += 1
-            dispatch_slots[dispatch] += 1
-            min_dispatch_cycle = dispatch
-
-            # ------------------------------------------------------- issue
-            ready = dispatch
-            for src in instruction.srcs:
-                ready = max(ready, register_ready[src])
-
-            if is_nop:
-                issue = dispatch
-                complete = dispatch
-                latency = 0
-            else:
-                issue = max(dispatch + 1, ready)
-                is_mul_class = instruction.opclass in (
-                    InstructionClass.INT_MUL,
-                    InstructionClass.INT_DIV,
-                )
-                while True:
-                    if issue_slots[issue] >= config.issue_width:
-                        issue += 1
-                        continue
-                    if is_memory and mem_slots[issue] >= config.memory_issue_width:
-                        issue += 1
-                        continue
-                    if is_mul_class and mul_slots[issue] >= config.int_multipliers:
-                        issue += 1
-                        continue
-                    if (
-                        not is_memory
-                        and not is_mul_class
-                        and alu_slots[issue] >= config.int_alus
-                    ):
-                        issue += 1
-                        continue
+        for iteration, infos in iteration_blocks():
+            resolve_iteration = iteration if iteration > 0 else 0
+            closing_taken = iteration < iterations_total - 1
+            for info in infos:
+                if processed >= budget:
+                    done = True
                     break
-                issue_slots[issue] += 1
-                if is_memory:
-                    mem_slots[issue] += 1
-                elif is_mul_class:
-                    mul_slots[issue] += 1
+                processed += 1
+
+                (_, is_memory, is_nop, is_lq, is_store, is_branch, is_mul,
+                 is_arith, writes_reg, dest, srcs, ace, data_frac, width_frac,
+                 fixed_latency, pattern, taken_probability, loop_closing,
+                 pc) = info
+
+                # ------------------------------------------------ dispatch
+                dispatch = min_dispatch_cycle
+                if fetch_resume_cycle > dispatch:
+                    dispatch = fetch_resume_cycle
+
+                if has_frontend_misses and frontend_random() < frontend_miss_rate:
+                    dispatch += frontend_miss_penalty
+
+                if len(rob_commits) >= rob_entries and rob_commits[0] > dispatch:
+                    dispatch = rob_commits[0]
+                if is_lq:
+                    if len(lq_commits) >= lq_entries and lq_commits[0] > dispatch:
+                        dispatch = lq_commits[0]
+                elif is_store:
+                    if len(sq_commits) >= sq_entries and sq_commits[0] > dispatch:
+                        dispatch = sq_commits[0]
+
+                if writes_reg:
+                    while rename_commit_heap and rename_commit_heap[0] <= dispatch:
+                        heappop(rename_commit_heap)
+                    if len(rename_commit_heap) >= free_rename:
+                        if rename_commit_heap[0] > dispatch:
+                            dispatch = rename_commit_heap[0]
+                        while rename_commit_heap and rename_commit_heap[0] <= dispatch:
+                            heappop(rename_commit_heap)
+
+                if not is_nop:
+                    while iq_issue_heap and iq_issue_heap[0] <= dispatch:
+                        heappop(iq_issue_heap)
+                    if len(iq_issue_heap) >= iq_entries:
+                        if iq_issue_heap[0] > dispatch:
+                            dispatch = iq_issue_heap[0]
+                        while iq_issue_heap and iq_issue_heap[0] <= dispatch:
+                            heappop(iq_issue_heap)
+
+                if dispatch == disp_cycle:
+                    if disp_count >= dispatch_width:
+                        dispatch += 1
+                        disp_cycle = dispatch
+                        disp_count = 1
+                    else:
+                        disp_count += 1
                 else:
-                    alu_slots[issue] += 1
+                    disp_cycle = dispatch
+                    disp_count = 1
+                min_dispatch_cycle = dispatch
 
-                latency, outcome = self._execution_latency(
-                    instruction, op, issue, hierarchy, memory_rng
-                )
-                if outcome is not None and outcome.is_l2_miss:
-                    stats.l2_misses += 1
-                complete = issue + latency
+                # --------------------------------------------------- issue
+                if is_nop:
+                    issue = dispatch
+                    complete = dispatch
+                    latency = 0
+                else:
+                    issue = dispatch + 1
+                    for src in srcs:
+                        ready = reg_ready[src]
+                        if ready > issue:
+                            issue = ready
 
-            # ------------------------------------------------------ commit
-            commit = max(complete + 1, last_commit_cycle)
-            while commit_slots[commit] >= config.commit_width:
-                commit += 1
-            commit_slots[commit] += 1
-            last_commit_cycle = commit
-            final_cycle = max(final_cycle, commit)
+                    while True:
+                        slot = issue & ring_mask
+                        if ring_tag[slot] == issue:
+                            if ring_issue[slot] >= issue_width:
+                                issue += 1
+                                continue
+                            if is_memory:
+                                if ring_mem[slot] >= memory_issue_width:
+                                    issue += 1
+                                    continue
+                            elif is_mul:
+                                if ring_mul[slot] >= int_multipliers:
+                                    issue += 1
+                                    continue
+                            elif ring_alu[slot] >= int_alus:
+                                issue += 1
+                                continue
+                        break
 
-            # Stores update the data cache when they retire.
-            if instruction.is_store and instruction.address_pattern is not None:
-                address = instruction.address_pattern.resolve(max(op.iteration, 0), memory_rng)
-                hierarchy.access(address, is_write=True, cycle=commit, ace=instruction.ace)
+                    if issue - dispatch >= ring_size:
+                        # Two live cycles could alias; regrow (rare).
+                        ring_size, ring_mask, ring_tag, ring_issue, ring_mem, \
+                            ring_alu, ring_mul = self._grow_rings(
+                                issue - dispatch, dispatch, ring_size,
+                                ring_tag, ring_issue, ring_mem, ring_alu, ring_mul,
+                            )
+                        slot = issue & ring_mask
+                    if ring_tag[slot] == issue:
+                        ring_issue[slot] += 1
+                    else:
+                        ring_tag[slot] = issue
+                        ring_issue[slot] = 1
+                        ring_mem[slot] = 0
+                        ring_alu[slot] = 0
+                        ring_mul[slot] = 0
+                    if is_memory:
+                        ring_mem[slot] += 1
+                    elif is_mul:
+                        ring_mul[slot] += 1
+                    else:
+                        ring_alu[slot] += 1
 
-            # ------------------------------------------------ branch logic
-            if instruction.is_branch:
-                stats.branch_count += 1
-                taken = self._branch_outcome(program, op, branch_rng)
-                pc = op.index_in_body if not op.in_setup else 4096 + op.index_in_body
-                mispredicted = predictor.update(pc, taken)
-                if mispredicted:
-                    stats.branch_mispredictions += 1
-                    fetch_resume_cycle = max(
-                        fetch_resume_cycle, complete + config.branch_misprediction_penalty
-                    )
+                    if fixed_latency is not None:
+                        latency = fixed_latency
+                    else:
+                        # Load/prefetch: resolve the address and access the
+                        # memory hierarchy at issue time.
+                        address = pattern.resolve(resolve_iteration, memory_rng)
+                        outcome = hierarchy_access(address, False, issue, ace)
+                        latency = outcome.latency
+                        if not outcome.dl1_hit and not outcome.l2_hit:
+                            l2_misses += 1
+                    complete = issue + latency
 
-            # -------------------------------------------- structural state
-            rob_commits.append(commit)
-            if len(rob_commits) > config.rob_entries:
-                rob_commits.popleft()
-            if instruction.is_load or instruction.opclass is InstructionClass.PREFETCH:
-                lq_commits.append(commit)
-                if len(lq_commits) > config.lq_entries:
-                    lq_commits.popleft()
-            elif instruction.is_store:
-                sq_commits.append(commit)
-                if len(sq_commits) > config.sq_entries:
-                    sq_commits.popleft()
-            if not is_nop:
-                heapq.heappush(iq_issue_heap, issue)
-            if instruction.writes_register:
-                heapq.heappush(rename_commit_heap, commit)
+                # -------------------------------------------------- commit
+                commit = complete + 1
+                if last_commit_cycle > commit:
+                    commit = last_commit_cycle
+                if commit == last_commit_cycle and commit_count >= commit_width:
+                    commit += 1
+                if commit == last_commit_cycle:
+                    commit_count += 1
+                else:
+                    commit_count = 1
+                last_commit_cycle = commit
+                if commit > final_cycle:
+                    final_cycle = commit
 
-            # -------------------------------------------------- ACE credit
-            self._account(
-                accumulators,
-                instruction,
-                dispatch=dispatch,
-                issue=issue,
-                complete=complete,
-                commit=commit,
-                latency=latency,
-            )
-            self._account_register_reads(register_state, instruction, issue)
-            if instruction.writes_register and instruction.dest is not None:
-                self._retire_register_record(
-                    accumulators[StructureName.RF], register_state.get(instruction.dest)
-                )
-                register_state[instruction.dest] = _RegisterRecord(
-                    complete_cycle=complete,
-                    width_fraction=instruction.width.ace_fraction(),
-                    ace=instruction.ace,
-                )
-                register_ready[instruction.dest] = complete
+                # Stores update the data cache when they retire.
+                if is_store and pattern is not None:
+                    address = pattern.resolve(resolve_iteration, memory_rng)
+                    hierarchy_access(address, True, commit, ace)
 
-            stats.committed_instructions += 1
-            if instruction.ace:
-                stats.committed_ace_instructions += 1
+                # -------------------------------------------- branch logic
+                if is_branch:
+                    branch_count += 1
+                    if loop_closing:
+                        taken = closing_taken
+                    else:
+                        taken = branch_random() < taken_probability
+                    if predictor_update(pc, taken):
+                        branch_mispredictions += 1
+                        resume = complete + mispredict_penalty
+                        if resume > fetch_resume_cycle:
+                            fetch_resume_cycle = resume
 
-        # Finalise open state.
-        for record in register_state.values():
-            self._retire_register_record(accumulators[StructureName.RF], record)
+                # ---------------------------------------- structural state
+                rob_append(commit)
+                if len(rob_commits) > rob_entries:
+                    rob_popleft()
+                if is_lq:
+                    lq_append(commit)
+                    if len(lq_commits) > lq_entries:
+                        lq_popleft()
+                elif is_store:
+                    sq_append(commit)
+                    if len(sq_commits) > sq_entries:
+                        sq_popleft()
+                if not is_nop:
+                    heappush(iq_issue_heap, issue)
+                if writes_reg:
+                    heappush(rename_commit_heap, commit)
+
+                # ------------------------------------------------ ACE credit
+                duration = float(commit - dispatch)
+                rob_occ += duration
+                if ace:
+                    rob_ace += duration * rob_bits
+
+                if not is_nop:
+                    duration = float(issue - dispatch)
+                    iq_occ += duration
+                    if ace:
+                        iq_ace += duration * iq_bits
+
+                if is_lq:
+                    lqt_occ += float(issue - dispatch)
+                    duration = float(commit - issue)
+                    lqt_occ += duration
+                    if ace:
+                        lqt_ace += duration * lqt_bits
+                    lqd_occ += float(complete - dispatch)
+                    duration = float(commit - complete)
+                    lqd_occ += duration
+                    if data_frac:
+                        lqd_ace += duration * lqd_bits * data_frac
+                elif is_store:
+                    sqt_occ += float(issue - dispatch)
+                    duration = float(commit - issue)
+                    sqt_occ += duration
+                    if ace:
+                        sqt_ace += duration * sqt_bits
+                    sqd_occ += float(issue - dispatch)
+                    if data_frac:
+                        sqd_ace += duration * sqd_bits * data_frac
+                    sqd_occ += duration
+
+                if is_arith:
+                    duration = float(latency if latency > 1 else 1)
+                    fu_occ += duration
+                    if ace:
+                        fu_ace += duration * fu_bits
+
+                # Register-file lifetime: mark ACE source reads at issue, and
+                # retire the overwritten destination value's ACE interval.
+                if ace:
+                    for src in srcs:
+                        if reg_present[src] and issue > reg_last_read[src]:
+                            reg_last_read[src] = issue
+                if writes_reg:
+                    if reg_present[dest]:
+                        if reg_ace[dest]:
+                            last_read = reg_last_read[dest]
+                            if last_read > reg_complete[dest]:
+                                duration = float(last_read - reg_complete[dest])
+                                rf_occ += duration
+                                rf_ace += duration * rf_bits * reg_width[dest]
+                    else:
+                        reg_present[dest] = True
+                        extra_regs.append(dest)
+                    reg_complete[dest] = complete
+                    reg_width[dest] = width_frac
+                    reg_ace[dest] = ace
+                    reg_last_read[dest] = -1
+                    reg_ready[dest] = complete
+
+                committed += 1
+                if ace:
+                    committed_ace += 1
+            if done:
+                break
+
+        # Finalise open register lifetimes (architected registers in index
+        # order first, then late-allocated ones in first-write order — the
+        # same order the per-register records were created in).
+        for reg in range(architected):
+            if reg_ace[reg]:
+                last_read = reg_last_read[reg]
+                if last_read > reg_complete[reg]:
+                    duration = float(last_read - reg_complete[reg])
+                    rf_occ += duration
+                    rf_ace += duration * rf_bits * reg_width[reg]
+        for reg in extra_regs:
+            if reg_ace[reg]:
+                last_read = reg_last_read[reg]
+                if last_read > reg_complete[reg]:
+                    duration = float(last_read - reg_complete[reg])
+                    rf_occ += duration
+                    rf_ace += duration * rf_bits * reg_width[reg]
+
+        # Flush the batched sums into the accumulators.
+        for name, occ, ace_bits in (
+            (StructureName.ROB, rob_occ, rob_ace),
+            (StructureName.IQ, iq_occ, iq_ace),
+            (StructureName.LQ_TAG, lqt_occ, lqt_ace),
+            (StructureName.LQ_DATA, lqd_occ, lqd_ace),
+            (StructureName.SQ_TAG, sqt_occ, sqt_ace),
+            (StructureName.SQ_DATA, sqd_occ, sqd_ace),
+            (StructureName.RF, rf_occ, rf_ace),
+            (StructureName.FU, fu_occ, fu_ace),
+        ):
+            accumulator = accumulators[name]
+            accumulator.occupied_entry_cycles += occ
+            accumulator.ace_bit_cycles += ace_bits
+
         hierarchy.finalize(final_cycle)
 
+        stats.committed_instructions = committed
+        stats.committed_ace_instructions = committed_ace
+        stats.branch_count = branch_count
+        stats.branch_mispredictions = branch_mispredictions
+        stats.l2_misses = l2_misses
         stats.total_cycles = final_cycle
         stats.dl1_miss_rate = hierarchy.dl1.stats.miss_rate
         stats.l2_miss_rate = hierarchy.l2.stats.miss_rate
@@ -394,6 +641,99 @@ class OutOfOrderCore:
         )
 
     # -------------------------------------------------------------- helpers
+
+    def _instruction_info(
+        self, instruction: Instruction, index: int, in_setup: bool, program: Program
+    ) -> tuple:
+        """Precompute the per-dynamic-op facts of one static instruction.
+
+        Field order is documented by ``_INFO_FIELDS``.  ``fixed_latency`` is
+        ``None`` exactly when the latency is dynamic (a load/prefetch without
+        an override, which must access the memory hierarchy at issue).
+        """
+        config = self.config
+        opclass = instruction.opclass
+        is_lq = opclass is InstructionClass.LOAD or opclass is InstructionClass.PREFETCH
+        is_store = opclass is InstructionClass.STORE
+        is_mul = opclass is InstructionClass.INT_MUL or opclass is InstructionClass.INT_DIV
+        ace = instruction.ace
+        width_frac = instruction.width.ace_fraction()
+
+        fixed_latency: Optional[int]
+        if instruction.latency_override is not None:
+            fixed_latency = instruction.latency_override
+        elif opclass is InstructionClass.INT_ALU or opclass is InstructionClass.BRANCH:
+            fixed_latency = config.alu_latency
+        elif opclass is InstructionClass.INT_MUL:
+            fixed_latency = config.multiply_latency
+        elif opclass is InstructionClass.INT_DIV:
+            fixed_latency = config.divide_latency
+        elif is_store:
+            # Address generation only; the data-cache write happens at commit.
+            fixed_latency = config.alu_latency
+        elif is_lq:
+            fixed_latency = None
+        else:
+            fixed_latency = 0
+
+        return (
+            index,
+            opclass.is_memory,
+            opclass is InstructionClass.NOP,
+            is_lq,
+            is_store,
+            opclass is InstructionClass.BRANCH,
+            is_mul,
+            opclass is InstructionClass.INT_ALU or is_mul,
+            instruction.dest is not None,
+            instruction.dest,
+            instruction.srcs,
+            ace,
+            width_frac if ace else 0.0,
+            width_frac,
+            fixed_latency,
+            instruction.address_pattern,
+            instruction.taken_probability,
+            program.branch_behavior(index) is BranchBehavior.LOOP_CLOSING,
+            4096 + index if in_setup else index,
+        )
+
+    @staticmethod
+    def _grow_rings(
+        span: int,
+        frontier: int,
+        ring_size: int,
+        ring_tag: list[int],
+        ring_issue: list[int],
+        ring_mem: list[int],
+        ring_alu: list[int],
+        ring_mul: list[int],
+    ) -> tuple[int, int, list[int], list[int], list[int], list[int], list[int]]:
+        """Double the issue rings until ``span`` fits; re-place live slots.
+
+        A slot is live exactly when its tagged cycle is beyond ``frontier``
+        (the current dispatch cycle): earlier cycles can never be probed
+        again because dispatch is monotone.
+        """
+        new_size = ring_size
+        while new_size <= span:
+            new_size <<= 1
+        new_mask = new_size - 1
+        new_tag = [-1] * new_size
+        new_issue = [0] * new_size
+        new_mem = [0] * new_size
+        new_alu = [0] * new_size
+        new_mul = [0] * new_size
+        for slot in range(ring_size):
+            tag = ring_tag[slot]
+            if tag > frontier:
+                new_slot = tag & new_mask
+                new_tag[new_slot] = tag
+                new_issue[new_slot] = ring_issue[slot]
+                new_mem[new_slot] = ring_mem[slot]
+                new_alu[new_slot] = ring_alu[slot]
+                new_mul[new_slot] = ring_mul[slot]
+        return new_size, new_mask, new_tag, new_issue, new_mem, new_alu, new_mul
 
     @staticmethod
     def _cache_accumulator(
@@ -441,7 +781,12 @@ class OutOfOrderCore:
         hierarchy: MemoryHierarchy,
         rng: DeterministicRng,
     ) -> tuple[int, Optional[MemoryAccessOutcome]]:
-        """Latency of an issued instruction; memory ops access the hierarchy."""
+        """Latency of an issued instruction; memory ops access the hierarchy.
+
+        Kept as the reference (unbatched) formulation of the latency model
+        used by the run loop's precomputed ``fixed_latency`` fast path; unit
+        tests may exercise it directly.
+        """
         config = self.config
         if instruction.latency_override is not None:
             return instruction.latency_override, None
@@ -462,69 +807,3 @@ class OutOfOrderCore:
             # Address generation only; the data-cache write happens at commit.
             return config.alu_latency, None
         return 0, None
-
-    @staticmethod
-    def _branch_outcome(program: Program, op: DynamicOp, rng: DeterministicRng) -> bool:
-        """Dynamic outcome of a branch instance."""
-        behavior = program.branch_behavior(op.index_in_body)
-        if behavior is BranchBehavior.LOOP_CLOSING:
-            return op.iteration < program.iterations - 1
-        return rng.coin(op.instruction.taken_probability)
-
-    def _account(
-        self,
-        accumulators: Mapping[StructureName, AceAccumulator],
-        instruction: Instruction,
-        dispatch: int,
-        issue: int,
-        complete: int,
-        commit: int,
-        latency: int,
-    ) -> None:
-        """Record occupancy and ACE intervals for one dynamic instruction."""
-        ace = 1.0 if instruction.ace else 0.0
-        width_fraction = instruction.data_ace_fraction()
-
-        accumulators[StructureName.ROB].add_interval(dispatch, commit, ace)
-
-        if instruction.opclass is not InstructionClass.NOP:
-            accumulators[StructureName.IQ].add_interval(dispatch, issue, ace)
-
-        if instruction.is_load or instruction.opclass is InstructionClass.PREFETCH:
-            accumulators[StructureName.LQ_TAG].add_interval(dispatch, issue, 0.0)
-            accumulators[StructureName.LQ_TAG].add_interval(issue, commit, ace)
-            accumulators[StructureName.LQ_DATA].add_interval(dispatch, complete, 0.0)
-            accumulators[StructureName.LQ_DATA].add_interval(complete, commit, width_fraction)
-        elif instruction.is_store:
-            accumulators[StructureName.SQ_TAG].add_interval(dispatch, issue, 0.0)
-            accumulators[StructureName.SQ_TAG].add_interval(issue, commit, ace)
-            accumulators[StructureName.SQ_DATA].add_interval(dispatch, issue, 0.0)
-            accumulators[StructureName.SQ_DATA].add_interval(issue, commit, width_fraction)
-
-        if instruction.is_arithmetic:
-            accumulators[StructureName.FU].add_interval(issue, issue + max(1, latency), ace)
-
-    @staticmethod
-    def _account_register_reads(
-        register_state: Mapping[int, _RegisterRecord], instruction: Instruction, issue: int
-    ) -> None:
-        """Mark source registers as read (for RF ACE lifetime) at issue time."""
-        if not instruction.ace:
-            return
-        for src in instruction.srcs:
-            record = register_state.get(src)
-            if record is None:
-                continue
-            if record.last_ace_read is None or issue > record.last_ace_read:
-                record.last_ace_read = issue
-
-    @staticmethod
-    def _retire_register_record(
-        rf_accumulator: AceAccumulator, record: Optional[_RegisterRecord]
-    ) -> None:
-        """Credit the ACE lifetime of a register value being overwritten."""
-        if record is None or not record.ace or record.last_ace_read is None:
-            return
-        rf_accumulator.add_interval(
-            record.complete_cycle, record.last_ace_read, record.width_fraction
-        )

@@ -45,6 +45,11 @@ class DeterministicRng:
         """Create an independent child RNG keyed by ``components``."""
         return DeterministicRng(derive_seed(self.seed, *components))
 
+    def raw(self) -> random.Random:
+        """The underlying :class:`random.Random` (for hot loops that hoist
+        bound methods; draws interleave with the wrapper's own methods)."""
+        return self._random
+
     def random(self) -> float:
         """Return a float uniformly distributed in [0, 1)."""
         return self._random.random()

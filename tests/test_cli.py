@@ -12,7 +12,7 @@ class TestParser:
         expected = {
             "table1", "table2", "table3",
             "figure3", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9",
-            "bound", "stressmark",
+            "bound", "stressmark", "bench",
         }
         assert expected == set(COMMANDS)
 
@@ -24,6 +24,14 @@ class TestParser:
     def test_parser_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure42"])
+
+    def test_parser_accepts_jobs(self):
+        args = build_parser().parse_args(["figure6", "--jobs", "4"])
+        assert args.jobs == 4
+        assert build_parser().parse_args(["table1"]).jobs is None
+
+    def test_jobs_documented_in_help(self):
+        assert "--jobs" in build_parser().format_help()
 
     def test_scale_and_fault_rate_options(self):
         args = build_parser().parse_args(["stressmark", "--scale", "default", "--fault-rates", "rhc"])
