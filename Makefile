@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test benchmarks bench bench-smoke
+.PHONY: test benchmarks bench bench-smoke specs-smoke
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -17,3 +17,8 @@ bench:
 # recorded BENCH_pipeline.json baseline (see PERFORMANCE.md).
 bench-smoke:
 	REPRO_PERF_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_perf_simulator.py -m perf_smoke -q
+
+# Tier-2 spec-file gate: validate + run every examples/specs/*.json through
+# the declarative run API at quick scale (see EXPERIMENTS.md).
+specs-smoke:
+	REPRO_SPECS_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_specs_smoke.py -m specs_smoke -q

@@ -38,6 +38,11 @@ def pytest_configure(config: pytest.Config) -> None:
         "perf_smoke: performance regression gate (run via `make bench-smoke` "
         "or REPRO_PERF_SMOKE=1; see PERFORMANCE.md)",
     )
+    config.addinivalue_line(
+        "markers",
+        "specs_smoke: example-spec validation gate (run via `make specs-smoke` "
+        "or REPRO_SPECS_SMOKE=1; see EXPERIMENTS.md)",
+    )
 
 
 def pytest_report_header(config: pytest.Config) -> str:

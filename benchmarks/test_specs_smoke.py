@@ -1,0 +1,56 @@
+"""Spec-file smoke gate (tier-2 ``specs_smoke``, run via ``make specs-smoke``).
+
+Validates and runs every checked-in example spec under ``examples/specs/``
+through the declarative run API at its own (quick) scale, and asserts the
+RunResult JSON round-trips with a stable spec digest.  Like the perf gate,
+the suite only runs when explicitly requested:
+
+    make specs-smoke
+    # or
+    REPRO_SPECS_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_specs_smoke.py -q
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunResult, RunSpec, Session
+
+SPECS_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+
+pytestmark = [pytest.mark.specs_smoke]
+if not os.environ.get("REPRO_SPECS_SMOKE"):
+    pytestmark.append(
+        pytest.mark.skip(reason="specs smoke disabled (set REPRO_SPECS_SMOKE=1 or run `make specs-smoke`)")
+    )
+
+
+def _spec_files() -> list[Path]:
+    return sorted(SPECS_DIR.glob("*.json"))
+
+
+def test_example_specs_exist():
+    assert _spec_files(), f"no example specs found under {SPECS_DIR}"
+
+
+@pytest.mark.parametrize("path", _spec_files(), ids=lambda p: p.stem)
+def test_example_spec_validates_runs_and_round_trips(path: Path, tmp_path: Path):
+    spec = RunSpec.load(path)  # load() validates shape + registry names
+
+    with Session(jobs=2) as session:
+        result = session.run(spec)
+
+    assert result.rows, f"{path.name} produced no rows"
+    if spec.kind == "sweep":
+        assert result.children, f"{path.name} is a sweep but produced no children"
+    if spec.kind == "stressmark":
+        assert result.knobs and result.ga and result.ga["evaluations"] > 0
+
+    out = tmp_path / f"{path.stem}_result.json"
+    result.save(out)
+    reloaded = RunResult.load(out)
+    assert reloaded.spec_digest == result.spec_digest == spec.digest
+    assert reloaded.rows == result.rows

@@ -21,6 +21,10 @@ Public API highlights
     baseline.
 ``repro.experiments``
     One driver per paper table and figure.
+``repro.api``
+    The declarative run API: component registries, JSON-serializable
+    ``RunSpec`` requests / ``RunResult`` responses, and the ``Session``
+    facade every front-end routes simulations through.
 """
 
 from repro.avf import StructureGroup, build_report
@@ -34,7 +38,23 @@ from repro.uarch import (
     unit_fault_rates,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.api import (  # noqa: E402  (api imports repro submodules, keep last)
+    BACKENDS,
+    CONFIGS,
+    FAULT_RATES,
+    FITNESS_OBJECTIVES,
+    SCALES,
+    WORKLOAD_SUITES,
+    Registry,
+    RegistryError,
+    RunResult,
+    RunSpec,
+    Session,
+    SpecError,
+    registries,
+)
 
 __all__ = [
     "StructureGroup",
@@ -46,5 +66,18 @@ __all__ = [
     "unit_fault_rates",
     "rhc_fault_rates",
     "edr_fault_rates",
+    "Session",
+    "RunSpec",
+    "RunResult",
+    "SpecError",
+    "Registry",
+    "RegistryError",
+    "registries",
+    "CONFIGS",
+    "FAULT_RATES",
+    "WORKLOAD_SUITES",
+    "FITNESS_OBJECTIVES",
+    "SCALES",
+    "BACKENDS",
     "__version__",
 ]

@@ -1,0 +1,98 @@
+"""Canned RunSpecs for every simulated table and figure of the paper.
+
+Each figure/table driver in :mod:`repro.experiments` is a thin consumer of
+one of these specs: the spec declares *what* to run (which configs,
+fault-rate models and workload suites), the :class:`~repro.api.session.
+Session` executes it, and the driver only reshapes the resulting reports
+into the paper's presentation.  ``repro run`` can execute the same specs
+directly; ``preset_spec(name).save(path)`` writes one out as a starting
+point for custom scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.api.spec import RunSpec
+from repro.api.registry import RegistryError, suggest
+
+
+def comparison_spec(name: str, config: str = "baseline", fault_rates: str = "unit",
+                    suites: tuple[str, ...] = ("all",)) -> RunSpec:
+    """A stressmark-vs-workloads comparison (the shape of Figures 3/4/7)."""
+    return RunSpec(
+        kind="sweep",
+        name=name,
+        runs=(
+            RunSpec(kind="stressmark", name=f"{name}/stressmark",
+                    config=config, fault_rates=fault_rates),
+            RunSpec(kind="simulate", name=f"{name}/workloads",
+                    config=config, fault_rates=fault_rates, suites=suites),
+        ),
+    )
+
+
+def _presets() -> dict[str, RunSpec]:
+    return {
+        "figure3": comparison_spec("figure3", suites=("spec_int", "spec_fp")),
+        "figure4": comparison_spec("figure4", suites=("mibench",)),
+        "figure5": RunSpec(kind="stressmark", name="figure5"),
+        "figure6": comparison_spec("figure6", suites=("spec_int", "spec_fp", "mibench")),
+        "figure7": RunSpec(
+            kind="sweep",
+            name="figure7",
+            base=RunSpec(kind="stressmark", name="figure7/stressmark"),
+            axes={"fault_rates": ("rhc", "edr")},
+            runs=(
+                RunSpec(kind="simulate", name="figure7/workloads[fault_rates=rhc]",
+                        fault_rates="rhc", suites=("all",)),
+                RunSpec(kind="simulate", name="figure7/workloads[fault_rates=edr]",
+                        fault_rates="edr", suites=("all",)),
+            ),
+        ),
+        "figure8": RunSpec(
+            kind="sweep",
+            name="figure8",
+            base=RunSpec(kind="stressmark", name="figure8/stressmark"),
+            axes={"fault_rates": ("unit", "rhc", "edr")},
+        ),
+        "figure9": RunSpec(
+            kind="sweep",
+            name="figure9",
+            base=RunSpec(kind="stressmark", name="figure9/stressmark"),
+            axes={"config": ("baseline", "config_a")},
+        ),
+        "table3": RunSpec(
+            kind="sweep",
+            name="table3",
+            base=RunSpec(kind="stressmark", name="table3/stressmark"),
+            axes={"fault_rates": ("unit", "rhc", "edr")},
+            runs=(
+                RunSpec(kind="simulate", name="table3/workloads[fault_rates=unit]",
+                        fault_rates="unit", suites=("all",)),
+                RunSpec(kind="simulate", name="table3/workloads[fault_rates=rhc]",
+                        fault_rates="rhc", suites=("all",)),
+                RunSpec(kind="simulate", name="table3/workloads[fault_rates=edr]",
+                        fault_rates="edr", suites=("all",)),
+            ),
+        ),
+    }
+
+
+def preset_names() -> list[str]:
+    """Names of the canned experiment specs."""
+    return list(_presets())
+
+
+def preset_spec(name: str) -> RunSpec:
+    """The canned spec behind one figure/table driver."""
+    presets = _presets()
+    try:
+        return presets[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown preset spec {name!r}{suggest(name, presets)} (known: {', '.join(presets)})"
+        ) from None
+
+
+def children_of_kind(spec: RunSpec, kind: str) -> list[RunSpec]:
+    """A sweep's expanded children of one kind (helper for thin drivers)."""
+    return [child for child in spec.expand() if child.kind == kind]

@@ -1,18 +1,25 @@
 """Command-line interface: regenerate the paper's experiments from a shell.
 
-Usage (after ``pip install -e .`` / ``python setup.py develop``)::
+Usage (after ``pip install -e .``)::
 
-    python -m repro list                      # list available experiments
-    python -m repro table1                    # print Table I
-    python -m repro figure4 --scale quick     # stressmark vs MiBench
-    python -m repro figure5 --scale default   # GA knobs + convergence
-    python -m repro table3                    # worst-case estimation comparison
-    python -m repro stressmark --fault-rates rhc   # just generate one stressmark
-    python -m repro figure6 --jobs 4          # fan simulations out over 4 workers
-    python -m repro bench                     # record perf baselines (PERFORMANCE.md)
+    repro list                           # experiments + registered components
+    repro table1                         # print Table I
+    repro figure4 --scale quick          # stressmark vs MiBench
+    repro figure5 --scale default        # GA knobs + convergence
+    repro table3                         # worst-case estimation comparison
+    repro stressmark --fault-rates rhc   # just generate one stressmark
+    repro figure6 --jobs 4               # fan simulations out over 4 workers
+    repro run examples/specs/stressmark_rhc.json --jobs 2   # declarative run
+    repro sweep examples/specs/sweep_fault_rates.json --out result.json
+    repro bench                          # record perf baselines (PERFORMANCE.md)
 
-Every experiment prints the same rows/series the corresponding benchmark
-prints; the CLI exists so results can be regenerated without pytest.
+Every experiment routes through the declarative run API
+(:mod:`repro.api`): a figure/table command executes its canned
+:class:`~repro.api.spec.RunSpec` via a :class:`~repro.api.session.Session`,
+and ``repro run`` / ``repro sweep`` execute any spec JSON file — the
+``--config`` / ``--fault-rates`` / ``--scale`` choices below are read from
+the component registries, so registering a new component automatically
+extends the CLI.
 
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) runs the
 independent workload simulations and GA fitness evaluations on N worker
@@ -25,12 +32,19 @@ import argparse
 import sys
 from typing import Callable, Iterable
 
+from repro.api import (
+    CONFIGS,
+    FAULT_RATES,
+    SCALES,
+    RunSpec,
+    Session,
+    SpecError,
+    registries,
+)
+from repro.api.registry import RegistryError
 from repro.avf.analysis import StructureGroup, instantaneous_worst_case_bound
 from repro.experiments.figures import figure3, figure4, figure5, figure6, figure7, figure8, figure9
-from repro.experiments.runner import ExperimentContext, ExperimentScale
 from repro.experiments.tables import table1, table2, table3
-from repro.uarch.config import baseline_config, config_a
-from repro.uarch.faultrates import edr_fault_rates, rhc_fault_rates, unit_fault_rates
 
 
 def _print_rows(title: str, rows: Iterable[dict]) -> None:
@@ -49,30 +63,18 @@ def _print_rows(title: str, rows: Iterable[dict]) -> None:
         print("  ".join(cells))
 
 
-def _scale(name: str) -> ExperimentScale:
-    if name == "default":
-        return ExperimentScale.default()
-    if name == "paper":
-        return ExperimentScale.paper()
-    return ExperimentScale.quick()
-
-
-def _fault_rates(name: str):
-    return {"unit": unit_fault_rates, "rhc": rhc_fault_rates, "edr": edr_fault_rates}[name]()
-
-
-def _cmd_table1(context: ExperimentContext, args: argparse.Namespace) -> None:
+def _cmd_table1(session: Session, args: argparse.Namespace) -> None:
     _print_rows("Table I: baseline configuration",
                 [{"parameter": k, "value": v} for k, v in table1().items()])
 
 
-def _cmd_table2(context: ExperimentContext, args: argparse.Namespace) -> None:
+def _cmd_table2(session: Session, args: argparse.Namespace) -> None:
     _print_rows("Table II: Configuration A",
                 [{"parameter": k, "value": v} for k, v in table2().items()])
 
 
-def _cmd_table3(context: ExperimentContext, args: argparse.Namespace) -> None:
-    result = table3(context)
+def _cmd_table3(session: Session, args: argparse.Namespace) -> None:
+    result = table3(session=session)
     _print_rows(
         "Table III: worst-case core SER estimation (units/bit)",
         [
@@ -90,16 +92,16 @@ def _cmd_table3(context: ExperimentContext, args: argparse.Namespace) -> None:
 
 
 def _cmd_comparison_figure(figure_fn: Callable, title: str):
-    def command(context: ExperimentContext, args: argparse.Namespace) -> None:
-        result = figure_fn(context)
+    def command(session: Session, args: argparse.Namespace) -> None:
+        result = figure_fn(session=session)
         _print_rows(title, [row.as_dict() for row in result.rows])
         for group in (StructureGroup.QS, StructureGroup.QS_RF, StructureGroup.DL1_DTLB, StructureGroup.L2):
             print(f"margin over best workload [{group.value}]: {result.stressmark_margin(group):.2f}x")
     return command
 
 
-def _cmd_figure5(context: ExperimentContext, args: argparse.Namespace) -> None:
-    result = figure5(context)
+def _cmd_figure5(session: Session, args: argparse.Namespace) -> None:
+    result = figure5(session=session)
     _print_rows("Figure 5a: knob settings",
                 [{"knob": k, "value": v} for k, v in result.knob_table.items()])
     _print_rows(
@@ -113,8 +115,8 @@ def _cmd_figure5(context: ExperimentContext, args: argparse.Namespace) -> None:
     )
 
 
-def _cmd_figure6(context: ExperimentContext, args: argparse.Namespace) -> None:
-    results = figure6(context)
+def _cmd_figure6(session: Session, args: argparse.Namespace) -> None:
+    results = figure6(session=session)
     for suite, suite_result in results.items():
         _print_rows(
             f"Figure 6: per-structure AVF ({suite.value})",
@@ -125,14 +127,14 @@ def _cmd_figure6(context: ExperimentContext, args: argparse.Namespace) -> None:
         )
 
 
-def _cmd_figure7(context: ExperimentContext, args: argparse.Namespace) -> None:
-    results = figure7(context)
+def _cmd_figure7(session: Session, args: argparse.Namespace) -> None:
+    results = figure7(session=session)
     for label, comparison in results.items():
         _print_rows(f"Figure 7 ({label.upper()}): SER", [row.as_dict() for row in comparison.rows])
 
 
-def _cmd_figure8(context: ExperimentContext, args: argparse.Namespace) -> None:
-    result = figure8(context)
+def _cmd_figure8(session: Session, args: argparse.Namespace) -> None:
+    result = figure8(session=session)
     _print_rows("Figure 8a: fault rates",
                 [{"scenario": s, **rates} for s, rates in result.fault_rate_table.items()])
     _print_rows("Figure 8b: stressmark queueing AVF",
@@ -142,8 +144,8 @@ def _cmd_figure8(context: ExperimentContext, args: argparse.Namespace) -> None:
         _print_rows(f"Knob settings ({scenario})", [{"knob": k, "value": v} for k, v in knobs.items()])
 
 
-def _cmd_figure9(context: ExperimentContext, args: argparse.Namespace) -> None:
-    result = figure9(context)
+def _cmd_figure9(session: Session, args: argparse.Namespace) -> None:
+    result = figure9(session=session)
     _print_rows(
         "Figure 9a: stressmark SER per group",
         [{"config": name, **{g.value: v for g, v in groups.items()}}
@@ -153,17 +155,17 @@ def _cmd_figure9(context: ExperimentContext, args: argparse.Namespace) -> None:
         _print_rows(f"Figure 9b: knobs ({name})", [{"knob": k, "value": v} for k, v in knobs.items()])
 
 
-def _cmd_bound(context: ExperimentContext, args: argparse.Namespace) -> None:
+def _cmd_bound(session: Session, args: argparse.Namespace) -> None:
     _print_rows(
         "Instantaneous worst-case queue SER bound (Section VI)",
         [
-            {"config": "baseline", "bound": instantaneous_worst_case_bound(baseline_config())},
-            {"config": "config_a", "bound": instantaneous_worst_case_bound(config_a())},
+            {"config": name, "bound": instantaneous_worst_case_bound(CONFIGS.create(name))}
+            for name in CONFIGS.names()
         ],
     )
 
 
-def _cmd_bench(context: ExperimentContext, args: argparse.Namespace) -> None:
+def _cmd_bench(session: Session, args: argparse.Namespace) -> None:
     from repro.experiments.bench import run_benchmarks
 
     metrics = run_benchmarks(jobs=args.jobs)
@@ -192,10 +194,9 @@ def _cmd_bench(context: ExperimentContext, args: argparse.Namespace) -> None:
     )
 
 
-def _cmd_stressmark(context: ExperimentContext, args: argparse.Namespace) -> None:
-    config = config_a() if args.config == "config_a" else baseline_config()
-    fault_rates = _fault_rates(args.fault_rates)
-    result = context.stressmark(config, fault_rates)
+def _cmd_stressmark(session: Session, args: argparse.Namespace) -> None:
+    spec = RunSpec(kind="stressmark", config=args.config, fault_rates=args.fault_rates)
+    result = session.stressmark_result(spec)
     _print_rows("Stressmark knob settings", [{"knob": k, "value": v} for k, v in result.knob_table().items()])
     _print_rows(
         "Stressmark SER (units/bit)",
@@ -203,7 +204,7 @@ def _cmd_stressmark(context: ExperimentContext, args: argparse.Namespace) -> Non
     )
 
 
-COMMANDS: dict[str, Callable[[ExperimentContext, argparse.Namespace], None]] = {
+COMMANDS: dict[str, Callable[[Session, argparse.Namespace], None]] = {
     "table1": _cmd_table1,
     "table2": _cmd_table2,
     "table3": _cmd_table3,
@@ -219,41 +220,106 @@ COMMANDS: dict[str, Callable[[ExperimentContext, argparse.Namespace], None]] = {
     "bench": _cmd_bench,
 }
 
+#: Spec-file commands handled outside the legacy experiment table.
+SPEC_COMMANDS = ("run", "sweep")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list"],
-                        help="experiment to regenerate (or 'list')")
-    parser.add_argument("--scale", choices=["quick", "default", "paper"], default="quick",
-                        help="simulation / GA effort (see EXPERIMENTS.md)")
-    parser.add_argument("--config", choices=["baseline", "config_a"], default="baseline",
+    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list", "run", "sweep"],
+                        help="experiment to regenerate, 'list', or 'run'/'sweep' a spec file")
+    parser.add_argument("spec", nargs="?", default=None, metavar="SPEC.json",
+                        help="RunSpec JSON file (run/sweep commands only)")
+    parser.add_argument("--scale", choices=SCALES.names(), default="quick",
+                        help="simulation / GA effort (see EXPERIMENTS.md); "
+                             "for run/sweep the spec's scale wins")
+    parser.add_argument("--config", choices=CONFIGS.names(), default="baseline",
                         help="machine configuration (stressmark command only)")
-    parser.add_argument("--fault-rates", choices=["unit", "rhc", "edr"], default="unit",
+    parser.add_argument("--fault-rates", choices=FAULT_RATES.names(), default="unit",
                         help="circuit-level fault-rate model (stressmark command only)")
     parser.add_argument("--jobs", type=int, default=None, metavar="N",
                         help="worker processes for simulations/GA evaluations "
                              "(default: $REPRO_JOBS, then 1; results are "
                              "identical for any worker count)")
+    parser.add_argument("--out", default=None, metavar="RESULT.json",
+                        help="write the RunResult JSON here (run/sweep commands only)")
     return parser
+
+
+def _cmd_list() -> None:
+    print("available experiments:")
+    for name in sorted(COMMANDS):
+        print(f"  {name}")
+    for name in SPEC_COMMANDS:
+        print(f"  {name} <spec.json>")
+    print("\nregistered components (usable in RunSpec files):")
+    labels = {
+        "config": "machine configs",
+        "fault_rates": "fault-rate models",
+        "suite": "workload suites",
+        "fitness": "fitness objectives",
+        "scale": "experiment scales",
+        "backend": "evaluation backends",
+    }
+    for key, registry in registries().items():
+        print(f"  {labels[key]:<20s} {', '.join(registry.names())}")
+
+
+def _print_result_rows(result) -> None:
+    """Print a RunResult's rows (leaf results of a sweep individually)."""
+    if result.children:
+        for child in result.children:
+            _print_result_rows(child)
+        return
+    _print_rows(f"{result.kind}: {result.spec.label}", result.rows)
+    if result.knobs:
+        _print_rows(f"knob settings: {result.spec.label}",
+                    [{"knob": k, "value": v} for k, v in result.knobs.items()])
+
+
+def _cmd_run_spec(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if not args.spec:
+        parser.error(f"'{args.experiment}' needs a spec file: repro {args.experiment} <spec.json>")
+    try:
+        spec = RunSpec.load(args.spec)
+    except (SpecError, RegistryError) as exc:
+        parser.error(str(exc))
+    if args.experiment == "sweep" and spec.kind != "sweep":
+        parser.error(f"'repro sweep' expects a sweep spec, {args.spec} has kind={spec.kind!r} "
+                     f"(use 'repro run' for single runs)")
+    with Session(jobs=args.jobs) as session:
+        try:
+            result = session.run(spec)
+        except (ValueError, RegistryError) as exc:
+            # ValueError also covers structurally-valid specs whose values are
+            # rejected deeper down (e.g. a GA population too small to search).
+            parser.error(str(exc))
+    _print_result_rows(result)
+    print(f"\nspec digest: {result.spec_digest}")
+    print(f"elapsed: {result.timing.get('seconds', 0.0):.2f}s")
+    if args.out:
+        result.save(args.out)
+        print(f"result written to {args.out}")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.experiment == "list":
-        print("available experiments:")
-        for name in sorted(COMMANDS):
-            print(f"  {name}")
+        _cmd_list()
         return 0
+    if args.experiment in SPEC_COMMANDS:
+        return _cmd_run_spec(parser, args)
     try:
-        context = ExperimentContext(_scale(args.scale), jobs=args.jobs)
-    except ValueError as exc:
+        session = Session(scale=args.scale, jobs=args.jobs)
+    except (ValueError, RegistryError) as exc:
         parser.error(str(exc))
     try:
-        COMMANDS[args.experiment](context, args)
+        COMMANDS[args.experiment](session, args)
     finally:
-        context.close()
+        session.close()
     return 0
 
 

@@ -26,7 +26,8 @@ import time
 from pathlib import Path
 from typing import Optional
 
-from repro.ga.engine import GAParameters, GeneticAlgorithm
+from repro.api.session import Session
+from repro.api.spec import RunSpec
 from repro.ga.individual import Individual
 from repro.parallel.backends import ProcessPoolBackend, SerialBackend, resolve_jobs
 from repro.stressmark.generator import StressmarkEvaluator, StressmarkGenerator, reference_knobs
@@ -68,27 +69,39 @@ def bench_pipeline(instructions: int = 50_000, repeats: int = 3) -> dict:
 
 
 def bench_ga(jobs: Optional[int] = None, generations: int = 2, population: int = 8) -> dict:
-    """Time a small GA stressmark search at quick scale."""
-    config = baseline_config()
-    generator = StressmarkGenerator(
-        config=config,
-        ga_parameters=GAParameters(population_size=population, generations=generations, seed=7),
-        max_instructions=6_000,
-        jobs=jobs,
+    """Time a small GA stressmark search at quick scale.
+
+    Routed through the declarative run API like every other consumer: the
+    benchmark is one canned :class:`RunSpec` whose ``scale_overrides`` pin
+    the GA effort, executed by a :class:`Session`.
+    """
+    jobs = resolve_jobs(jobs)
+    spec = RunSpec(
+        kind="stressmark",
+        name="bench_ga",
+        scale="quick",
+        scale_overrides={
+            "stressmark_instructions": 6_000,
+            "ga_population": population,
+            "ga_generations": generations,
+            "simulation_seed": 1,
+        },
+        seed=7,
     )
-    start = time.perf_counter()
-    result = generator.generate(initial_knobs=[reference_knobs(config)])
-    seconds = time.perf_counter() - start
-    ga = result.ga_result
+    with Session(jobs=jobs) as session:
+        start = time.perf_counter()
+        result = session.run(spec)
+        seconds = time.perf_counter() - start
+    ga = result.ga or {}
     return {
-        "jobs": generator.jobs,
+        "jobs": jobs,
         "generations": generations,
         "population": population,
         "seconds": seconds,
-        "evaluations": ga.evaluations,
-        "cache_hits": ga.cache_hits,
-        "cache_misses": ga.cache_misses,
-        "best_fitness": result.fitness,
+        "evaluations": ga.get("evaluations", 0),
+        "cache_hits": ga.get("cache_hits", 0),
+        "cache_misses": ga.get("cache_misses", 0),
+        "best_fitness": ga.get("best_fitness", 0.0),
     }
 
 

@@ -4,6 +4,13 @@ Each ``figureN`` function regenerates the data behind the corresponding
 figure of the paper and returns it as plain data structures (lists of rows /
 series) that the benchmark harness prints and the tests assert on.  The
 figures never plot — the *rows/series* are the reproduction artefact.
+
+Since the RunSpec/Session redesign each driver is a thin consumer of a
+canned :class:`~repro.api.spec.RunSpec` (see :mod:`repro.api.presets`): the
+spec declares the scenario matrix, the :class:`~repro.api.session.Session`
+resolves and executes it (sharing simulations across figures through the
+experiment context), and the driver only reshapes the resulting reports
+into the paper's presentation.
 """
 
 from __future__ import annotations
@@ -11,20 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.api.presets import children_of_kind, preset_spec
+from repro.api.session import Session
+from repro.api.spec import RunSpec
 from repro.avf.analysis import StructureGroup
 from repro.avf.report import SerReport
 from repro.experiments.runner import ExperimentContext, ExperimentScale
-from repro.stressmark.generator import StressmarkResult
-from repro.uarch.config import MachineConfig, baseline_config, config_a
-from repro.uarch.faultrates import (
-    FaultRateModel,
-    edr_fault_rates,
-    rhc_fault_rates,
-    unit_fault_rates,
-)
 from repro.uarch.structures import StructureName
 from repro.workloads.profiles import WorkloadSuite
-from repro.workloads.suite import mibench_profiles, spec_fp_profiles, spec_int_profiles
 
 #: Structure groups plotted in Figures 3, 4, 7 and 9.
 GROUP_COLUMNS = (
@@ -45,6 +46,17 @@ FIGURE6_STRUCTURES = (
     StructureName.RF,
     StructureName.FU,
 )
+
+
+def _session(
+    context: Optional[ExperimentContext],
+    scale: Optional[ExperimentScale],
+    session: Optional[Session],
+) -> Session:
+    """The Session executing a driver (wrapping a legacy context if given)."""
+    if session is not None:
+        return session
+    return Session(context=context or ExperimentContext(scale))
 
 
 @dataclass
@@ -99,26 +111,19 @@ def _ser_row(name: str, report: SerReport, is_stressmark: bool) -> SerComparison
     )
 
 
-def _comparison(
-    figure: str,
-    context: ExperimentContext,
-    config: MachineConfig,
-    fault_rates: FaultRateModel,
-    suites: tuple[WorkloadSuite, ...],
-) -> SerComparisonResult:
-    profiles: list = []
-    if WorkloadSuite.SPEC_INT in suites:
-        profiles.extend(spec_int_profiles())
-    if WorkloadSuite.SPEC_FP in suites:
-        profiles.extend(spec_fp_profiles())
-    if WorkloadSuite.MIBENCH in suites:
-        profiles.extend(mibench_profiles())
+def _comparison(figure: str, session: Session, spec: RunSpec) -> SerComparisonResult:
+    """Execute a comparison sweep (one stressmark + one simulate child)."""
+    stressmark_spec = children_of_kind(spec, "stressmark")[0]
+    simulate_spec = children_of_kind(spec, "simulate")[0]
 
-    stressmark = context.stressmark(config, fault_rates)
-    workloads = context.workload_reports(config, fault_rates, profiles=profiles)
+    stressmark = session.stressmark_result(stressmark_spec)
+    workloads = session.workload_report_set(simulate_spec)
+    profiles = session.resolve_profiles(simulate_spec)
 
     result = SerComparisonResult(
-        figure=figure, config_name=config.name, fault_rate_name=fault_rates.name
+        figure=figure,
+        config_name=stressmark.config.name,
+        fault_rate_name=stressmark.fault_rates.name,
     )
     result.rows.append(_ser_row("stressmark", stressmark.report, is_stressmark=True))
     for profile in profiles:
@@ -133,31 +138,19 @@ def _comparison(
 def figure3(
     context: Optional[ExperimentContext] = None,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> SerComparisonResult:
     """Figure 3: stressmark vs SPEC CPU2006 SER on the baseline configuration."""
-    context = context or ExperimentContext(scale)
-    return _comparison(
-        "figure3",
-        context,
-        baseline_config(),
-        unit_fault_rates(),
-        (WorkloadSuite.SPEC_INT, WorkloadSuite.SPEC_FP),
-    )
+    return _comparison("figure3", _session(context, scale, session), preset_spec("figure3"))
 
 
 def figure4(
     context: Optional[ExperimentContext] = None,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> SerComparisonResult:
     """Figure 4: stressmark vs MiBench SER on the baseline configuration."""
-    context = context or ExperimentContext(scale)
-    return _comparison(
-        "figure4",
-        context,
-        baseline_config(),
-        unit_fault_rates(),
-        (WorkloadSuite.MIBENCH,),
-    )
+    return _comparison("figure4", _session(context, scale, session), preset_spec("figure4"))
 
 
 # ----------------------------------------------------------------- Figure 5
@@ -178,12 +171,12 @@ class Figure5Result:
 def figure5(
     context: Optional[ExperimentContext] = None,
     scale: Optional[ExperimentScale] = None,
-    config: Optional[MachineConfig] = None,
-    fault_rates: Optional[FaultRateModel] = None,
+    session: Optional[Session] = None,
+    spec: Optional[RunSpec] = None,
 ) -> Figure5Result:
     """Figure 5: GA-generated stressmark for the baseline configuration."""
-    context = context or ExperimentContext(scale)
-    result = context.stressmark(config or baseline_config(), fault_rates or unit_fault_rates())
+    session = _session(context, scale, session)
+    result = session.stressmark_result(spec or preset_spec("figure5"))
     return Figure5Result(
         knob_table=result.knob_table(),
         average_fitness_per_generation=result.ga_result.average_fitness_trace(),
@@ -217,26 +210,28 @@ class Figure6Result:
 def figure6(
     context: Optional[ExperimentContext] = None,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> dict[WorkloadSuite, Figure6Result]:
     """Figure 6 (a, b, c): per-structure AVF for SPEC INT, SPEC FP, MiBench."""
-    context = context or ExperimentContext(scale)
-    config = baseline_config()
-    fault_rates = unit_fault_rates()
-    stressmark = context.stressmark(config, fault_rates)
-    workloads = context.workload_reports(config, fault_rates)
+    session = _session(context, scale, session)
+    spec = preset_spec("figure6")
+    stressmark = session.stressmark_result(children_of_kind(spec, "stressmark")[0])
+    simulate_spec = children_of_kind(spec, "simulate")[0]
+    workloads = session.workload_report_set(simulate_spec)
 
-    results: dict[WorkloadSuite, Figure6Result] = {}
-    suite_profiles = {
-        WorkloadSuite.SPEC_INT: spec_int_profiles(),
-        WorkloadSuite.SPEC_FP: spec_fp_profiles(),
-        WorkloadSuite.MIBENCH: mibench_profiles(),
+    suite_by_name = {
+        "spec_int": WorkloadSuite.SPEC_INT,
+        "spec_fp": WorkloadSuite.SPEC_FP,
+        "mibench": WorkloadSuite.MIBENCH,
     }
-    for suite, profiles in suite_profiles.items():
+    results: dict[WorkloadSuite, Figure6Result] = {}
+    for suite_name in simulate_spec.suites:
+        suite = suite_by_name[suite_name]
         figure = Figure6Result(suite=suite)
         figure.rows["stressmark"] = {
             structure: stressmark.report.avf(structure) for structure in FIGURE6_STRUCTURES
         }
-        for profile in profiles:
+        for profile in session.resolve_profiles(simulate_spec.replace(suites=(suite_name,))):
             report = workloads.report(profile.name)
             figure.rows[profile.name] = {
                 structure: report.avf(structure) for structure in FIGURE6_STRUCTURES
@@ -251,19 +246,21 @@ def figure6(
 def figure7(
     context: Optional[ExperimentContext] = None,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> dict[str, SerComparisonResult]:
     """Figure 7: SER of workloads and stressmark on the RHC and EDR configurations."""
-    context = context or ExperimentContext(scale)
-    config = baseline_config()
+    session = _session(context, scale, session)
+    spec = preset_spec("figure7")
     results: dict[str, SerComparisonResult] = {}
-    for label, fault_rates in (("rhc", rhc_fault_rates()), ("edr", edr_fault_rates())):
-        results[label] = _comparison(
-            f"figure7_{label}",
-            context,
-            config,
-            fault_rates,
-            (WorkloadSuite.SPEC_INT, WorkloadSuite.SPEC_FP, WorkloadSuite.MIBENCH),
+    for label in spec.axes["fault_rates"]:
+        scenario = RunSpec(
+            kind="sweep",
+            name=f"figure7_{label}",
+            runs=tuple(
+                child for child in spec.expand() if child.fault_rates == label
+            ),
         )
+        results[label] = _comparison(f"figure7_{label}", session, scenario)
     return results
 
 
@@ -280,23 +277,28 @@ class Figure8Result:
     core_ser: dict[str, float]
 
 
+#: Figure 8's scenario labels -> registered fault-rate model names.
+FIGURE8_SCENARIOS = {"baseline": "unit", "rhc": "rhc", "edr": "edr"}
+
+
 def figure8(
     context: Optional[ExperimentContext] = None,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure8Result:
     """Figure 8: stressmark adaptation to the RHC and EDR fault-rate models."""
-    context = context or ExperimentContext(scale)
-    config = baseline_config()
-    scenarios: dict[str, FaultRateModel] = {
-        "baseline": unit_fault_rates(),
-        "rhc": rhc_fault_rates(),
-        "edr": edr_fault_rates(),
-    }
+    session = _session(context, scale, session)
+    spec = preset_spec("figure8")
+    children = {child.fault_rates: child for child in spec.expand()}
 
     fault_rate_table: dict[str, dict[str, float]] = {}
-    for label, model in scenarios.items():
+    queueing_avf: dict[str, dict[StructureName, float]] = {}
+    knob_tables: dict[str, dict[str, object]] = {}
+    core_ser: dict[str, float] = {}
+    for label, model_name in FIGURE8_SCENARIOS.items():
+        resolved = session.resolve(children[model_name])
         fault_rate_table[label] = {
-            structure.value: model.rate(structure)
+            structure.value: resolved.fault_rates.rate(structure)
             for structure in (
                 StructureName.ROB,
                 StructureName.IQ,
@@ -308,12 +310,7 @@ def figure8(
                 StructureName.SQ_DATA,
             )
         }
-
-    queueing_avf: dict[str, dict[StructureName, float]] = {}
-    knob_tables: dict[str, dict[str, object]] = {}
-    core_ser: dict[str, float] = {}
-    for label, model in scenarios.items():
-        stressmark = context.stressmark(config, model)
+        stressmark = session.stressmark_result(children[model_name])
         queueing_avf[label] = {
             structure: stressmark.report.avf(structure) for structure in FIGURE6_STRUCTURES
         }
@@ -343,22 +340,22 @@ class Figure9Result:
 def figure9(
     context: Optional[ExperimentContext] = None,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Figure9Result:
     """Figure 9: stressmark generation for a different microarchitecture."""
-    context = context or ExperimentContext(scale)
-    fault_rates = unit_fault_rates()
+    session = _session(context, scale, session)
+    spec = preset_spec("figure9")
     group_ser: dict[str, dict[StructureGroup, float]] = {}
     structure_avf: dict[str, dict[StructureName, float]] = {}
     knob_tables: dict[str, dict[str, object]] = {}
-    for config in (baseline_config(), config_a()):
-        stressmark = context.stressmark(config, fault_rates)
-        group_ser[config.name] = {
-            group: stressmark.report.ser(group) for group in GROUP_COLUMNS
-        }
-        structure_avf[config.name] = {
+    for child in spec.expand():
+        stressmark = session.stressmark_result(child)
+        name = stressmark.config.name
+        group_ser[name] = {group: stressmark.report.ser(group) for group in GROUP_COLUMNS}
+        structure_avf[name] = {
             structure: stressmark.report.avf(structure) for structure in FIGURE6_STRUCTURES
         }
-        knob_tables[config.name] = stressmark.knob_table()
+        knob_tables[name] = stressmark.knob_table()
     return Figure9Result(
         group_ser=group_ser, structure_avf=structure_avf, knob_tables=knob_tables
     )

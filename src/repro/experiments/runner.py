@@ -11,7 +11,7 @@ benchmark harness; larger scales can be requested for higher-fidelity runs
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
 from repro.avf.report import SerReport, build_report
@@ -84,6 +84,10 @@ class ExperimentScale:
             mutation_rate=0.05,
             seed=seed,
         )
+
+    def derive(self, **overrides: object) -> "ExperimentScale":
+        """A copy of this scale with fields overridden (spec ``scale_overrides``)."""
+        return replace(self, **overrides)
 
 
 @dataclass
@@ -161,7 +165,7 @@ class ExperimentContext:
         # fault-rate model without re-simulating.
         self._workload_sim_cache: dict[tuple[str, str], object] = {}
         self._workload_cache: dict[tuple[str, str], WorkloadReportSet] = {}
-        self._stressmark_cache: dict[tuple[str, str], StressmarkResult] = {}
+        self._stressmark_cache: dict[tuple, StressmarkResult] = {}
         self._workload_tasks: dict[str, _WorkloadSimulationTask] = {}
 
     @property
@@ -246,22 +250,32 @@ class ExperimentContext:
         fault_rates: Optional[FaultRateModel] = None,
         fitness: Optional[FitnessFunction] = None,
         allow_l2_hit_generator: bool = True,
+        ga_seed: Optional[int] = None,
     ) -> StressmarkResult:
-        """GA-generated stressmark for one (configuration, fault-rate) pair, cached."""
+        """GA-generated stressmark for one (configuration, fault-rate) pair, cached.
+
+        ``fitness`` defaults to the balanced objective; ``ga_seed`` overrides
+        the GA seed (spec-driven runs).  Both participate in the cache key so
+        distinct objectives or seeds never alias.
+        """
         config = config or baseline_config()
         fault_rates = fault_rates or unit_fault_rates()
-        cache_key = (config.name, fault_rates.name)
+        fitness = fitness or FitnessFunction.balanced(fault_rates)
+        cache_key = (config.name, fault_rates.name, fitness.name, ga_seed)
         cached = self._stressmark_cache.get(cache_key)
         if cached is not None:
             return cached
 
         knob_space = KnobSpace(config, allow_l2_hit_generator=allow_l2_hit_generator)
+        ga_parameters = (
+            self.scale.ga_parameters() if ga_seed is None else self.scale.ga_parameters(ga_seed)
+        )
         generator = StressmarkGenerator(
             config=config,
             fault_rates=fault_rates,
-            fitness=fitness or FitnessFunction.balanced(fault_rates),
+            fitness=fitness,
             knob_space=knob_space,
-            ga_parameters=self.scale.ga_parameters(),
+            ga_parameters=ga_parameters,
             max_instructions=self.scale.stressmark_instructions,
             simulation_seed=self.scale.simulation_seed,
             backend=self.backend,

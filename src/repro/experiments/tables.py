@@ -1,20 +1,24 @@
-"""Per-table experiment drivers (Tables I, II and III of the paper)."""
+"""Per-table experiment drivers (Tables I, II and III of the paper).
+
+Table III is a thin consumer of its canned sweep spec (see
+:mod:`repro.api.presets`): one stressmark search plus one full workload
+simulation per fault-rate scenario, executed by the
+:class:`~repro.api.session.Session`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.api.presets import children_of_kind, preset_spec
+from repro.api.session import Session
 from repro.avf.analysis import StructureGroup, group_structures
 from repro.avf.report import SerReport
+from repro.experiments.figures import _session
 from repro.experiments.runner import ExperimentContext, ExperimentScale
 from repro.uarch.config import MachineConfig, baseline_config, config_a
-from repro.uarch.faultrates import (
-    FaultRateModel,
-    edr_fault_rates,
-    rhc_fault_rates,
-    unit_fault_rates,
-)
+from repro.uarch.faultrates import FaultRateModel
 from repro.uarch.structures import core_structure_accumulators
 
 
@@ -125,9 +129,14 @@ def _raw_circuit_ser(config: MachineConfig, fault_rates: FaultRateModel) -> floa
     return weighted / total_bits if total_bits else 0.0
 
 
+#: Table III's scenario labels -> registered fault-rate model names.
+TABLE3_SCENARIOS = {"baseline": "unit", "rhc": "rhc", "edr": "edr"}
+
+
 def table3(
     context: Optional[ExperimentContext] = None,
     scale: Optional[ExperimentScale] = None,
+    session: Optional[Session] = None,
 ) -> Table3Result:
     """Table III: worst-case core SER estimation methodologies compared.
 
@@ -136,17 +145,17 @@ def table3(
     (name and core SER), the "sum of highest per-structure SER" estimate and
     the raw circuit-level bound.
     """
-    context = context or ExperimentContext(scale)
-    config = baseline_config()
+    session = _session(context, scale, session)
+    spec = preset_spec("table3")
+    stress_specs = {child.fault_rates: child for child in children_of_kind(spec, "stressmark")}
+    simulate_specs = {child.fault_rates: child for child in children_of_kind(spec, "simulate")}
+
     result = Table3Result()
-    scenarios: dict[str, FaultRateModel] = {
-        "baseline": unit_fault_rates(),
-        "rhc": rhc_fault_rates(),
-        "edr": edr_fault_rates(),
-    }
-    for label, fault_rates in scenarios.items():
-        stressmark = context.stressmark(config, fault_rates)
-        workloads = context.workload_reports(config, fault_rates)
+    for label, model_name in TABLE3_SCENARIOS.items():
+        resolved = session.resolve(stress_specs[model_name])
+        config, fault_rates = resolved.config, resolved.fault_rates
+        stressmark = session.stressmark_result(stress_specs[model_name])
+        workloads = session.workload_report_set(simulate_specs[model_name])
         reports = list(workloads.reports.values())
         best_name, best_report = workloads.best_by(lambda report: report.core_ser)
         result.rows[label] = Table3Row(

@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
+from repro.api import RunResult, RunSpec
 from repro.cli import COMMANDS, build_parser, main
 
 
@@ -60,3 +63,68 @@ class TestCheapCommands:
         assert main(["bound"]) == 0
         output = capsys.readouterr().out
         assert "0.90" in output  # baseline bound ~0.903 (paper: 0.899)
+
+    def test_list_shows_registered_components(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "machine configs" in output and "config_a" in output
+        assert "fault-rate models" in output and "edr" in output
+        assert "workload suites" in output and "mibench" in output
+        assert "experiment scales" in output and "paper" in output
+        assert "evaluation backends" in output and "process" in output
+
+
+class TestSpecCommands:
+    def test_parser_accepts_run_with_spec_path(self):
+        args = build_parser().parse_args(["run", "spec.json", "--out", "result.json"])
+        assert args.experiment == "run"
+        assert args.spec == "spec.json"
+        assert args.out == "result.json"
+
+    def test_run_requires_spec_file(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_run_rejects_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["run", str(tmp_path / "nope.json")])
+
+    def test_run_rejects_invalid_spec(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "simulate", "fault_rates": "rch"}))
+        with pytest.raises(SystemExit):
+            main(["run", str(path)])
+        assert "did you mean 'rhc'" in capsys.readouterr().err
+
+    def test_run_reports_runtime_value_errors_cleanly(self, tmp_path, capsys):
+        """Structurally valid specs whose values fail deeper down exit via parser.error."""
+        path = tmp_path / "tiny_pop.json"
+        path.write_text(json.dumps({"kind": "stressmark", "scale_overrides": {"ga_population": 2}}))
+        with pytest.raises(SystemExit):
+            main(["run", str(path)])
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_sweep_rejects_leaf_spec(self, tmp_path, capsys):
+        path = tmp_path / "leaf.json"
+        path.write_text(json.dumps({"kind": "simulate"}))
+        with pytest.raises(SystemExit):
+            main(["sweep", str(path)])
+        assert "expects a sweep spec" in capsys.readouterr().err
+
+    def test_run_executes_spec_and_writes_result(self, tmp_path, capsys):
+        spec = {
+            "kind": "simulate",
+            "name": "cli_smoke",
+            "workloads": ["crc32_proxy"],
+            "scale_overrides": {"workload_instructions": 1500},
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        out_path = tmp_path / "result.json"
+        assert main(["run", str(spec_path), "--out", str(out_path)]) == 0
+        output = capsys.readouterr().out
+        assert "crc32_proxy" in output
+        assert "spec digest:" in output
+        result = RunResult.load(out_path)
+        assert result.spec_digest == RunSpec.from_json_dict(spec).digest
+        assert result.rows[0]["program"] == "crc32_proxy"
