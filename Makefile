@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test benchmarks bench bench-smoke specs-smoke
+.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -22,3 +22,8 @@ bench-smoke:
 # the declarative run API at quick scale (see EXPERIMENTS.md).
 specs-smoke:
 	REPRO_SPECS_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_specs_smoke.py -m specs_smoke -q
+
+# Tier-2 persistence gate: run -> interrupt -> resume -> byte-compare against
+# an uninterrupted run, plus the shard/merge CLI round trip (EXPERIMENTS.md).
+store-smoke:
+	REPRO_STORE_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_store_smoke.py -m store_smoke -q

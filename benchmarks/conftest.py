@@ -43,6 +43,12 @@ def pytest_configure(config: pytest.Config) -> None:
         "specs_smoke: example-spec validation gate (run via `make specs-smoke` "
         "or REPRO_SPECS_SMOKE=1; see EXPERIMENTS.md)",
     )
+    config.addinivalue_line(
+        "markers",
+        "store_smoke: result-store persistence gate — interrupt/resume/shard/merge "
+        "round trips (run via `make store-smoke` or REPRO_STORE_SMOKE=1; see "
+        "EXPERIMENTS.md)",
+    )
 
 
 def pytest_report_header(config: pytest.Config) -> str:

@@ -1,0 +1,154 @@
+"""Store smoke gate (tier-2 ``store_smoke``, run via ``make store-smoke``).
+
+End-to-end check of the persistence contract: a sweep run into a store,
+interrupted, and resumed from the store must produce byte-identical rows to
+an uninterrupted run — and a GA stressmark search interrupted mid-run must
+resume from its per-generation checkpoint to the identical best
+genome/fitness.  Like the perf and spec gates, the suite only runs when
+explicitly requested:
+
+    make store-smoke
+    # or
+    REPRO_STORE_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_store_smoke.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.api import RunSpec, Session
+from repro.cli import main
+from repro.store import CheckpointManager, PersistentFitnessCache, open_store
+
+pytestmark = [pytest.mark.store_smoke]
+if not os.environ.get("REPRO_STORE_SMOKE"):
+    pytestmark.append(
+        pytest.mark.skip(reason="store smoke disabled (set REPRO_STORE_SMOKE=1 or run `make store-smoke`)")
+    )
+
+#: Small but non-trivial sweep: three fault-rate scenarios plus a stressmark.
+SWEEP = RunSpec(
+    kind="sweep",
+    name="store_smoke",
+    base=RunSpec(
+        kind="simulate", name="store_smoke/wl",
+        workloads=("crc32_proxy", "sha_proxy"),
+        scale_overrides={"workload_instructions": 1500},
+    ),
+    axes={"fault_rates": ("unit", "rhc", "edr")},
+    runs=(
+        RunSpec(
+            kind="stressmark", name="store_smoke/sm",
+            scale_overrides={
+                "workload_instructions": 1500,
+                "stressmark_instructions": 2000,
+                "ga_population": 4,
+                "ga_generations": 3,
+            },
+        ),
+    ),
+)
+
+
+def test_interrupted_sweep_resumes_byte_identically(tmp_path):
+    """run -> interrupt -> resume -> byte-compare against uninterrupted."""
+    children = SWEEP.expand()
+    assert len(children) >= 3
+
+    # Uninterrupted reference, no store involved.
+    with Session() as session:
+        reference = session.run(SWEEP)
+
+    # "Interrupt": a first process completes only half the children.
+    store_dir = tmp_path / "store"
+    with Session(store=store_dir) as session:
+        for child in children[: len(children) // 2]:
+            session.run(child)
+
+    # Resume in a fresh process (session): completed children are served
+    # from the store, the rest run now.
+    with Session(store=store_dir) as session:
+        resumed = session.run(SWEEP)
+
+    assert json.dumps(resumed.rows) == json.dumps(reference.rows)
+
+    # Replay of the now-complete sweep is a pure store read.
+    with Session(store=store_dir) as session:
+        replayed = session.run(SWEEP)
+    assert replayed.to_json() == resumed.to_json()
+
+
+def test_interrupted_ga_resumes_to_identical_best(tmp_path):
+    """A stressmark GA killed mid-search resumes bit-identically."""
+    from repro.experiments.runner import ExperimentScale
+    from repro.ga.engine import GAParameters, GeneticAlgorithm
+    from repro.stressmark.fitness import FitnessFunction
+    from repro.stressmark.generator import StressmarkEvaluator
+    from repro.stressmark.knobs import KnobSpace
+    from repro.uarch.config import baseline_config
+    from repro.uarch.faultrates import unit_fault_rates
+
+    config = baseline_config()
+    knob_space = KnobSpace(config)
+    scale = ExperimentScale.quick().derive(stressmark_instructions=2000)
+    parameters = GAParameters(population_size=4, generations=4)
+    evaluator = StressmarkEvaluator(
+        config=config,
+        fault_rates=unit_fault_rates(),
+        fitness=FitnessFunction.balanced(),
+        knob_space=knob_space,
+        max_instructions=scale.stressmark_instructions,
+        simulation_seed=scale.simulation_seed,
+    )
+    context_digest = evaluator.context_digest()
+
+    def engine(cache):
+        return GeneticAlgorithm(knob_space.gene_space(), evaluator, parameters, fitness_cache=cache)
+
+    reference = engine(PersistentFitnessCache(tmp_path / "ref.sqlite", context_digest)).run()
+
+    class Interrupt(Exception):
+        pass
+
+    manager = CheckpointManager(tmp_path / "ga.ckpt")
+    interrupted_cache = PersistentFitnessCache(tmp_path / "int.sqlite", context_digest)
+    bombed = GeneticAlgorithm(
+        knob_space.gene_space(), evaluator, parameters,
+        fitness_cache=interrupted_cache,
+        on_generation=lambda stats, pop: (_ for _ in ()).throw(Interrupt)
+        if stats.generation == 1 else None,
+    )
+    with pytest.raises(Interrupt):
+        bombed.run(checkpoint=manager)
+    assert manager.exists()
+
+    resumed = engine(PersistentFitnessCache(tmp_path / "int.sqlite", context_digest)).run(
+        checkpoint=manager
+    )
+    assert resumed.best.genome == reference.best.genome
+    assert resumed.best.fitness == reference.best.fitness
+    assert [s.__dict__ for s in resumed.history] == [s.__dict__ for s in reference.history]
+
+
+def test_cli_shard_merge_replay_round_trip(tmp_path):
+    """The documented CLI workflow: shard -> merge -> assemble from store."""
+    spec_path = tmp_path / "sweep.json"
+    SWEEP.save(spec_path)
+    stores = [str(tmp_path / f"shard{i}") for i in (1, 2)]
+    assert main(["sweep", str(spec_path), "--store", stores[0], "--shard", "1/2"]) == 0
+    assert main(["sweep", str(spec_path), "--store", stores[1], "--shard", "2/2"]) == 0
+
+    merged = str(tmp_path / "merged")
+    assert main(["merge", merged, *stores]) == 0
+    with open_store(merged) as store:
+        assert len(store) == len(SWEEP.expand())
+
+    out_store, out_fresh = tmp_path / "from_store.json", tmp_path / "fresh.json"
+    assert main(["sweep", str(spec_path), "--store", merged, "--out", str(out_store)]) == 0
+    assert main(["sweep", str(spec_path), "--out", str(out_fresh)]) == 0
+    stored_rows = json.loads(out_store.read_text())["rows"]
+    fresh_rows = json.loads(out_fresh.read_text())["rows"]
+    assert json.dumps(stored_rows) == json.dumps(fresh_rows)

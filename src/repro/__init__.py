@@ -55,6 +55,12 @@ from repro.api import (  # noqa: E402  (api imports repro submodules, keep last)
     SpecError,
     registries,
 )
+from repro.store import (  # noqa: E402  (store imports the api, keep last)
+    ResultStore,
+    StoreError,
+    merge_stores,
+    open_store,
+)
 
 __all__ = [
     "StructureGroup",
@@ -79,5 +85,9 @@ __all__ = [
     "FITNESS_OBJECTIVES",
     "SCALES",
     "BACKENDS",
+    "ResultStore",
+    "StoreError",
+    "merge_stores",
+    "open_store",
     "__version__",
 ]

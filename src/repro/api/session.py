@@ -23,6 +23,17 @@ Construction arguments *pin* settings: ``Session(scale=..., jobs=...)``
 makes those win over whatever a spec says (the CLI uses this for
 ``--scale``/``--jobs``); a Session built around an existing
 ``ExperimentContext`` reuses that context's scale, backend and caches.
+
+``Session(store=...)`` attaches a persistent
+:class:`~repro.store.result_store.ResultStore` (a path creates/opens one and
+the session owns it): :meth:`Session.run` consults the store before
+launching anything and persists every finished result, contexts replay
+workload simulations and stressmark searches from the store's artifact
+database, GA fitness evaluations write through to the store's persistent
+fitness cache, and stressmark searches checkpoint per generation
+(``resume=True`` continues an interrupted search bit-identically).
+:meth:`Session.run_shard` runs one shard of a sweep against a store so
+shards can execute on separate machines and be joined with ``repro merge``.
 """
 
 from __future__ import annotations
@@ -32,7 +43,10 @@ import json
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Mapping, Optional, Union
+from typing import TYPE_CHECKING, Mapping, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.result_store import ResultStore
 
 from repro.api import components as _components  # noqa: F401  (installs registries)
 from repro.api.registry import (
@@ -87,6 +101,8 @@ class Session:
         scale: Optional[Union[ExperimentScale, str]] = None,
         jobs: Optional[int] = None,
         context: Optional[ExperimentContext] = None,
+        store: Optional[Union["ResultStore", str, Path]] = None,
+        resume: bool = False,
     ) -> None:
         if isinstance(scale, str):
             scale = SCALES.create(scale)
@@ -94,15 +110,29 @@ class Session:
         self._pinned_jobs: Optional[int] = jobs if jobs is not None else (
             context.jobs if context is not None else None
         )
+        self._resume = bool(resume)
+        self._store: Optional["ResultStore"] = None
+        self._owns_store = False
+        if store is not None:
+            from repro.store.result_store import ResultStore, open_store
+
+            self._owns_store = not isinstance(store, ResultStore)
+            self._store = open_store(store)
         self._contexts: dict[tuple[ExperimentScale, int, str], ExperimentContext] = {}
         self._owned: list[ExperimentContext] = []
         if context is not None:
             # A wrapped context serves every backend request for its
-            # (scale, jobs) pair — it already owns a live backend.
+            # (scale, jobs) pair — it already owns a live backend.  The
+            # wrapped context's own store configuration is left untouched.
             self._wrapped = context
             self._contexts[(context.scale, context.jobs, "")] = context
         else:
             self._wrapped = None
+
+    @property
+    def store(self) -> Optional["ResultStore"]:
+        """The attached result store, if any."""
+        return self._store
 
     # ------------------------------------------------------------ resolution
 
@@ -196,7 +226,9 @@ class Session:
         context = self._contexts.get(key)
         if context is None:
             backend = BACKENDS.create(spec.backend, jobs) if spec.backend else None
-            context = ExperimentContext(scale, jobs=jobs, backend=backend)
+            context = ExperimentContext(
+                scale, jobs=jobs, backend=backend, store=self._store, resume=self._resume
+            )
             self._contexts[key] = context
             self._owned.append(context)
         return context
@@ -230,9 +262,34 @@ class Session:
 
     # ------------------------------------------------------------------- run
 
+    def _store_key(self, spec: RunSpec) -> str:
+        """The digest a spec's result is stored under.
+
+        This is the spec's own content digest unless the session pins a
+        scale (which overrides what the spec says and therefore what gets
+        simulated) — then the pinned scale is folded into the key so results
+        produced under different pins can never alias.
+        """
+        if self._pinned_scale is None:
+            return spec.digest
+        mixed = f"{spec.digest}|pinned_scale={self._pinned_scale!r}"
+        return hashlib.sha256(mixed.encode("utf-8")).hexdigest()
+
     def run(self, spec: SpecLike) -> RunResult:
-        """Execute a spec of any kind and return its serializable result."""
+        """Execute a spec of any kind and return its serializable result.
+
+        With a store attached, a result already recorded for the spec's
+        digest is returned as stored (original timing included) without
+        simulating anything, and every freshly computed result — including
+        each child of a sweep, as it completes — is persisted, so an
+        interrupted sweep resumes from its last finished child.
+        """
         spec = self.coerce(spec).validate()
+        key = self._store_key(spec)
+        if self._store is not None:
+            stored = self._store.get(key)
+            if stored is not None:
+                return stored
         start = time.perf_counter()
         if spec.kind == "sweep":
             children = [self.run(child) for child in spec.expand()]
@@ -247,6 +304,40 @@ class Session:
             result = self._run_simulate(spec)
         else:
             result = self._run_stressmark(spec)
+        result.timing["seconds"] = round(time.perf_counter() - start, 6)
+        if self._store is not None:
+            self._store.put(result, digest=key)
+        return result
+
+    def run_shard(self, spec: SpecLike, index: int, count: int) -> RunResult:
+        """Run the ``index``-th of ``count`` shards of a sweep (1-based).
+
+        Children are dealt round-robin (child ``i`` belongs to shard
+        ``i % count + 1``) so stressmark and simulate runs spread evenly.
+        The shard result carries only this shard's children and is *not*
+        recorded under the sweep's digest — it is partial; the individual
+        children are persisted as usual, so ``repro merge`` followed by a
+        plain run of the full sweep assembles the complete result without
+        re-simulating.
+        """
+        spec = self.coerce(spec).validate()
+        if spec.kind != "sweep":
+            raise SpecError(f"only sweeps can be sharded, got kind={spec.kind!r}")
+        if count < 1 or not 1 <= index <= count:
+            raise SpecError(f"shard must satisfy 1 <= i <= N, got {index}/{count}")
+        children = spec.expand()
+        mine = children[index - 1 :: count]
+        start = time.perf_counter()
+        results = [self.run(child) for child in mine]
+        rows = [row for child in results for row in child.rows]
+        result = RunResult(
+            spec=spec,
+            rows=rows,
+            children=results,
+            provenance=build_provenance(
+                spec, runs=len(results), total_runs=len(children), shard=f"{index}/{count}"
+            ),
+        )
         result.timing["seconds"] = round(time.perf_counter() - start, 6)
         return result
 
@@ -297,6 +388,9 @@ class Session:
             context.close()
         self._owned.clear()
         self._contexts.clear()
+        if self._store is not None and self._owns_store:
+            self._store.close()
+        self._store = None
 
     def __enter__(self) -> "Session":
         return self

@@ -92,6 +92,11 @@ def sum_of_highest_per_structure_ser(
     structures, and normalise by the total bits — i.e. pretend one program
     could maximise every structure at once.  The paper shows this estimator is
     both optimistic and fundamentally unsound; we reproduce it for Table III.
+
+    Every result must come from the same machine geometry: mixing results
+    whose structures have different bit counts would silently weight one
+    config's AVF by another config's bits, so heterogeneous bit counts raise
+    ``ValueError``.
     """
     results = list(results)
     if not results:
@@ -104,7 +109,14 @@ def sum_of_highest_per_structure_ser(
         accumulators = [r.accumulators[name] for r in results if name in r.accumulators]
         if not accumulators:
             continue
-        bits = float(accumulators[0].total_bits)
+        bit_counts = sorted({int(a.total_bits) for a in accumulators})
+        if len(bit_counts) > 1:
+            raise ValueError(
+                f"heterogeneous bit counts for structure {name.value!r}: {bit_counts}; "
+                f"sum_of_highest_per_structure_ser requires results from a single "
+                f"machine geometry"
+            )
+        bits = float(bit_counts[0])
         highest_avf = max(r.avf(name) for r in results if name in r.accumulators)
         total_bits += bits
         weighted += highest_avf * bits * fault_rates.rate(name)

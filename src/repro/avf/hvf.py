@@ -27,10 +27,9 @@ def structure_hvf(result: SimulationResult, structure: StructureName) -> float:
     meaningful in our model, so the AVF itself is returned — for those
     structures the lifetime analysis already *is* the occupancy of live data.
     """
-    occupancy = result.occupancy(structure)
     if structure.is_core:
-        return occupancy
-    return max(occupancy, result.avf(structure))
+        return result.occupancy(structure)
+    return result.avf(structure)
 
 
 def hvf_by_structure(result: SimulationResult) -> dict[StructureName, float]:

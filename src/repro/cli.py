@@ -12,6 +12,9 @@ Usage (after ``pip install -e .``)::
     repro run examples/specs/stressmark_rhc.json --jobs 2   # declarative run
     repro sweep examples/specs/sweep_fault_rates.json --out result.json
     repro bench                          # record perf baselines (PERFORMANCE.md)
+    repro sweep sweep.json --store results/          # persist + resume runs
+    repro sweep sweep.json --store shard1/ --shard 1/3   # one shard of three
+    repro merge results/ shard1/ shard2/ shard3/     # join shard stores
 
 Every experiment routes through the declarative run API
 (:mod:`repro.api`): a figure/table command executes its canned
@@ -24,6 +27,12 @@ extends the CLI.
 ``--jobs N`` (or the ``REPRO_JOBS`` environment variable) runs the
 independent workload simulations and GA fitness evaluations on N worker
 processes; results are identical for any worker count.
+
+``--store DIR`` attaches a persistent result store (see EXPERIMENTS.md):
+finished results are served from the store instead of re-simulated — an
+interrupted sweep resumes from its last finished run, figure/table commands
+replay from a populated store, and ``--resume`` additionally continues an
+interrupted GA search from its per-generation checkpoint.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from repro.api import (
     registries,
 )
 from repro.api.registry import RegistryError
+from repro.store import CheckpointError, StoreError
 from repro.avf.analysis import StructureGroup, instantaneous_worst_case_bound
 from repro.experiments.figures import figure3, figure4, figure5, figure6, figure7, figure8, figure9
 from repro.experiments.tables import table1, table2, table3
@@ -227,10 +237,14 @@ SPEC_COMMANDS = ("run", "sweep")
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list", "run", "sweep"],
-                        help="experiment to regenerate, 'list', or 'run'/'sweep' a spec file")
+    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list", "run", "sweep", "merge"],
+                        help="experiment to regenerate, 'list', 'run'/'sweep' a spec "
+                             "file, or 'merge' shard stores")
     parser.add_argument("spec", nargs="?", default=None, metavar="SPEC.json",
-                        help="RunSpec JSON file (run/sweep commands only)")
+                        help="RunSpec JSON file (run/sweep), or the destination "
+                             "store (merge)")
+    parser.add_argument("extra", nargs="*", default=[], metavar="STORE",
+                        help="source stores to join (merge command only)")
     parser.add_argument("--scale", choices=SCALES.names(), default="quick",
                         help="simulation / GA effort (see EXPERIMENTS.md); "
                              "for run/sweep the spec's scale wins")
@@ -244,6 +258,17 @@ def build_parser() -> argparse.ArgumentParser:
                              "identical for any worker count)")
     parser.add_argument("--out", default=None, metavar="RESULT.json",
                         help="write the RunResult JSON here (run/sweep commands only)")
+    parser.add_argument("--store", default=None, metavar="DIR",
+                        help="persistent result store: completed results are served "
+                             "from here instead of re-simulated, fresh results are "
+                             "recorded (see EXPERIMENTS.md)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume interrupted GA searches from their per-generation "
+                             "checkpoints in --store (bit-identical to an "
+                             "uninterrupted run)")
+    parser.add_argument("--shard", default=None, metavar="I/N",
+                        help="run only the I-th of N round-robin shards of a sweep "
+                             "(1-based; sweep command only, requires --store)")
     return parser
 
 
@@ -253,6 +278,7 @@ def _cmd_list() -> None:
         print(f"  {name}")
     for name in SPEC_COMMANDS:
         print(f"  {name} <spec.json>")
+    print("  merge <dest-store> <src-store>...")
     print("\nregistered components (usable in RunSpec files):")
     labels = {
         "config": "machine configs",
@@ -278,9 +304,22 @@ def _print_result_rows(result) -> None:
                     [{"knob": k, "value": v} for k, v in result.knobs.items()])
 
 
+def _parse_shard(parser: argparse.ArgumentParser, value: str) -> tuple[int, int]:
+    try:
+        index_text, count_text = value.split("/", 1)
+        index, count = int(index_text), int(count_text)
+    except ValueError:
+        parser.error(f"--shard expects I/N (e.g. 1/3), got {value!r}")
+    if count < 1 or not 1 <= index <= count:
+        parser.error(f"--shard must satisfy 1 <= I <= N, got {value!r}")
+    return index, count
+
+
 def _cmd_run_spec(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     if not args.spec:
         parser.error(f"'{args.experiment}' needs a spec file: repro {args.experiment} <spec.json>")
+    if args.extra:
+        parser.error(f"unexpected arguments: {' '.join(args.extra)}")
     try:
         spec = RunSpec.load(args.spec)
     except (SpecError, RegistryError) as exc:
@@ -288,19 +327,55 @@ def _cmd_run_spec(parser: argparse.ArgumentParser, args: argparse.Namespace) -> 
     if args.experiment == "sweep" and spec.kind != "sweep":
         parser.error(f"'repro sweep' expects a sweep spec, {args.spec} has kind={spec.kind!r} "
                      f"(use 'repro run' for single runs)")
-    with Session(jobs=args.jobs) as session:
-        try:
-            result = session.run(spec)
-        except (ValueError, RegistryError) as exc:
-            # ValueError also covers structurally-valid specs whose values are
-            # rejected deeper down (e.g. a GA population too small to search).
-            parser.error(str(exc))
+    shard = None
+    if args.shard is not None:
+        if args.experiment != "sweep":
+            parser.error("--shard only applies to 'repro sweep'")
+        if not args.store:
+            parser.error("--shard needs --store so other shards can merge the results")
+        shard = _parse_shard(parser, args.shard)
+    if args.resume and not args.store:
+        parser.error("--resume needs --store (checkpoints live in the store)")
+    try:
+        with Session(jobs=args.jobs, store=args.store, resume=args.resume) as session:
+            if shard is not None:
+                result = session.run_shard(spec, *shard)
+            else:
+                result = session.run(spec)
+    except (ValueError, RegistryError, StoreError, CheckpointError) as exc:
+        # ValueError also covers structurally-valid specs whose values are
+        # rejected deeper down (e.g. a GA population too small to search).
+        parser.error(str(exc))
     _print_result_rows(result)
     print(f"\nspec digest: {result.spec_digest}")
+    if shard is not None:
+        print(f"shard: {shard[0]}/{shard[1]} "
+              f"({result.provenance.get('runs', 0)} of {result.provenance.get('total_runs', 0)} runs)")
     print(f"elapsed: {result.timing.get('seconds', 0.0):.2f}s")
+    if args.store:
+        print(f"results stored in {args.store}")
     if args.out:
         result.save(args.out)
         print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_merge(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    destination = args.spec or args.store
+    if not destination:
+        parser.error("'merge' needs a destination: repro merge <dest-store> <src-store>...")
+    if not args.extra:
+        parser.error("'merge' needs at least one source store: "
+                     "repro merge <dest-store> <src-store>...")
+    from repro.store import merge_stores
+
+    try:
+        store, added = merge_stores(destination, args.extra)
+    except StoreError as exc:
+        parser.error(str(exc))
+    print(f"merged {len(args.extra)} store(s) into {destination}: "
+          f"{added} result(s) added, {len(store)} total")
+    store.close()
     return 0
 
 
@@ -310,11 +385,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "list":
         _cmd_list()
         return 0
+    if args.experiment == "merge":
+        return _cmd_merge(parser, args)
     if args.experiment in SPEC_COMMANDS:
         return _cmd_run_spec(parser, args)
+    if args.spec or args.extra:
+        stray = " ".join([args.spec, *args.extra]) if args.spec else " ".join(args.extra)
+        parser.error(f"'{args.experiment}' takes no positional arguments (got: {stray})")
+    if args.shard is not None:
+        parser.error("--shard only applies to 'repro sweep'")
+    if args.resume and not args.store:
+        parser.error("--resume needs --store (checkpoints live in the store)")
     try:
-        session = Session(scale=args.scale, jobs=args.jobs)
-    except (ValueError, RegistryError) as exc:
+        session = Session(scale=args.scale, jobs=args.jobs, store=args.store, resume=args.resume)
+    except (ValueError, RegistryError, StoreError) as exc:
         parser.error(str(exc))
     try:
         COMMANDS[args.experiment](session, args)

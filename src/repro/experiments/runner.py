@@ -149,6 +149,16 @@ class ExperimentContext:
     simulations and the stressmark GA evaluations out across worker
     processes; reports and caches are always assembled in deterministic
     order, so results are identical for any worker count.
+
+    ``store`` (a :class:`~repro.store.result_store.ResultStore`) makes the
+    context's caches durable: workload simulations and whole stressmark
+    searches are written to the store's artifact database and fetched back
+    before anything is simulated, GA fitness evaluations write through to
+    the store's persistent fitness cache, and every stressmark search
+    checkpoints per generation.  ``resume=True`` consumes an existing GA
+    checkpoint (continuing an interrupted search bit-identically); the
+    default clears stale checkpoints and starts searches fresh.  The caller
+    owns the store's lifetime.
     """
 
     def __init__(
@@ -156,9 +166,13 @@ class ExperimentContext:
         scale: Optional[ExperimentScale] = None,
         jobs: Optional[int] = None,
         backend: Optional[EvaluationBackend] = None,
+        store: Optional[object] = None,
+        resume: bool = False,
     ) -> None:
         self.scale = scale or ExperimentScale.quick()
         self.jobs = resolve_jobs(jobs) if backend is None else backend.jobs
+        self.store = store
+        self.resume = resume
         self._backend = backend
         # AVF is independent of the circuit-level fault rates, so workload
         # simulations are cached per configuration and re-reported under each
@@ -191,6 +205,37 @@ class ExperimentContext:
 
     # ----------------------------------------------------------- workloads
 
+    def _workload_artifact_key(self, config: MachineConfig, profile: WorkloadProfile) -> str:
+        from repro.store.artifacts import artifact_key
+
+        return artifact_key(
+            "workload-sim",
+            config,
+            profile,
+            self.scale.workload_instructions,
+            self.scale.workload_seed,
+            self.scale.simulation_seed,
+        )
+
+    def _fetch_workload_result(
+        self, config: MachineConfig, profile: WorkloadProfile
+    ) -> Optional[SimulationResult]:
+        """Cached simulation result from memory, then the store's artifacts."""
+        sim_key = (config.name, profile.name)
+        result = self._workload_sim_cache.get(sim_key)
+        if result is None and self.store is not None:
+            result = self.store.artifact_store().get(self._workload_artifact_key(config, profile))
+            if result is not None:
+                self._workload_sim_cache[sim_key] = result
+        return result
+
+    def _record_workload_result(
+        self, config: MachineConfig, profile: WorkloadProfile, result: SimulationResult
+    ) -> None:
+        self._workload_sim_cache[(config.name, profile.name)] = result
+        if self.store is not None:
+            self.store.artifact_store().put(self._workload_artifact_key(config, profile), result)
+
     def run_workload(
         self,
         profile: WorkloadProfile,
@@ -199,13 +244,12 @@ class ExperimentContext:
     ) -> SerReport:
         """Simulate one workload proxy and return its SER report."""
         fault_rates = fault_rates or unit_fault_rates()
-        sim_key = (config.name, profile.name)
-        result = self._workload_sim_cache.get(sim_key)
+        result = self._fetch_workload_result(config, profile)
         if result is None:
             program = build_workload(profile, config, seed=self.scale.workload_seed)
             core = OutOfOrderCore(config, seed=self.scale.simulation_seed)
             result = core.run(program, max_instructions=self.scale.workload_instructions)
-            self._workload_sim_cache[sim_key] = result
+            self._record_workload_result(config, profile, result)
         report = build_report(result, fault_rates)
         report.stats["suite"] = profile.suite.value  # type: ignore[index]
         return report
@@ -228,15 +272,16 @@ class ExperimentContext:
         report_set = cached or WorkloadReportSet(config=config, fault_rates=fault_rates)
         missing = [profile for profile in selected if profile.name not in report_set.reports]
         # Fan the uncached, independent simulations out through the backend;
-        # reports are then assembled serially in `selected` order.
+        # reports are then assembled serially in `selected` order.  The store
+        # consult happens first so replayed simulations never hit a worker.
         to_simulate = [
             profile for profile in missing
-            if (config.name, profile.name) not in self._workload_sim_cache
+            if self._fetch_workload_result(config, profile) is None
         ]
         if len(to_simulate) > 1 and self.backend.jobs > 1:
             results = self.backend.map(self._workload_task(config), to_simulate)
             for profile, result in zip(to_simulate, results, strict=True):
-                self._workload_sim_cache[(config.name, profile.name)] = result
+                self._record_workload_result(config, profile, result)
         for profile in missing:
             report_set.reports[profile.name] = self.run_workload(profile, config, fault_rates)
         self._workload_cache[cache_key] = report_set
@@ -270,6 +315,35 @@ class ExperimentContext:
         ga_parameters = (
             self.scale.ga_parameters() if ga_seed is None else self.scale.ga_parameters(ga_seed)
         )
+
+        fitness_store = None
+        checkpoint = None
+        artifact_key_str = None
+        if self.store is not None:
+            from repro.store.artifacts import artifact_key
+
+            artifact_key_str = artifact_key(
+                "stressmark",
+                config,
+                fault_rates,
+                fitness,
+                ga_parameters,
+                self.scale.stressmark_instructions,
+                self.scale.simulation_seed,
+                self.scale.seed_ga_with_reference,
+                allow_l2_hit_generator,
+            )
+            replayed = self.store.artifact_store().get(artifact_key_str)
+            if replayed is not None:
+                self._stressmark_cache[cache_key] = replayed
+                return replayed
+            fitness_store = self.store.fitness_store()
+            checkpoint = self.store.checkpoint(artifact_key_str)
+            if not self.resume:
+                # A stale checkpoint from an abandoned run must not leak into
+                # a run that did not ask to resume.
+                checkpoint.clear()
+
         generator = StressmarkGenerator(
             config=config,
             fault_rates=fault_rates,
@@ -279,6 +353,8 @@ class ExperimentContext:
             max_instructions=self.scale.stressmark_instructions,
             simulation_seed=self.scale.simulation_seed,
             backend=self.backend,
+            fitness_store=fitness_store,
+            checkpoint=checkpoint,
         )
         seeds = None
         if self.scale.seed_ga_with_reference:
@@ -288,6 +364,9 @@ class ExperimentContext:
             ]
         result = generator.generate(initial_knobs=seeds)
         self._stressmark_cache[cache_key] = result
+        if self.store is not None:
+            self.store.artifact_store().put(artifact_key_str, result)
+            checkpoint.clear()
         return result
 
     # ------------------------------------------------------------- helpers

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.store.checkpoint import CheckpointManager
 
 from repro.ga.genes import GeneSpace
 from repro.ga.individual import Individual, best_of, population_diversity
@@ -134,20 +138,67 @@ class GeneticAlgorithm:
 
     # ----------------------------------------------------------------- API
 
-    def run(self, initial_population: Optional[list[Individual]] = None) -> GAResult:
-        """Run the GA and return the best individual found."""
+    def run(
+        self,
+        initial_population: Optional[list[Individual]] = None,
+        checkpoint: Optional["CheckpointManager"] = None,
+    ) -> GAResult:
+        """Run the GA and return the best individual found.
+
+        ``checkpoint`` (a :class:`~repro.store.checkpoint.CheckpointManager`)
+        persists the complete loop state after every generation; when it
+        already holds a checkpoint recorded under the same parameters and
+        gene space, the run resumes from the last completed generation and
+        reproduces the identical search trajectory — populations,
+        per-generation history, best genome and fitness — of an
+        uninterrupted run.  The ``evaluations``/cache counters report the
+        work *this* process performed: the re-run of the generation that was
+        in flight at the interruption lands in the fitness cache (on disk
+        with a :class:`~repro.store.fitness_store.PersistentFitnessCache`,
+        where the interrupted process already wrote its results), so resumed
+        totals can differ from the uninterrupted run's while
+        ``evaluations + cache_hits`` is conserved.  ``initial_population``
+        is ignored on resume — the checkpointed population already embeds
+        it.
+        """
         params = self.parameters
         rng = DeterministicRng(params.seed)
-        self._all_time_best = None
-        self._run_cache_hits = 0
-        self._run_cache_misses = 0
-        population = self._initial_population(initial_population, rng)
+        settings_digest = self._settings_digest() if checkpoint is not None else ""
+        resumed = checkpoint.load() if checkpoint is not None else None
+        if resumed is not None and resumed.settings_digest != settings_digest:
+            from repro.store.checkpoint import CheckpointError
 
-        result = GAResult(best=population[0])
-        stall = 0
-        best_so_far = float("-inf")
+            raise CheckpointError(
+                f"checkpoint {checkpoint.path} was recorded under different GA "
+                f"parameters or a different gene space; clear it to start fresh"
+            )
 
-        for generation in range(params.generations):
+        if resumed is not None:
+            rng.setstate(resumed.rng_state)
+            population = [individual.copy() for individual in resumed.population]
+            result = GAResult(
+                best=resumed.best,
+                history=list(resumed.history),
+                evaluations=resumed.evaluations,
+                cataclysm_generations=list(resumed.cataclysm_generations),
+            )
+            self._all_time_best = resumed.all_time_best
+            self._run_cache_hits = resumed.cache_hits
+            self._run_cache_misses = resumed.cache_misses
+            stall = resumed.stall
+            best_so_far = resumed.best_so_far
+            start_generation = resumed.next_generation
+        else:
+            self._all_time_best = None
+            self._run_cache_hits = 0
+            self._run_cache_misses = 0
+            population = self._initial_population(initial_population, rng)
+            result = GAResult(best=population[0])
+            stall = 0
+            best_so_far = float("-inf")
+            start_generation = 0
+
+        for generation in range(start_generation, params.generations):
             result.evaluations += self._evaluate(population)
 
             stats, population = self._generation_stats(generation, population)
@@ -182,6 +233,11 @@ class GeneticAlgorithm:
                 result.cataclysm_generations.append(generation)
             if self.on_generation is not None:
                 self.on_generation(stats, population)
+            if checkpoint is not None:
+                self._save_checkpoint(
+                    checkpoint, settings_digest, generation, rng, population,
+                    result, stall, best_so_far,
+                )
 
         result.evaluations += self._evaluate(population)
         result.best = best_of(population + [result.best] if result.best.evaluated else population)
@@ -201,6 +257,43 @@ class GeneticAlgorithm:
     _all_time_best: Optional[Individual] = None
     _run_cache_hits: int = 0
     _run_cache_misses: int = 0
+
+    def _settings_digest(self) -> str:
+        """Digest of the parameters + gene space a checkpoint is valid for."""
+        parts = [repr(self.parameters)] + [repr(gene) for gene in self.space]
+        return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+    def _save_checkpoint(
+        self,
+        checkpoint: "CheckpointManager",
+        settings_digest: str,
+        generation: int,
+        rng: DeterministicRng,
+        population: list[Individual],
+        result: GAResult,
+        stall: int,
+        best_so_far: float,
+    ) -> None:
+        from repro.store.checkpoint import GACheckpoint
+
+        all_time_best = self._all_time_best
+        checkpoint.save(
+            GACheckpoint(
+                settings_digest=settings_digest,
+                next_generation=generation + 1,
+                rng_state=rng.getstate(),
+                population=[individual.copy() for individual in population],
+                best=result.best.copy(),
+                all_time_best=None if all_time_best is None else all_time_best.copy(),
+                history=list(result.history),
+                evaluations=result.evaluations,
+                cataclysm_generations=list(result.cataclysm_generations),
+                cache_hits=self._run_cache_hits,
+                cache_misses=self._run_cache_misses,
+                stall=stall,
+                best_so_far=best_so_far,
+            )
+        )
 
     def _initial_population(
         self, initial: Optional[list[Individual]], rng: DeterministicRng

@@ -78,7 +78,16 @@ class LifetimeTracker:
     def record_fill(self, line: int, word: int, cycle: int, ace: bool = True) -> None:
         """A word became resident (brought in from the next level)."""
         self.total_events += 1
-        self._live[(line, word)] = _WordState(AceEvent.FILL, cycle, last_write_ace=False)
+        key = (line, word)
+        state = self._live.get(key)
+        if state is not None:
+            # A fill over a still-live word means the previous occupant left
+            # without an explicit eviction event (e.g. a replacement the owner
+            # did not report).  Close its interval as an eviction so a dirty
+            # ACE write keeps its Write=>Evict credit instead of being
+            # silently dropped with the overwritten state.
+            self._close_interval(state, cycle, AceEvent.EVICT, ace=True)
+        self._live[key] = _WordState(AceEvent.FILL, cycle, last_write_ace=False)
 
     def record_read(self, line: int, word: int, cycle: int, ace: bool) -> None:
         """A resident word was read by an instruction (ACE or not)."""

@@ -1,0 +1,90 @@
+"""Pickled key-value persistence for heavyweight simulation artefacts.
+
+The in-memory caches of :class:`~repro.experiments.runner.ExperimentContext`
+(per-workload :class:`~repro.uarch.pipeline.SimulationResult`s, whole
+:class:`~repro.stressmark.generator.StressmarkResult`s) and the GA's
+persistent fitness cache all need to survive the process so figures, tables
+and sweeps can replay from a populated store without re-simulating.  Those
+objects are rich Python values, so they are persisted as pickles inside a
+one-table sqlite database — transactional writes, safe concurrent readers,
+and no bespoke file format.
+
+Security note: pickles execute code on load.  An :class:`ArtifactStore` must
+only ever open files the local toolchain wrote itself (they live inside a
+result-store directory the user created); never point it at untrusted data.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sqlite3
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.parallel.cache import evaluation_context_digest
+
+
+def artifact_key(*parts: object) -> str:
+    """Stable sha256 key derived from the ``repr`` of every part.
+
+    All parts must have deterministic reprs (dataclasses, ints, strings —
+    never objects falling back to address-bearing ``object.__repr__``), so
+    the same logical artefact maps to the same key across processes and
+    sessions.  The digest scheme is shared with the fitness cache's
+    evaluation-context digest so the two key spaces can never drift apart.
+    """
+    return evaluation_context_digest(*parts)
+
+
+class ArtifactStore:
+    """A durable ``key -> pickled object`` mapping backed by sqlite."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(str(self.path))
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS artifacts (key TEXT PRIMARY KEY, payload BLOB NOT NULL)"
+        )
+        self._connection.commit()
+
+    def get(self, key: str) -> Optional[object]:
+        """Unpickle and return the stored object, or ``None`` on miss."""
+        row = self._connection.execute(
+            "SELECT payload FROM artifacts WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return pickle.loads(row[0])
+
+    def put(self, key: str, value: object) -> None:
+        """Persist an object under ``key`` (last write wins)."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO artifacts (key, payload) VALUES (?, ?)",
+                (key, sqlite3.Binary(payload)),
+            )
+
+    def keys(self) -> list[str]:
+        rows = self._connection.execute("SELECT key FROM artifacts ORDER BY key")
+        return [key for (key,) in rows]
+
+    def __contains__(self, key: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM artifacts WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None
+
+    def __len__(self) -> int:
+        (count,) = self._connection.execute("SELECT COUNT(*) FROM artifacts").fetchone()
+        return int(count)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ArtifactStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

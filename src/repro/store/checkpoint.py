@@ -1,0 +1,93 @@
+"""Per-generation GA checkpoints: interrupt a search, resume bit-identically.
+
+The :class:`~repro.ga.engine.GeneticAlgorithm` snapshots its complete loop
+state after every generation — the bred population for the next generation,
+the RNG state, the stall/best-so-far convergence trackers, the accumulated
+history and counters — so a run killed at any point resumes from the last
+completed generation and finishes with exactly the results (same best
+genome, fitness, history and evaluation counts) an uninterrupted run
+produces.  Combined with a persistent fitness cache the resumed run even
+observes the identical cache hit/miss sequence.
+
+Checkpoints are pickles written atomically (temp file + rename), so a crash
+mid-save leaves the previous checkpoint intact.  A ``settings_digest``
+recorded at save time guards against resuming with different GA parameters
+or a different gene space, which could only produce garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+#: Version of the pickled checkpoint layout; bump on incompatible changes.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is corrupt, incompatible or from different settings."""
+
+
+@dataclass
+class GACheckpoint:
+    """Complete engine loop state at a generation boundary."""
+
+    settings_digest: str
+    next_generation: int
+    rng_state: tuple
+    population: list
+    best: object
+    all_time_best: Optional[object]
+    history: list = field(default_factory=list)
+    evaluations: int = 0
+    cataclysm_generations: list = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    stall: int = 0
+    best_so_far: float = float("-inf")
+    schema_version: int = CHECKPOINT_SCHEMA_VERSION
+
+
+class CheckpointManager:
+    """Atomic save/load/clear of one search's :class:`GACheckpoint` file."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def save(self, checkpoint: GACheckpoint) -> None:
+        """Persist a checkpoint atomically (temp file + rename)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def load(self) -> Optional[GACheckpoint]:
+        """The stored checkpoint, or ``None`` when absent."""
+        if not self.path.exists():
+            return None
+        try:
+            with open(self.path, "rb") as handle:
+                checkpoint = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
+        if not isinstance(checkpoint, GACheckpoint):
+            raise CheckpointError(f"{self.path} does not contain a GACheckpoint")
+        if checkpoint.schema_version != CHECKPOINT_SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint {self.path} has schema {checkpoint.schema_version}; "
+                f"this build reads schema {CHECKPOINT_SCHEMA_VERSION}"
+            )
+        return checkpoint
+
+    def clear(self) -> None:
+        """Delete the checkpoint file if present."""
+        self.path.unlink(missing_ok=True)

@@ -1,0 +1,396 @@
+"""Persistent, content-addressed storage for :class:`~repro.api.spec.RunResult`s.
+
+A :class:`ResultStore` is a directory that durably maps RunSpec sha256
+digests to their RunResult JSON documents.  Two interchangeable backends
+persist the mapping:
+
+``jsonl`` (the default)
+    ``results.jsonl`` — one schema-versioned JSON record per line.  Appends
+    are single ``write`` calls followed by a flush, and the loader tolerates
+    a truncated *final* line, so a run killed mid-append never corrupts the
+    records written before it.
+``sqlite``
+    ``results.sqlite`` — a one-table sqlite database; every put commits a
+    transaction, so interrupted writes roll back cleanly.
+
+The backend choice is recorded in ``meta.json`` (written atomically via a
+temp-file rename) together with the store schema version; opening a store
+with a conflicting backend or an unknown schema raises :class:`StoreError`
+instead of silently misreading records.
+
+Putting two *different* results under the same digest raises — deterministic
+simulations must reproduce the same rows for the same spec, so a conflict
+indicates nondeterminism (or a stale store) that should never be papered
+over.  Wall-clock ``timing`` blocks are excluded from the comparison.
+
+The directory also hosts the sibling persistence layers used by the
+execution stack (see :mod:`repro.store.artifacts`,
+:mod:`repro.store.fitness_store` and :mod:`repro.store.checkpoint`):
+
+.. code-block:: text
+
+    store/
+      meta.json            backend + schema version
+      results.jsonl        (or results.sqlite) RunResult records
+      artifacts.sqlite     pickled simulation artefacts (context caches)
+      fitness.sqlite       persistent GA fitness cache
+      checkpoints/*.ckpt   per-search GA generation checkpoints
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+from repro.api.spec import RunResult
+
+#: Version of the on-disk record layout; bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+#: File names inside a store directory.
+META_FILE = "meta.json"
+JSONL_FILE = "results.jsonl"
+SQLITE_FILE = "results.sqlite"
+
+BACKENDS = ("jsonl", "sqlite")
+
+
+class StoreError(RuntimeError):
+    """A result store is corrupt, incompatible or used inconsistently."""
+
+
+def atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _strip_timing(document: dict) -> dict:
+    """A copy of a RunResult JSON dict with every ``timing`` block removed."""
+    stripped = {key: value for key, value in document.items() if key != "timing"}
+    if stripped.get("children"):
+        stripped["children"] = [_strip_timing(child) for child in stripped["children"]]
+    return stripped
+
+
+class _JsonlBackend:
+    """Append-only JSONL persistence (one record per line)."""
+
+    name = "jsonl"
+
+    def __init__(self, root: Path) -> None:
+        self.path = root / JSONL_FILE
+
+    def load_all(self) -> dict[str, dict]:
+        if not self.path.exists():
+            return {}
+        records: dict[str, dict] = {}
+        lines = self.path.read_text().splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if index == len(lines) - 1:
+                    # A truncated final line is the footprint of a run killed
+                    # mid-append; everything before it is intact.
+                    break
+                raise StoreError(f"corrupt record at {self.path}:{index + 1}: {exc}") from exc
+            self._check_schema(record, f"{self.path}:{index + 1}")
+            records[str(record["digest"])] = record["result"]
+        return records
+
+    @staticmethod
+    def _check_schema(record: dict, where: str) -> None:
+        version = record.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise StoreError(
+                f"unsupported store schema {version!r} at {where} "
+                f"(this build reads schema {SCHEMA_VERSION})"
+            )
+        if "digest" not in record or "result" not in record:
+            raise StoreError(f"malformed record at {where}: expected digest + result fields")
+
+    def append(self, digest: str, document: dict) -> None:
+        record = {"schema_version": SCHEMA_VERSION, "digest": digest, "result": document}
+        line = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        # A single buffered write + flush keeps the line contiguous; the
+        # loader above recovers from a torn final line either way.
+        if self.path.exists():
+            with open(self.path, "r+b") as handle:
+                self._truncate_torn_tail(handle)
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+        else:
+            with open(self.path, "wb") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    @staticmethod
+    def _truncate_torn_tail(handle) -> None:
+        """Drop a crash-torn final line so a fresh record never concatenates
+        onto the fragment (which would corrupt both records)."""
+        size = handle.seek(0, os.SEEK_END)
+        if size == 0:
+            return
+        handle.seek(size - 1)
+        if handle.read(1) == b"\n":
+            return
+        handle.seek(0)
+        content = handle.read()
+        keep = content.rfind(b"\n") + 1  # 0 when no newline at all
+        handle.truncate(keep)
+        handle.seek(keep)
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        pass
+
+
+class _SqliteBackend:
+    """Transactional sqlite persistence."""
+
+    name = "sqlite"
+
+    def __init__(self, root: Path) -> None:
+        self.path = root / SQLITE_FILE
+        self._connection = sqlite3.connect(str(self.path))
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " digest TEXT PRIMARY KEY,"
+            " schema_version INTEGER NOT NULL,"
+            " payload TEXT NOT NULL)"
+        )
+        self._connection.commit()
+
+    def load_all(self) -> dict[str, dict]:
+        records: dict[str, dict] = {}
+        rows = self._connection.execute("SELECT digest, schema_version, payload FROM results")
+        for digest, version, payload in rows:
+            if version != SCHEMA_VERSION:
+                raise StoreError(
+                    f"unsupported store schema {version!r} for digest {digest} in {self.path} "
+                    f"(this build reads schema {SCHEMA_VERSION})"
+                )
+            records[str(digest)] = json.loads(payload)
+        return records
+
+    def append(self, digest: str, document: dict) -> None:
+        payload = json.dumps(document, separators=(",", ":"))
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO results (digest, schema_version, payload) VALUES (?, ?, ?)",
+                (digest, SCHEMA_VERSION, payload),
+            )
+
+    def close(self) -> None:
+        self._connection.close()
+
+
+class ResultStore:
+    """Durable digest -> RunResult mapping rooted at one directory.
+
+    Use :func:`open_store` (or the constructor) to create/open; the store is
+    a context manager.  ``put``/``get`` work on RunResult objects; raw JSON
+    documents are kept in memory so repeated gets avoid re-parsing.
+    """
+
+    def __init__(self, root: Union[str, Path], backend: Optional[str] = None) -> None:
+        self.root = Path(root)
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(f"store path {self.root} exists and is not a directory")
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.backend_name = self._resolve_backend(backend)
+        self._write_meta()
+        self._backend = (
+            _SqliteBackend(self.root) if self.backend_name == "sqlite" else _JsonlBackend(self.root)
+        )
+        self._documents: dict[str, dict] = self._backend.load_all()
+        self._results: dict[str, RunResult] = {}
+        self._fitness_store = None
+        self._artifact_store = None
+
+    # -------------------------------------------------------------- metadata
+
+    def _resolve_backend(self, requested: Optional[str]) -> str:
+        if requested is not None and requested not in BACKENDS:
+            raise StoreError(f"unknown store backend {requested!r} (expected one of: {', '.join(BACKENDS)})")
+        meta_path = self.root / META_FILE
+        recorded: Optional[str] = None
+        if meta_path.exists():
+            try:
+                meta = json.loads(meta_path.read_text())
+            except json.JSONDecodeError as exc:
+                raise StoreError(f"corrupt store metadata {meta_path}: {exc}") from exc
+            version = meta.get("schema_version")
+            if version != SCHEMA_VERSION:
+                raise StoreError(
+                    f"store {self.root} has schema {version!r}; this build reads schema {SCHEMA_VERSION}"
+                )
+            recorded = meta.get("backend")
+        elif (self.root / SQLITE_FILE).exists():
+            recorded = "sqlite"
+        elif (self.root / JSONL_FILE).exists():
+            recorded = "jsonl"
+        if recorded is not None and requested is not None and recorded != requested:
+            raise StoreError(
+                f"store {self.root} was created with the {recorded!r} backend; "
+                f"cannot reopen it as {requested!r}"
+            )
+        return recorded or requested or "jsonl"
+
+    def _write_meta(self) -> None:
+        meta = {"schema_version": SCHEMA_VERSION, "backend": self.backend_name}
+        atomic_write_text(self.root / META_FILE, json.dumps(meta, indent=2) + "\n")
+
+    # ------------------------------------------------------------ result API
+
+    def put(self, result: RunResult, digest: Optional[str] = None) -> str:
+        """Persist a result; returns the digest it was stored under.
+
+        ``digest`` defaults to the result's spec digest.  Re-putting the same
+        result is a no-op (first write wins); putting a *different* result
+        under an existing digest raises (timing excluded from the comparison).
+        """
+        digest = digest or result.spec_digest
+        document = result.to_json_dict()
+        existing = self._documents.get(digest)
+        if existing is not None:
+            if _strip_timing(existing) != _strip_timing(document):
+                raise StoreError(
+                    f"digest {digest} already maps to a different result in {self.root}; "
+                    f"deterministic runs must agree — refusing to overwrite"
+                )
+            return digest
+        self._backend.append(digest, document)
+        self._documents[digest] = document
+        self._results.pop(digest, None)
+        return digest
+
+    def get(self, digest: str) -> Optional[RunResult]:
+        """The stored result for a digest, or ``None``."""
+        result = self._results.get(digest)
+        if result is not None:
+            return result
+        document = self._documents.get(digest)
+        if document is None:
+            return None
+        result = RunResult.from_json_dict(document)
+        self._results[digest] = result
+        return result
+
+    def document(self, digest: str) -> Optional[dict]:
+        """The raw JSON document for a digest (merge/inspection helper)."""
+        return self._documents.get(digest)
+
+    def digests(self) -> list[str]:
+        return sorted(self._documents)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    # --------------------------------------------------------------- merging
+
+    def merge_from(self, other: "ResultStore") -> int:
+        """Copy every record of ``other`` into this store; returns #added.
+
+        Records present in both stores must agree (timing excluded) — a
+        mismatch raises, because two shards of one sweep can only disagree if
+        something nondeterministic happened.
+        """
+        added = 0
+        for digest in other.digests():
+            document = other.document(digest)
+            assert document is not None
+            existing = self._documents.get(digest)
+            if existing is not None:
+                if _strip_timing(existing) != _strip_timing(document):
+                    raise StoreError(
+                        f"merge conflict for digest {digest}: {other.root} disagrees with {self.root}"
+                    )
+                continue
+            self._backend.append(digest, document)
+            self._documents[digest] = document
+            added += 1
+        return added
+
+    # ------------------------------------------------- sibling persistence
+
+    def fitness_store(self):
+        """The store's shared persistent fitness-cache database (lazy)."""
+        if self._fitness_store is None:
+            from repro.store.artifacts import ArtifactStore
+
+            self._fitness_store = ArtifactStore(self.root / "fitness.sqlite")
+        return self._fitness_store
+
+    def artifact_store(self):
+        """The store's pickled simulation-artefact database (lazy)."""
+        if self._artifact_store is None:
+            from repro.store.artifacts import ArtifactStore
+
+            self._artifact_store = ArtifactStore(self.root / "artifacts.sqlite")
+        return self._artifact_store
+
+    def checkpoint(self, key: str):
+        """A GA checkpoint manager for one search, keyed by digest."""
+        from repro.store.checkpoint import CheckpointManager
+
+        return CheckpointManager(self.root / "checkpoints" / f"{key}.ckpt")
+
+    # -------------------------------------------------------------- lifetime
+
+    def close(self) -> None:
+        self._backend.close()
+        if self._fitness_store is not None:
+            self._fitness_store.close()
+            self._fitness_store = None
+        if self._artifact_store is not None:
+            self._artifact_store.close()
+            self._artifact_store = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def open_store(path: Union[str, Path, ResultStore], backend: Optional[str] = None) -> ResultStore:
+    """Open (or create) a result store at ``path``; passes stores through."""
+    if isinstance(path, ResultStore):
+        return path
+    return ResultStore(path, backend=backend)
+
+
+def merge_stores(destination: Union[str, Path, ResultStore], sources: Iterable[Union[str, Path, ResultStore]],
+                 backend: Optional[str] = None) -> tuple[ResultStore, int]:
+    """Merge shard stores into ``destination``; returns (store, #added).
+
+    The destination is created if missing; every source must already be a
+    store (opening a store silently creates one, so a typo'd source path
+    would otherwise merge as empty and the miss would go unnoticed).
+    """
+    checked: list[Union[str, Path, ResultStore]] = []
+    for source in sources:
+        if not isinstance(source, ResultStore) and not (Path(source) / META_FILE).exists():
+            raise StoreError(f"source {source} is not a result store (no {META_FILE})")
+        checked.append(source)
+    dest = open_store(destination, backend=backend)
+    added = 0
+    for source in checked:
+        src = open_store(source)
+        added += dest.merge_from(src)
+        if src is not dest:
+            src.close()
+    return dest, added

@@ -123,6 +123,13 @@ class StressmarkGenerator:
     selects how many worker processes evaluate GA candidates concurrently;
     alternatively pass a preconfigured ``backend``.  Results are identical
     for any worker count.
+
+    ``fitness_store`` (an :class:`~repro.store.artifacts.ArtifactStore`)
+    makes the GA's fitness cache persistent: evaluations are written through
+    to disk and duplicate genomes never re-simulate, across processes and
+    sessions.  ``checkpoint`` (a
+    :class:`~repro.store.checkpoint.CheckpointManager`) snapshots the GA
+    after every generation so an interrupted search resumes bit-identically.
     """
 
     def __init__(
@@ -137,6 +144,8 @@ class StressmarkGenerator:
         keep_history: bool = False,
         jobs: Optional[int] = None,
         backend: Optional[EvaluationBackend] = None,
+        fitness_store: Optional[object] = None,
+        checkpoint: Optional[object] = None,
     ) -> None:
         if max_instructions <= 0:
             raise ValueError("max_instructions must be positive")
@@ -150,6 +159,8 @@ class StressmarkGenerator:
         self.keep_history = keep_history
         self.jobs = resolve_jobs(jobs) if backend is None else backend.jobs
         self.backend = backend
+        self.fitness_store = fitness_store
+        self.checkpoint = checkpoint
         self.codegen = CodeGenerator(config)
         self.history: list[EvaluationRecord] = []
 
@@ -204,14 +215,25 @@ class StressmarkGenerator:
         backend = self.backend or create_backend(self.jobs)
         owns_backend = self.backend is None
         try:
-            # Bound the cache: entries retain full payloads (program + report),
-            # so an unbounded cache would hold every distinct candidate of a
-            # paper-scale run in memory.  A few generations' worth of entries
-            # covers elites, migrants and recent duplicates.
-            cache = FitnessCache(
-                context_digest=evaluator.context_digest(),
-                max_entries=max(256, 4 * self.ga_parameters.population_size),
-            )
+            # Bound the in-memory cache: entries retain full payloads
+            # (program + report), so an unbounded cache would hold every
+            # distinct candidate of a paper-scale run in memory.  A few
+            # generations' worth of entries covers elites, migrants and
+            # recent duplicates.
+            max_entries = max(256, 4 * self.ga_parameters.population_size)
+            if self.fitness_store is not None:
+                from repro.store.fitness_store import PersistentFitnessCache
+
+                cache: FitnessCache = PersistentFitnessCache(
+                    self.fitness_store,
+                    context_digest=evaluator.context_digest(),
+                    max_entries=max_entries,
+                )
+            else:
+                cache = FitnessCache(
+                    context_digest=evaluator.context_digest(),
+                    max_entries=max_entries,
+                )
             engine = GeneticAlgorithm(
                 space,
                 evaluator,
@@ -220,7 +242,7 @@ class StressmarkGenerator:
                 fitness_cache=cache,
                 on_evaluated=on_evaluated,
             )
-            ga_result = engine.run(initial_population=seeds)
+            ga_result = engine.run(initial_population=seeds, checkpoint=self.checkpoint)
         finally:
             if owns_backend:
                 backend.close()

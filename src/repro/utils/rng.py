@@ -50,6 +50,14 @@ class DeterministicRng:
         bound methods; draws interleave with the wrapper's own methods)."""
         return self._random
 
+    def getstate(self) -> tuple:
+        """Snapshot the generator state (picklable; for checkpointing)."""
+        return self._random.getstate()
+
+    def setstate(self, state: tuple) -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        self._random.setstate(state)
+
     def random(self) -> float:
         """Return a float uniformly distributed in [0, 1)."""
         return self._random.random()

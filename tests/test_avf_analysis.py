@@ -110,6 +110,32 @@ class TestSumOfHighest:
     def test_empty_results(self):
         assert sum_of_highest_per_structure_ser([], unit_fault_rates()) == 0.0
 
+    def test_heterogeneous_geometries_raise(self, sample_result):
+        """Regression: mixing results from different machine geometries used
+        to silently take bits from the first result; it must raise instead."""
+        from repro.isa import FixedPattern, Program, make_alu, make_load, make_store
+        from repro.uarch.config import MachineConfig
+        from repro.memory.cache import CacheConfig
+        from repro.memory.tlb import TlbConfig
+        from repro.uarch.pipeline import OutOfOrderCore
+
+        bigger = MachineConfig(
+            name="bigger",
+            iq_entries=16, rob_entries=48, lq_entries=16, sq_entries=16, rename_registers=80,
+            dl1=CacheConfig(name="dl1", size_bytes=4 * 1024, associativity=2, line_bytes=64, hit_latency=3),
+            il1=CacheConfig(name="il1", size_bytes=4 * 1024, associativity=2, line_bytes=64, hit_latency=1),
+            l2=CacheConfig(name="l2", size_bytes=32 * 1024, associativity=1, line_bytes=64, hit_latency=7),
+            dtlb=TlbConfig(entries=16, page_bytes=4096),
+            memory_latency=100,
+        )
+        pattern = FixedPattern(address=0)
+        body = [make_load(3, pattern, srcs=[2]), make_alu(4, [3]), make_store(pattern, srcs=[4])]
+        program = Program(name="sample", body=body, iterations=10**9)
+        other = OutOfOrderCore(bigger, seed=1).run(program, max_instructions=400)
+
+        with pytest.raises(ValueError, match="heterogeneous bit counts"):
+            sum_of_highest_per_structure_ser([sample_result, other], unit_fault_rates())
+
 
 class TestRawCircuitSer:
     def test_baseline_is_one(self):

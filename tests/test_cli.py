@@ -128,3 +128,103 @@ class TestSpecCommands:
         result = RunResult.load(out_path)
         assert result.spec_digest == RunSpec.from_json_dict(spec).digest
         assert result.rows[0]["program"] == "crc32_proxy"
+
+
+class TestStoreCommands:
+    SPEC = {
+        "kind": "sweep",
+        "name": "cli_store",
+        "base": {
+            "kind": "simulate",
+            "name": "wl",
+            "workloads": ["crc32_proxy"],
+            "scale_overrides": {"workload_instructions": 900},
+        },
+        "axes": {"fault_rates": ["unit", "rhc"]},
+    }
+
+    def _write_spec(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps(self.SPEC))
+        return str(path)
+
+    def test_parser_accepts_store_resume_shard(self):
+        args = build_parser().parse_args(
+            ["sweep", "spec.json", "--store", "dir", "--resume", "--shard", "1/2"]
+        )
+        assert args.store == "dir" and args.resume and args.shard == "1/2"
+
+    def test_shard_requires_store(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", self._write_spec(tmp_path), "--shard", "1/2"])
+        assert "--shard needs --store" in capsys.readouterr().err
+
+    def test_shard_requires_sweep_command(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", self._write_spec(tmp_path), "--store", str(tmp_path / "s"),
+                  "--shard", "1/2"])
+        assert "only applies to 'repro sweep'" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("bad", ["1", "0/2", "3/2", "a/b", "1/0"])
+    def test_shard_rejects_malformed_values(self, tmp_path, capsys, bad):
+        with pytest.raises(SystemExit):
+            main(["sweep", self._write_spec(tmp_path), "--store", str(tmp_path / "s"),
+                  "--shard", bad])
+
+    def test_resume_requires_store(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", self._write_spec(tmp_path), "--resume"])
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_merge_requires_destination_and_sources(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["merge"])
+        with pytest.raises(SystemExit):
+            main(["merge", "dest-only"])
+
+    def test_merge_rejects_missing_source_cleanly(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["merge", str(tmp_path / "dest"), str(tmp_path / "nope")])
+        err = capsys.readouterr().err
+        assert "not a result store" in err and "Traceback" not in err
+
+    def test_experiment_commands_reject_positionals(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "stray.json", "more"])
+        assert "takes no positional arguments" in capsys.readouterr().err
+
+    def test_experiment_commands_reject_shard(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--shard", "1/2"])
+        assert "only applies to 'repro sweep'" in capsys.readouterr().err
+
+    def test_experiment_commands_reject_resume_without_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table1", "--resume"])
+        assert "--resume needs --store" in capsys.readouterr().err
+
+    def test_corrupt_store_reported_cleanly(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        store_dir = tmp_path / "store"
+        store_dir.mkdir()
+        (store_dir / "meta.json").write_text("{not json")
+        with pytest.raises(SystemExit):
+            main(["sweep", spec_path, "--store", str(store_dir)])
+        err = capsys.readouterr().err
+        assert "corrupt store metadata" in err and "Traceback" not in err
+
+    def test_shard_then_merge_then_replay(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        shard1, shard2 = str(tmp_path / "shard1"), str(tmp_path / "shard2")
+        assert main(["sweep", spec_path, "--store", shard1, "--shard", "1/2"]) == 0
+        assert "shard: 1/2 (1 of 2 runs)" in capsys.readouterr().out
+        assert main(["sweep", spec_path, "--store", shard2, "--shard", "2/2"]) == 0
+        capsys.readouterr()
+        merged = str(tmp_path / "merged")
+        assert main(["merge", merged, shard1, shard2]) == 0
+        assert "2 result(s) added" in capsys.readouterr().out
+        out_path = tmp_path / "result.json"
+        assert main(["sweep", spec_path, "--store", merged, "--out", str(out_path)]) == 0
+        result = RunResult.load(out_path)
+        assert len(result.rows) == 2
+        assert {row["fault_rates"] for row in result.rows} == {"unit", "rhc"}

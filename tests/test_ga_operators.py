@@ -66,6 +66,24 @@ class TestTournamentSelection:
         with pytest.raises(ValueError):
             tournament_selection([], DeterministicRng(0))
 
+    def test_all_none_fitness_population(self):
+        """Selection over a fully unevaluated population picks a member
+        instead of crashing (every contender ranks at -inf)."""
+        population = [Individual(genome={"x": index, "y": 0.0}) for index in range(5)]
+        selected = tournament_selection(population, DeterministicRng(6), tournament_size=3)
+        assert selected in population
+        assert selected.fitness is None
+
+    def test_mixed_none_fitness_prefers_evaluated(self):
+        population = [
+            Individual(genome={"x": 0, "y": 0.0}),
+            Individual(genome={"x": 1, "y": 0.1}, fitness=0.5),
+        ]
+        rng = DeterministicRng(7)
+        for _ in range(50):
+            selected = tournament_selection(population, rng, tournament_size=2)
+            assert selected.fitness is None or selected.fitness == 0.5
+
 
 class TestCrossover:
     def test_child_genes_within_parent_values(self):
@@ -109,6 +127,21 @@ class TestMigration:
         population = make_population([0.1, 0.2])
         assert migrate(SPACE, population, DeterministicRng(0), count=0) is population
 
+    def test_count_equal_to_population_replaces_everyone(self):
+        population = make_population([0.9, 0.1, 0.5])
+        migrated = migrate(SPACE, population, DeterministicRng(8), count=3)
+        assert len(migrated) == 3
+        assert all(ind.fitness is None for ind in migrated)
+
+    def test_count_exceeding_population_preserves_size(self):
+        """count >= len(population) must not shrink or grow the population."""
+        population = make_population([0.9, 0.1])
+        migrated = migrate(SPACE, population, DeterministicRng(9), count=10)
+        assert len(migrated) == 2
+        assert all(ind.fitness is None for ind in migrated)
+        for immigrant in migrated:
+            SPACE.validate(immigrant.genome)
+
 
 class TestCataclysm:
     def test_keeps_best_and_restores_diversity(self):
@@ -122,3 +155,24 @@ class TestCataclysm:
 
     def test_empty_population(self):
         assert cataclysm(SPACE, [], DeterministicRng(0), 0.05) == []
+
+    def test_all_none_fitness_population(self):
+        """A cataclysm before any evaluation still reseeds around a member."""
+        population = [Individual(genome={"x": index, "y": 0.1}) for index in range(6)]
+        reseeded = cataclysm(SPACE, population, DeterministicRng(10), mutation_rate=0.05)
+        assert len(reseeded) == 6
+        survivor_genomes = [ind.genome for ind in population]
+        assert reseeded[0].genome in survivor_genomes
+
+    def test_forced_gene_change_path(self):
+        """With a zero mutation rate every heavy-mutated copy would equal the
+        best individual; the forced-change path must still alter at least one
+        gene so the population regains diversity."""
+        best = Individual(genome={"x": 42, "y": 0.42}, fitness=0.99)
+        population = [best] + [best.copy() for _ in range(7)]
+        reseeded = cataclysm(SPACE, population, DeterministicRng(11), mutation_rate=0.0)
+        assert len(reseeded) == 8
+        assert reseeded[0].genome == best.genome
+        for candidate in reseeded[1:]:
+            assert candidate.genome != best.genome
+        assert population_diversity(reseeded) > 0.5

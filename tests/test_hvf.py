@@ -45,6 +45,22 @@ class TestStructureHvf:
             if structure.is_core:
                 assert ace_result.avf(structure) <= structure_hvf(ace_result, structure) + 1e-9
 
+    def test_hvf_bounds_avf_for_every_structure(self, ace_result, unace_result):
+        """The defining invariant: HVF is an upper bound on AVF, everywhere."""
+        for result in (ace_result, unace_result):
+            for structure in result.accumulators:
+                assert result.avf(structure) <= structure_hvf(result, structure) + 1e-9
+
+    def test_storage_structures_report_avf_itself(self, ace_result):
+        """For storage structures the lifetime analysis already is the
+        occupancy of live data, so HVF equals the AVF (not an occupancy max
+        that could mask accounting regressions)."""
+        for structure in ace_result.accumulators:
+            if not structure.is_core:
+                assert structure_hvf(ace_result, structure) == pytest.approx(
+                    ace_result.avf(structure), abs=1e-12
+                )
+
     def test_hvf_in_unit_range(self, ace_result):
         for structure, value in hvf_by_structure(ace_result).items():
             assert 0.0 <= value <= 1.0

@@ -76,6 +76,39 @@ class TestIntervalClassification:
         assert tracker.ace_word_cycles == 20
 
 
+class TestFillOverLiveWord:
+    def test_fill_over_dirty_ace_word_keeps_write_evict_credit(self):
+        """Regression: a fill over a still-live word must close the pending
+        interval as an eviction, not silently drop it — a dirty ACE write
+        awaiting eviction keeps its Write=>Evict credit."""
+        tracker = LifetimeTracker()
+        tracker.record_write(0, 0, cycle=0, ace=True)
+        tracker.record_fill(0, 0, cycle=40)
+        assert tracker.ace_word_cycles == 40
+
+    def test_fill_over_unace_dirty_word_stays_unace(self):
+        tracker = LifetimeTracker()
+        tracker.record_write(0, 0, cycle=0, ace=False)
+        tracker.record_fill(0, 0, cycle=40)
+        assert tracker.ace_word_cycles == 0
+
+    def test_fill_over_clean_word_stays_unace(self):
+        tracker = LifetimeTracker()
+        tracker.record_fill(0, 0, cycle=0)
+        tracker.record_read(0, 0, cycle=10, ace=True)
+        tracker.record_fill(0, 0, cycle=50)
+        # fill=>read is ACE (10 cycles); read=>implicit-evict is not.
+        assert tracker.ace_word_cycles == 10
+
+    def test_refill_restarts_interval_state(self):
+        tracker = LifetimeTracker()
+        tracker.record_write(0, 0, cycle=0, ace=True)
+        tracker.record_fill(0, 0, cycle=30)
+        tracker.record_evict(0, 0, cycle=100)
+        # Write=>implicit-evict credited (30); fill=>evict clean is not.
+        assert tracker.ace_word_cycles == 30
+
+
 class TestWordIndependence:
     def test_words_tracked_separately(self):
         tracker = LifetimeTracker()

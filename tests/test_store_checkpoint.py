@@ -1,0 +1,161 @@
+"""Tests for GA checkpointing: save/load plumbing and bit-identical resume."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ga.engine import GAParameters, GeneticAlgorithm
+from repro.ga.genes import FloatGene, GeneSpace, IntGene
+from repro.ga.individual import Individual
+from repro.store import (
+    CheckpointError,
+    CheckpointManager,
+    GACheckpoint,
+    PersistentFitnessCache,
+)
+
+SPACE = GeneSpace([IntGene("x", 0, 100), FloatGene("y", 0.0, 1.0)])
+
+
+def evaluator(individual: Individual) -> float:
+    individual.payload["echo"] = individual.genome["x"]
+    return individual.genome["x"] * (1.0 + individual.genome["y"])
+
+
+def make_checkpoint(**overrides) -> GACheckpoint:
+    fields = dict(
+        settings_digest="digest",
+        next_generation=3,
+        rng_state=(1, (2, 3), None),
+        population=[Individual(genome={"x": 1, "y": 0.5}, fitness=1.5)],
+        best=Individual(genome={"x": 1, "y": 0.5}, fitness=1.5),
+        all_time_best=None,
+    )
+    fields.update(overrides)
+    return GACheckpoint(**fields)
+
+
+class TestCheckpointManager:
+    def test_save_load_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "nested" / "ga.ckpt")
+        assert not manager.exists()
+        assert manager.load() is None
+        manager.save(make_checkpoint())
+        assert manager.exists()
+        loaded = manager.load()
+        assert loaded.next_generation == 3
+        assert loaded.population[0].genome == {"x": 1, "y": 0.5}
+
+    def test_clear(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ga.ckpt")
+        manager.save(make_checkpoint())
+        manager.clear()
+        assert not manager.exists()
+        manager.clear()  # idempotent
+
+    def test_schema_mismatch_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ga.ckpt")
+        manager.save(make_checkpoint(schema_version=99))
+        with pytest.raises(CheckpointError, match="schema 99"):
+            manager.load()
+
+    def test_corrupt_file_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ga.ckpt")
+        manager.path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            manager.load()
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ga.ckpt")
+        manager.save(make_checkpoint())
+        assert list(tmp_path.iterdir()) == [manager.path]
+
+
+class _InterruptAt(Exception):
+    pass
+
+
+def run_ga(tmp_path, label, checkpoint=None, interrupt_generation=None,
+           parameters=None):
+    """One engine run with a persistent cache under ``tmp_path/<label>``."""
+    params = parameters or GAParameters(population_size=10, generations=8, seed=42)
+
+    def bomb(stats, population):
+        if interrupt_generation is not None and stats.generation == interrupt_generation:
+            raise _InterruptAt
+
+    cache = PersistentFitnessCache(tmp_path / f"{label}.sqlite")
+    engine = GeneticAlgorithm(
+        SPACE, evaluator, params,
+        fitness_cache=cache,
+        on_generation=bomb if interrupt_generation is not None else None,
+    )
+    try:
+        return engine.run(checkpoint=checkpoint)
+    finally:
+        cache.close()
+
+
+class TestResume:
+    def test_interrupted_run_resumes_bit_identically(self, tmp_path):
+        reference = run_ga(tmp_path, "ref")
+
+        manager = CheckpointManager(tmp_path / "ga.ckpt")
+        with pytest.raises(_InterruptAt):
+            run_ga(tmp_path, "int", checkpoint=manager, interrupt_generation=3)
+        assert manager.exists()
+
+        resumed = run_ga(tmp_path, "int", checkpoint=manager)
+        assert resumed.best.genome == reference.best.genome
+        assert resumed.best.fitness == reference.best.fitness
+        assert [s.__dict__ for s in resumed.history] == [s.__dict__ for s in reference.history]
+        assert resumed.cataclysm_generations == reference.cataclysm_generations
+        # The re-run of the in-flight generation is served by the persistent
+        # cache, so total lookups are conserved even though the split between
+        # evaluations and hits shifts.
+        assert resumed.evaluations <= reference.evaluations
+        assert (resumed.evaluations + resumed.cache_hits
+                == reference.evaluations + reference.cache_hits)
+
+    def test_resume_after_final_generation_checkpoint(self, tmp_path):
+        """Interrupting after the last generation's checkpoint still finishes."""
+        reference = run_ga(tmp_path, "ref")
+        manager = CheckpointManager(tmp_path / "ga.ckpt")
+        with pytest.raises(_InterruptAt):
+            # Generation 7 is the last; the interrupt fires before its
+            # checkpoint, so resume replays the final generation and the tail.
+            run_ga(tmp_path, "int", checkpoint=manager, interrupt_generation=7)
+        loaded = manager.load()
+        assert loaded is not None and loaded.next_generation == 7
+        resumed = run_ga(tmp_path, "int", checkpoint=manager)
+        assert resumed.best.genome == reference.best.genome
+        assert len(resumed.history) == len(reference.history)
+
+    def test_checkpoint_written_every_generation(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ga.ckpt")
+        seen = []
+
+        original_save = manager.save
+
+        def spy(checkpoint):
+            seen.append(checkpoint.next_generation)
+            original_save(checkpoint)
+
+        manager.save = spy  # type: ignore[method-assign]
+        run_ga(tmp_path, "full", checkpoint=manager)
+        assert seen == list(range(1, 9))
+
+    def test_settings_mismatch_raises(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "ga.ckpt")
+        with pytest.raises(_InterruptAt):
+            run_ga(tmp_path, "int", checkpoint=manager, interrupt_generation=2)
+        other = GAParameters(population_size=10, generations=8, seed=43)
+        with pytest.raises(CheckpointError, match="different GA parameters"):
+            run_ga(tmp_path, "int", checkpoint=manager, parameters=other)
+
+    def test_fresh_run_without_checkpoint_unaffected(self, tmp_path):
+        """A run given no checkpoint manager behaves exactly as before."""
+        a = run_ga(tmp_path, "a")
+        b = run_ga(tmp_path, "b")
+        assert a.best.genome == b.best.genome
+        assert [s.__dict__ for s in a.history] == [s.__dict__ for s in b.history]
