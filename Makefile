@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke
+.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke avf-smoke avf-golden
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -27,3 +27,13 @@ specs-smoke:
 # an uninterrupted run, plus the shard/merge CLI round trip (EXPERIMENTS.md).
 store-smoke:
 	REPRO_STORE_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_store_smoke.py -m store_smoke -q
+
+# Tier-2 accounting gate: rerun the small-scale workload matrix and
+# byte-compare per-structure AVF / group SER against the checked-in golden
+# (benchmarks/golden_avf.json; see ARCHITECTURE.md).
+avf-smoke:
+	REPRO_AVF_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_avf_smoke.py -m avf_smoke -q
+
+# Regenerate the AVF golden — only for INTENTIONAL accounting changes.
+avf-golden:
+	$(PYTHON) -c "from repro.avf.goldens import write_golden; write_golden()"

@@ -49,6 +49,12 @@ def pytest_configure(config: pytest.Config) -> None:
         "round trips (run via `make store-smoke` or REPRO_STORE_SMOKE=1; see "
         "EXPERIMENTS.md)",
     )
+    config.addinivalue_line(
+        "markers",
+        "avf_smoke: AVF golden-file gate — per-structure AVF/SER byte-compared "
+        "against benchmarks/golden_avf.json (run via `make avf-smoke` or "
+        "REPRO_AVF_SMOKE=1; regenerate via `make avf-golden`)",
+    )
 
 
 def pytest_report_header(config: pytest.Config) -> str:

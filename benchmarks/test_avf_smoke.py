@@ -1,0 +1,51 @@
+"""AVF golden-file regression gate (tier-2 ``avf_smoke``).
+
+Reruns the small-scale workload matrix and byte-compares the per-structure
+AVF / group-SER dump against ``benchmarks/golden_avf.json``:
+
+    make avf-smoke
+    # or
+    REPRO_AVF_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_avf_smoke.py -q
+
+Any numeric drift in the accounting fails the gate; regenerate the golden
+only for *intentional* accounting changes, via ``make avf-golden``.  Skipped
+in plain test runs (simulating the matrix takes tens of seconds).
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+
+import pytest
+
+from repro.avf.goldens import avf_smoke_payload, golden_path, render_payload
+
+pytestmark = [pytest.mark.avf_smoke]
+if not os.environ.get("REPRO_AVF_SMOKE"):
+    pytestmark.append(
+        pytest.mark.skip(reason="avf smoke disabled (set REPRO_AVF_SMOKE=1 or run `make avf-smoke`)")
+    )
+
+
+class TestAvfGolden:
+    def test_avf_output_matches_golden_byte_for_byte(self):
+        path = golden_path()
+        if not path.exists():
+            pytest.fail(
+                f"no golden file at {path} — generate one with `make avf-golden` "
+                f"(only for intentional accounting changes)"
+            )
+        expected = path.read_text()
+        actual = render_payload(avf_smoke_payload())
+        if actual != expected:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    expected.splitlines(), actual.splitlines(),
+                    fromfile="golden_avf.json", tofile="recomputed", lineterm="", n=2,
+                )
+            )
+            pytest.fail(
+                "per-structure AVF / group SER drifted from the golden file "
+                f"(regenerate via `make avf-golden` ONLY if the change is intentional):\n{diff[:4000]}"
+            )

@@ -24,6 +24,7 @@ from repro.experiments.bench import (
     PIPELINE_BENCH_FILE,
     baseline_entry,
     bench_ga,
+    bench_ledger,
     bench_parallel_speedup,
     bench_pipeline,
 )
@@ -38,13 +39,21 @@ if not os.environ.get("REPRO_PERF_SMOKE"):
     )
 
 
-def _pipeline_baseline() -> dict | None:
+def _bench_path() -> Path:
     # The trajectory file lives in the repository root (where `repro bench`
     # is run from); walk up from this file so the test works from any cwd.
     here = Path(__file__).resolve().parent.parent / PIPELINE_BENCH_FILE
-    if here.exists():
-        return baseline_entry(here)
-    return baseline_entry(PIPELINE_BENCH_FILE)
+    return here if here.exists() else Path(PIPELINE_BENCH_FILE)
+
+
+def _pipeline_baseline() -> dict | None:
+    return baseline_entry(_bench_path())
+
+
+def _ledger_baseline() -> dict | None:
+    """First recorded entry carrying ledger metrics (added with the ledger)."""
+    entry = baseline_entry(_bench_path(), lambda e: bool(e.get("ledger")))
+    return entry["ledger"] if entry else None
 
 
 class TestSimulatorPerf:
@@ -60,6 +69,19 @@ class TestSimulatorPerf:
         assert metrics["seconds"] <= budget, (
             f"50k-op simulation took {metrics['seconds']:.3f}s, "
             f"baseline {baseline['seconds']:.3f}s (+{MAX_REGRESSION:.0%} budget {budget:.3f}s)"
+        )
+
+    def test_ledger_event_throughput_does_not_regress(self):
+        """The ledger's lifetime-event path stays within budget of its baseline."""
+        metrics = bench_ledger(events=100_000, repeats=3)
+        assert metrics["events_per_second"] > 0
+        recorded = _ledger_baseline()
+        if not recorded:
+            pytest.skip("no recorded ledger baseline (run `python -m repro bench` first)")
+        floor = recorded["events_per_second"] * (1.0 - MAX_REGRESSION)
+        assert metrics["events_per_second"] >= floor, (
+            f"ledger event throughput {metrics['events_per_second']:.0f}/s fell below "
+            f"baseline {recorded['events_per_second']:.0f}/s (-{MAX_REGRESSION:.0%} floor {floor:.0f}/s)"
         )
 
     def test_ga_generation_completes_quickly(self):

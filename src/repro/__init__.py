@@ -14,6 +14,9 @@ Public API highlights
     Cycle-level simulator with ACE accounting.
 ``repro.avf.build_report``
     Per-structure AVF and grouped SER (units/bit) reports.
+``repro.vuln``
+    The pluggable vulnerability model: the ``STRUCTURES`` descriptor
+    registry and the unified ``VulnerabilityLedger`` (ARCHITECTURE.md).
 ``repro.stressmark.StressmarkGenerator``
     GA-driven stressmark generation (the paper's primary contribution).
 ``repro.workloads``
@@ -61,10 +64,22 @@ from repro.store import (  # noqa: E402  (store imports the api, keep last)
     merge_stores,
     open_store,
 )
+from repro.vuln import (  # noqa: E402
+    STRUCTURES,
+    StructureName,
+    VulnerabilityLedger,
+    VulnerableStructure,
+    register_structure,
+)
 
 __all__ = [
     "StructureGroup",
     "build_report",
+    "STRUCTURES",
+    "StructureName",
+    "VulnerabilityLedger",
+    "VulnerableStructure",
+    "register_structure",
     "MachineConfig",
     "OutOfOrderCore",
     "baseline_config",

@@ -5,7 +5,8 @@ component the repository ships into the registries of
 :mod:`repro.api.registry`:
 
 * machine configs — the paper's ``baseline`` (Table I) and ``config_a``
-  (Table II),
+  (Table II), plus ``extended`` (baseline + the flag-gated store buffer and
+  L2 TLB structures; see ARCHITECTURE.md),
 * fault-rate models — ``unit``, ``rhc``, ``edr`` (Figure 8a),
 * workload suites — ``spec_int``, ``spec_fp``, ``mibench`` and the combined
   ``all`` (the 33 proxies),
@@ -33,7 +34,7 @@ from repro.api.registry import (
 from repro.experiments.runner import ExperimentScale
 from repro.parallel.backends import ProcessPoolBackend, SerialBackend, resolve_jobs
 from repro.stressmark.fitness import FitnessFunction
-from repro.uarch.config import baseline_config, config_a
+from repro.uarch.config import baseline_config, config_a, extended_config
 from repro.uarch.faultrates import edr_fault_rates, rhc_fault_rates, unit_fault_rates
 from repro.workloads.suite import (
     all_profiles,
@@ -54,6 +55,7 @@ def install_default_components() -> None:
 
     CONFIGS.register("baseline", baseline_config)
     CONFIGS.register("config_a", config_a)
+    CONFIGS.register("extended", extended_config)
 
     FAULT_RATES.register("unit", unit_fault_rates)
     FAULT_RATES.register("rhc", rhc_fault_rates)

@@ -60,6 +60,21 @@ def _presets() -> dict[str, RunSpec]:
             base=RunSpec(kind="stressmark", name="figure9/stressmark"),
             axes={"config": ("baseline", "config_a")},
         ),
+        # Extended vulnerability-model sweep (not a paper artefact): exercises
+        # the flag-gated structures (store buffer, L2 TLB) end-to-end — the
+        # stressmark GA optimises against their SER groups on the ``extended``
+        # config, and the workload simulation reports their per-structure AVF
+        # next to the stock structure set.
+        "vuln_structures": RunSpec(
+            kind="sweep",
+            name="vuln_structures",
+            base=RunSpec(kind="stressmark", name="vuln_structures/stressmark"),
+            axes={"config": ("baseline", "extended")},
+            runs=(
+                RunSpec(kind="simulate", name="vuln_structures/workloads",
+                        config="extended", suites=("mibench",)),
+            ),
+        ),
         "table3": RunSpec(
             kind="sweep",
             name="table3",

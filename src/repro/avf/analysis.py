@@ -1,4 +1,4 @@
-"""SER computation on top of per-structure ACE accumulators.
+"""SER computation on top of per-structure ACE accounts.
 
 The paper reports SER normalised to *units/bit* per structure group:
 
@@ -7,6 +7,14 @@ The paper reports SER normalised to *units/bit* per structure group:
 where ``rate_s`` is the circuit-level fault rate of structure ``s`` in
 units/bit.  With the unit fault-rate model this reduces to the bit-weighted
 average AVF of the group, which is what Figures 3, 4, 7 and 9 plot.
+
+Group membership is registry-driven: every structure descriptor in
+:data:`repro.vuln.structures.STRUCTURES` declares its SER group, so a newly
+registered structure (e.g. the flag-gated store buffer) joins group SER,
+fitness objectives and the worst-case estimators without touching this
+module.  Aggregations iterate a result's accounts in their insertion
+(registry) order, keeping float summation order deterministic across
+processes and machines.
 """
 
 from __future__ import annotations
@@ -18,6 +26,7 @@ from repro.uarch.config import MachineConfig
 from repro.uarch.faultrates import FaultRateModel
 from repro.uarch.pipeline import SimulationResult
 from repro.uarch.structures import StructureName
+from repro.vuln.structures import structures_in_group
 
 
 class StructureGroup(Enum):
@@ -30,28 +39,26 @@ class StructureGroup(Enum):
     L2 = "l2"
 
 
-_GROUP_MEMBERS: dict[StructureGroup, frozenset[StructureName]] = {
-    StructureGroup.QS: frozenset(
-        {
-            StructureName.IQ,
-            StructureName.ROB,
-            StructureName.LQ_TAG,
-            StructureName.LQ_DATA,
-            StructureName.SQ_TAG,
-            StructureName.SQ_DATA,
-            StructureName.FU,
-        }
-    ),
-    StructureGroup.DL1_DTLB: frozenset({StructureName.DL1, StructureName.DTLB}),
-    StructureGroup.L2: frozenset({StructureName.L2}),
-}
-_GROUP_MEMBERS[StructureGroup.QS_RF] = _GROUP_MEMBERS[StructureGroup.QS] | {StructureName.RF}
-_GROUP_MEMBERS[StructureGroup.CORE] = _GROUP_MEMBERS[StructureGroup.QS_RF]
+def group_members(group: StructureGroup) -> tuple[StructureName, ...]:
+    """The structures of ``group``, in registry (registration) order.
+
+    ``QS``/``DL1_DTLB``/``L2`` collect the descriptors declaring those group
+    keys; ``QS_RF`` and ``CORE`` are the queueing structures plus the
+    register-file group.
+    """
+    if group is StructureGroup.QS:
+        return structures_in_group("qs")
+    if group is StructureGroup.DL1_DTLB:
+        return structures_in_group("dl1_dtlb")
+    if group is StructureGroup.L2:
+        return structures_in_group("l2")
+    # QS_RF and CORE: queueing structures + register file.
+    return structures_in_group("qs") + structures_in_group("rf")
 
 
 def group_structures(group: StructureGroup) -> frozenset[StructureName]:
     """Return the structures belonging to ``group``."""
-    return _GROUP_MEMBERS[group]
+    return frozenset(group_members(group))
 
 
 def normalized_group_ser(
@@ -63,9 +70,8 @@ def normalized_group_ser(
     members = group_structures(group)
     total_bits = 0.0
     weighted = 0.0
-    for name in members:
-        accumulator = result.accumulators.get(name)
-        if accumulator is None:
+    for name, accumulator in result.accumulators.items():
+        if name not in members:
             continue
         bits = float(accumulator.total_bits)
         total_bits += bits
@@ -185,8 +191,9 @@ def instantaneous_worst_case_bound(
     members = group_structures(StructureGroup.QS)
     total_bits = 0.0
     weighted = 0.0
-    for name in members:
-        accumulator = accumulators[name]
+    for name, accumulator in accumulators.items():
+        if name not in members:
+            continue
         bits = float(accumulator.total_bits)
         total_bits += bits
         weighted += occupancy.get(name, 0.0) * bits * fault_rates.rate(name)

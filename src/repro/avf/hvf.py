@@ -42,9 +42,8 @@ def group_hvf(result: SimulationResult, group: StructureGroup) -> float:
     members = group_structures(group)
     total_bits = 0.0
     weighted = 0.0
-    for name in members:
-        accumulator = result.accumulators.get(name)
-        if accumulator is None:
+    for name, accumulator in result.accumulators.items():
+        if name not in members:
             continue
         bits = float(accumulator.total_bits)
         total_bits += bits

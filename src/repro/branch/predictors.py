@@ -9,6 +9,17 @@ Branch mispredictions matter to AVF because wrong-path instructions are
 un-ACE and the pipeline flush empties the queueing structures (Section IV-A.4
 of the paper), so the predictor's accuracy on each workload directly shapes
 per-structure occupancy.
+
+The predictor itself is deliberately *not* a registered vulnerable structure
+(:mod:`repro.vuln.structures`): every bit of predictor state is un-ACE by
+construction — a particle strike in a counter or history table can cause at
+most a misprediction, never wrong architectural state — so it would
+contribute identically-zero AVF through the
+:class:`~repro.vuln.ledger.VulnerabilityLedger`.  :meth:`HybridPredictor.
+storage_bits` exposes the raw state size for anyone modelling
+performance-only vulnerability; to actually track a predictor variant whose
+state can corrupt architectural state (e.g. a value predictor), register a
+descriptor and emit ledger events per the ARCHITECTURE.md recipe.
 """
 
 from __future__ import annotations
@@ -160,3 +171,12 @@ class HybridPredictor:
     @property
     def misprediction_rate(self) -> float:
         return self.stats.misprediction_rate
+
+    def storage_bits(self) -> int:
+        """Total predictor state bits (un-ACE; see the module docstring)."""
+        global_bits = self.global_component.entries * 2
+        local_bits = (
+            self.local_component.history_entries * self.local_component.history_bits
+            + len(self.local_component.counters) * 2
+        )
+        return global_bits + local_bits + self.choice_entries * 2

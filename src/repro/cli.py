@@ -180,6 +180,7 @@ def _cmd_bench(session: Session, args: argparse.Namespace) -> None:
 
     metrics = run_benchmarks(jobs=args.jobs)
     pipeline = metrics["pipeline"]
+    ledger = metrics["ledger"]
     ga = metrics["ga"]
     parallel = metrics["parallel"]
     _print_rows(
@@ -189,6 +190,15 @@ def _cmd_bench(session: Session, args: argparse.Namespace) -> None:
             "seconds": pipeline["seconds"],
             "insn_per_sec": pipeline["instructions_per_second"],
             "ipc": pipeline["ipc"],
+        }],
+    )
+    _print_rows(
+        "Benchmark: vulnerability-ledger events (BENCH_pipeline.json)",
+        [{
+            "events": ledger["events"],
+            "seconds": ledger["seconds"],
+            "events_per_sec": ledger["events_per_second"],
+            "credit_seconds": ledger["credit_seconds"],
         }],
     )
     _print_rows(
@@ -287,9 +297,43 @@ def _cmd_list() -> None:
         "fitness": "fitness objectives",
         "scale": "experiment scales",
         "backend": "evaluation backends",
+        "structures": "tracked structures",
     }
     for key, registry in registries().items():
-        print(f"  {labels[key]:<20s} {', '.join(registry.names())}")
+        print(f"  {labels.get(key, key):<20s} {', '.join(registry.names())}")
+    _print_structures()
+
+
+def _print_structures() -> None:
+    """The STRUCTURES registry rendered with geometry and gating details."""
+    from repro.uarch.config import baseline_config, extended_config
+    from repro.vuln import STRUCTURES
+
+    baseline = baseline_config()
+    extended = extended_config()
+    print("\ntracked vulnerable structures (STRUCTURES registry; geometry for "
+          "the baseline, flag-gated entries from the 'extended' config):")
+    header = f"  {'name':<10s} {'group':<10s} {'kind':<8s} {'entries':>8s} {'bits':>6s}  {'fault-rate key':<15s} gate"
+    print(header)
+    for name, descriptor in STRUCTURES.items():
+        gate = descriptor.config_flag or "-"
+        try:
+            if descriptor.enabled(baseline):
+                config = baseline
+            else:
+                config = extended
+                gate += " (off at baseline)"
+            entries = f"{descriptor.entries(config):>8d}"
+            bits = f"{descriptor.bits_per_entry(config):>6d}"
+        except AttributeError:
+            # Plugin structures may key their geometry off config fields the
+            # stock configs do not carry; the listing must not crash on them.
+            entries, bits = f"{'?':>8s}", f"{'?':>6s}"
+            gate += " (custom config)"
+        print(
+            f"  {name:<10s} {descriptor.group:<10s} {descriptor.kind:<8s} "
+            f"{entries} {bits}  {descriptor.fault_rate_key:<15s} {gate}"
+        )
 
 
 def _print_result_rows(result) -> None:

@@ -68,6 +68,62 @@ def bench_pipeline(instructions: int = 50_000, repeats: int = 3) -> dict:
     }
 
 
+def bench_ledger(events: int = 200_000, repeats: int = 3) -> dict:
+    """Time the vulnerability ledger's event paths in isolation.
+
+    Two probes, mirroring how the simulator drives the ledger:
+
+    * ``events`` fill/read/write/evict lifetime events against one storage
+      structure's word tracker (the per-access cost the memory hierarchy
+      pays), over a working set small enough to stay allocation-stable;
+    * one :meth:`~repro.vuln.ledger.VulnerabilityLedger.credit` flush per
+      simulated run for the core structures (amortised to ~zero — recorded
+      here so a regression to per-op account writes would show up).
+    """
+    from repro.vuln.ledger import VulnerabilityLedger
+
+    config = baseline_config()
+
+    def drive_events() -> None:
+        ledger = VulnerabilityLedger(config)
+        tracker = ledger.word_tracker("dl1", 64)
+        fill = tracker.record_fill
+        read = tracker.record_read
+        write = tracker.record_write
+        evict = tracker.record_evict
+        lines = 512
+        for i in range(events // 4):
+            line = i % lines
+            word = (i >> 3) % 8
+            fill(line, word, i)
+            read(line, word, i + 1, ace=True)
+            write(line, word, i + 2, ace=bool(i & 1))
+            evict(line, word, i + 3)
+        tracker.finalize(events)
+        ledger.collect()
+
+    seconds = _best_of(drive_events, repeats)
+
+    core_names = ("iq", "rob", "lq_tag", "lq_data", "sq_tag", "sq_data", "rf", "fu")
+    flushes_per_structure = 1_000
+
+    def drive_credits() -> None:
+        ledger = VulnerabilityLedger(config)
+        credit = ledger.credit
+        for name in core_names:
+            for _ in range(flushes_per_structure):
+                credit(name, 10.0, 640.0)
+
+    credit_seconds = _best_of(drive_credits, repeats)
+    return {
+        "events": events,
+        "seconds": seconds,
+        "events_per_second": events / seconds if seconds > 0 else 0.0,
+        "credit_flushes": len(core_names) * flushes_per_structure,
+        "credit_seconds": credit_seconds,
+    }
+
+
 def bench_ga(jobs: Optional[int] = None, generations: int = 2, population: int = 8) -> dict:
     """Time a small GA stressmark search at quick scale.
 
@@ -188,10 +244,20 @@ def append_entry(path: str | Path, metrics: dict) -> dict:
     return trajectory
 
 
-def baseline_entry(path: str | Path) -> Optional[dict]:
-    """The first recorded entry of a trajectory (the regression baseline)."""
+def baseline_entry(path: str | Path, predicate=None) -> Optional[dict]:
+    """The first recorded entry of a trajectory (the regression baseline).
+
+    ``predicate`` selects the first *matching* entry instead — used for
+    metrics added to the trajectory after its first recording (e.g. the
+    ledger microbenchmark).
+    """
     entries = load_trajectory(path).get("entries", [])
-    return entries[0] if entries else None
+    if predicate is None:
+        return entries[0] if entries else None
+    for entry in entries:
+        if predicate(entry):
+            return entry
+    return None
 
 
 def run_benchmarks(
@@ -204,14 +270,16 @@ def run_benchmarks(
     """Run the full harness, append to the trajectory files, return metrics."""
     jobs = resolve_jobs(jobs)
     pipeline_metrics = bench_pipeline(instructions=instructions, repeats=repeats)
+    ledger_metrics = bench_ledger(repeats=repeats)
     ga_metrics = bench_ga(jobs=jobs)
     # The speedup probe always runs multi-worker (default 4) so the recorded
     # number is meaningful even when the GA itself was benchmarked serially.
     speedup_metrics = bench_parallel_speedup(jobs=jobs if jobs > 1 else 4)
-    append_entry(pipeline_path, pipeline_metrics)
+    append_entry(pipeline_path, {**pipeline_metrics, "ledger": ledger_metrics})
     append_entry(ga_path, {"ga": ga_metrics, "parallel": speedup_metrics})
     return {
         "pipeline": pipeline_metrics,
+        "ledger": ledger_metrics,
         "ga": ga_metrics,
         "parallel": speedup_metrics,
     }

@@ -35,17 +35,13 @@ GROUP_COLUMNS = (
     StructureGroup.L2,
 )
 
-#: Core structures plotted per-workload in Figure 6 (and 8b / 9a).
-FIGURE6_STRUCTURES = (
-    StructureName.IQ,
-    StructureName.ROB,
-    StructureName.LQ_TAG,
-    StructureName.LQ_DATA,
-    StructureName.SQ_TAG,
-    StructureName.SQ_DATA,
-    StructureName.RF,
-    StructureName.FU,
-)
+def core_structures_of(report: SerReport) -> tuple[StructureName, ...]:
+    """The core structures tracked in one report, in account (registry) order.
+
+    Registry-driven: flag-gated core structures (e.g. the store buffer on the
+    ``extended`` config) automatically join the per-structure AVF figures.
+    """
+    return tuple(s for s in report.structure_avf if s.is_core)
 
 
 def _session(
@@ -225,16 +221,17 @@ def figure6(
         "mibench": WorkloadSuite.MIBENCH,
     }
     results: dict[WorkloadSuite, Figure6Result] = {}
+    structures = core_structures_of(stressmark.report)
     for suite_name in simulate_spec.suites:
         suite = suite_by_name[suite_name]
         figure = Figure6Result(suite=suite)
         figure.rows["stressmark"] = {
-            structure: stressmark.report.avf(structure) for structure in FIGURE6_STRUCTURES
+            structure: stressmark.report.avf(structure) for structure in structures
         }
         for profile in session.resolve_profiles(simulate_spec.replace(suites=(suite_name,))):
             report = workloads.report(profile.name)
             figure.rows[profile.name] = {
-                structure: report.avf(structure) for structure in FIGURE6_STRUCTURES
+                structure: report.avf(structure) for structure in structures
             }
         results[suite] = figure
     return results
@@ -312,7 +309,8 @@ def figure8(
         }
         stressmark = session.stressmark_result(children[model_name])
         queueing_avf[label] = {
-            structure: stressmark.report.avf(structure) for structure in FIGURE6_STRUCTURES
+            structure: stressmark.report.avf(structure)
+            for structure in core_structures_of(stressmark.report)
         }
         knob_tables[label] = stressmark.knob_table()
         core_ser[label] = stressmark.report.core_ser
@@ -353,7 +351,8 @@ def figure9(
         name = stressmark.config.name
         group_ser[name] = {group: stressmark.report.ser(group) for group in GROUP_COLUMNS}
         structure_avf[name] = {
-            structure: stressmark.report.avf(structure) for structure in FIGURE6_STRUCTURES
+            structure: stressmark.report.avf(structure)
+            for structure in core_structures_of(stressmark.report)
         }
         knob_tables[name] = stressmark.knob_table()
     return Figure9Result(

@@ -113,8 +113,10 @@ def _sum_of_highest_per_structure(
     members = group_structures(StructureGroup.CORE)
     total_bits = 0.0
     weighted = 0.0
-    for structure in members:
-        bits = float(accumulators[structure].total_bits)
+    for structure, accumulator in accumulators.items():
+        if structure not in members:
+            continue
+        bits = float(accumulator.total_bits)
         highest = max(report.avf(structure) for report in reports)
         total_bits += bits
         weighted += highest * bits * fault_rates.rate(structure)

@@ -1,11 +1,11 @@
-"""Set-associative writeback cache with per-word lifetime ACE tracking."""
+"""Set-associative writeback cache emitting per-word lifetime ACE events."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.memory.lifetime import LifetimeTracker
+from repro.vuln.ledger import LifetimeTracker
 
 
 @dataclass(frozen=True)
@@ -86,14 +86,19 @@ class CacheStats:
 class Cache:
     """A set-associative, writeback, write-allocate cache with LRU replacement.
 
-    Every access also feeds the :class:`LifetimeTracker` so that the cache's
-    AVF can be computed directly from the ACE word-cycles it accumulates.
+    Every access emits fill/read/write/evict lifetime events.  When the cache
+    belongs to a simulated machine, ``tracker`` is the structure's state
+    machine obtained from the per-run :class:`~repro.vuln.ledger.
+    VulnerabilityLedger` (so the cache's ACE word-cycles land in the unified
+    accounts); standalone caches own a private tracker.
     """
 
-    def __init__(self, config: CacheConfig) -> None:
+    def __init__(self, config: CacheConfig, tracker: Optional[LifetimeTracker] = None) -> None:
         self.config = config
         self.stats = CacheStats()
-        self.lifetime = LifetimeTracker(word_bits=config.word_bytes * 8)
+        self.lifetime = tracker if tracker is not None else LifetimeTracker(
+            word_bits=config.word_bytes * 8
+        )
         self._sets: list[dict[int, _Line]] = [dict() for _ in range(config.num_sets)]
         # Geometry hoisted out of the hot access path.
         self._line_bytes = config.line_bytes

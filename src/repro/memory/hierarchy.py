@@ -1,11 +1,15 @@
-"""Two-level data memory hierarchy (DL1 + DTLB + L2 + main memory)."""
+"""Two-level data memory hierarchy (DL1 + DTLB [+ L2 TLB] + L2 + memory)."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.memory.cache import Cache, CacheConfig
 from repro.memory.tlb import Tlb, TlbConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vuln.ledger import VulnerabilityLedger
 
 
 @dataclass(frozen=True, slots=True)
@@ -24,11 +28,14 @@ class MemoryAccessOutcome:
 
 
 class MemoryHierarchy:
-    """DL1 + DTLB + unified L2 with writeback victim propagation.
+    """DL1 + DTLB + unified L2 (+ optional L2 TLB) with writeback propagation.
 
     The hierarchy exposes a single :meth:`access` entry point used by the
-    pipeline's load/store execution, and keeps the lifetime ACE state of each
-    storage structure so the AVF module can read it out at the end of a run.
+    pipeline's load/store execution.  ACE accounting is event-based: when a
+    per-run :class:`~repro.vuln.ledger.VulnerabilityLedger` is attached, each
+    cache/TLB drives the lifetime tracker of its registered structure, so the
+    AVF module reads everything out of the unified accounts; without a ledger
+    (standalone use and unit tests) each component owns a private tracker.
     """
 
     def __init__(
@@ -38,14 +45,38 @@ class MemoryHierarchy:
         dtlb_config: TlbConfig,
         memory_latency: int = 200,
         tlb_miss_penalty: int = 30,
+        ledger: Optional["VulnerabilityLedger"] = None,
+        l2_tlb_config: Optional[TlbConfig] = None,
+        l2_tlb_hit_latency: int = 8,
     ) -> None:
         if memory_latency <= 0 or tlb_miss_penalty < 0:
             raise ValueError("latencies must be positive")
-        self.dl1 = Cache(dl1_config)
-        self.l2 = Cache(l2_config)
-        self.dtlb = Tlb(dtlb_config)
+        if l2_tlb_config is not None and l2_tlb_hit_latency <= 0:
+            raise ValueError("L2 TLB hit latency must be positive")
+        if ledger is None:
+            self.dl1 = Cache(dl1_config)
+            self.l2 = Cache(l2_config)
+            self.dtlb = Tlb(dtlb_config)
+            self.l2_tlb = Tlb(l2_tlb_config) if l2_tlb_config is not None else None
+        else:
+            self.dl1 = Cache(
+                dl1_config, tracker=ledger.word_tracker("dl1", dl1_config.word_bytes * 8)
+            )
+            self.l2 = Cache(
+                l2_config, tracker=ledger.word_tracker("l2", l2_config.word_bytes * 8)
+            )
+            self.dtlb = Tlb(
+                dtlb_config, tracker=ledger.residency_tracker("dtlb", dtlb_config.entry_bits)
+            )
+            self.l2_tlb = None
+            if l2_tlb_config is not None:
+                self.l2_tlb = Tlb(
+                    l2_tlb_config,
+                    tracker=ledger.residency_tracker("l2_tlb", l2_tlb_config.entry_bits),
+                )
         self.memory_latency = memory_latency
         self.tlb_miss_penalty = tlb_miss_penalty
+        self.l2_tlb_hit_latency = l2_tlb_hit_latency
         # Latencies hoisted out of the hot access path.
         self._dl1_hit_latency = dl1_config.hit_latency
         self._l2_hit_latency = l2_config.hit_latency
@@ -56,7 +87,17 @@ class MemoryHierarchy:
             raise ValueError("addresses must be non-negative")
 
         tlb_hit = self.dtlb.access(address, cycle, ace=ace)
-        latency = 0 if tlb_hit else self.tlb_miss_penalty
+        if tlb_hit:
+            latency = 0
+        elif self.l2_tlb is not None:
+            # A DTLB miss walks the unified second-level TLB first; only an
+            # L2 TLB miss pays the full page-walk penalty.
+            if self.l2_tlb.access(address, cycle, ace=ace):
+                latency = self.l2_tlb_hit_latency
+            else:
+                latency = self.tlb_miss_penalty
+        else:
+            latency = self.tlb_miss_penalty
 
         dl1_result = self.dl1.access(address, is_write=is_write, cycle=cycle, ace=ace)
         latency += self._dl1_hit_latency
@@ -91,7 +132,7 @@ class MemoryHierarchy:
         word_fraction: float = 1.0,
         recurrent: bool = False,
     ) -> None:
-        """Functionally warm DL1, L2 and the DTLB for one data region.
+        """Functionally warm DL1, L2 and the TLBs for one data region.
 
         The region is walked at line granularity in address order at cycle 0,
         mimicking an initialisation pass executed before the detailed window
@@ -112,6 +153,10 @@ class MemoryHierarchy:
         l2_span = min(size_bytes, self.l2.config.size_bytes)
         tlb_span = min(size_bytes, self.dtlb.config.reach_bytes)
 
+        if self.l2_tlb is not None:
+            l2_tlb_span = min(size_bytes, self.l2_tlb.config.reach_bytes)
+            for offset in range(size_bytes - l2_tlb_span, size_bytes, page_bytes):
+                self.l2_tlb.warm_page(base + offset, cycle=0, ace=ace, recurrent=recurrent)
         for offset in range(size_bytes - tlb_span, size_bytes, page_bytes):
             self.dtlb.warm_page(base + offset, cycle=0, ace=ace, recurrent=recurrent)
         for offset in range(size_bytes - l2_span, size_bytes, line_bytes):
@@ -128,3 +173,5 @@ class MemoryHierarchy:
         self.dl1.finalize(cycle)
         self.l2.finalize(cycle)
         self.dtlb.finalize(cycle)
+        if self.l2_tlb is not None:
+            self.l2_tlb.finalize(cycle)

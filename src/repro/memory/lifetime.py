@@ -1,155 +1,14 @@
-"""Lifetime-based ACE analysis for storage structures (Biswas et al.).
+"""Lifetime-based ACE analysis (compatibility re-export).
 
-For writeback caches, a piece of cached data is ACE during the intervals
-
-    Fill  => Read     (the read would consume corrupted data)
-    Read  => Read
-    Write => Read
-    Write => Evict    (the dirty data must be written back intact)
-
-and un-ACE during
-
-    Fill/Read => Evict (clean, never read again)
-    *         => Write (the data is overwritten before being used)
-    idle / invalid
-
-The tracker records events per *word* (default 8 bytes) so that strided
-access patterns that do not touch every word of a line are correctly
-credited only for the words that actually hold live data (Section IV-A.5 of
-the paper).  Interval ACE-ness is additionally conditioned on whether the
-producing/consuming instruction is itself ACE: intervals closed by an un-ACE
-read (e.g. a software prefetch or a dynamically dead load) are not ACE, and a
-dirty word whose last write was un-ACE is not ACE at eviction.
+The Biswas-style word-lifetime state machine now lives in
+:mod:`repro.vuln.ledger` as the :class:`~repro.vuln.ledger.
+VulnerabilityLedger`'s storage-structure tracker; caches and TLBs obtain
+their tracker from the per-run ledger instead of owning a private copy.
+This module keeps the historical import path for standalone users.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from enum import Enum
+from repro.vuln.ledger import AceEvent, LifetimeTracker, ResidencyTracker
 
-
-class AceEvent(Enum):
-    """Event types that bound ACE lifetime intervals."""
-
-    FILL = "fill"
-    READ = "read"
-    WRITE = "write"
-    EVICT = "evict"
-
-
-@dataclass(slots=True)
-class _WordState:
-    """Lifetime state for one resident word."""
-
-    last_event: AceEvent
-    last_cycle: int
-    last_write_ace: bool = False
-
-
-class LifetimeTracker:
-    """Accumulates ACE word-cycles for a storage structure.
-
-    The tracker is agnostic of the cache geometry; the owning cache reports
-    fill/read/write/evict events keyed by ``(line_address, word_index)``.
-    """
-
-    def __init__(self, word_bits: int = 64) -> None:
-        self.word_bits = word_bits
-        self._live: dict[tuple[int, int], _WordState] = {}
-        self.ace_word_cycles = 0
-        self.total_events = 0
-
-    def _close_interval(self, state: _WordState, cycle: int, closing: AceEvent, ace: bool) -> None:
-        """Credit the interval ``state.last_cycle -> cycle`` if it is ACE."""
-        duration = max(0, cycle - state.last_cycle)
-        if duration == 0:
-            return
-        interval_ace = False
-        if closing is AceEvent.READ and ace:
-            # Fill=>Read, Read=>Read and Write=>Read are all ACE provided the
-            # consumer is an ACE instruction.
-            interval_ace = True
-        elif closing is AceEvent.EVICT and state.last_event is AceEvent.WRITE and state.last_write_ace:
-            # Dirty data written by an ACE store must survive until writeback.
-            interval_ace = True
-        if interval_ace:
-            self.ace_word_cycles += duration
-
-    def record_fill(self, line: int, word: int, cycle: int, ace: bool = True) -> None:
-        """A word became resident (brought in from the next level)."""
-        self.total_events += 1
-        key = (line, word)
-        state = self._live.get(key)
-        if state is not None:
-            # A fill over a still-live word means the previous occupant left
-            # without an explicit eviction event (e.g. a replacement the owner
-            # did not report).  Close its interval as an eviction so a dirty
-            # ACE write keeps its Write=>Evict credit instead of being
-            # silently dropped with the overwritten state.
-            self._close_interval(state, cycle, AceEvent.EVICT, ace=True)
-        self._live[key] = _WordState(AceEvent.FILL, cycle, last_write_ace=False)
-
-    def record_read(self, line: int, word: int, cycle: int, ace: bool) -> None:
-        """A resident word was read by an instruction (ACE or not)."""
-        self.total_events += 1
-        key = (line, word)
-        state = self._live.get(key)
-        if state is None:
-            # A read to a word we never saw filled (e.g. structure warm-up
-            # before tracking started): start tracking from this read.
-            self._live[key] = _WordState(AceEvent.READ, cycle, last_write_ace=False)
-            return
-        self._close_interval(state, cycle, AceEvent.READ, ace)
-        state.last_event = AceEvent.READ
-        state.last_cycle = cycle
-
-    def record_write(self, line: int, word: int, cycle: int, ace: bool) -> None:
-        """A resident word was overwritten by a store."""
-        self.total_events += 1
-        key = (line, word)
-        state = self._live.get(key)
-        if state is None:
-            self._live[key] = _WordState(AceEvent.WRITE, cycle, last_write_ace=ace)
-            return
-        # Whatever was there before the write is dead: the interval leading up
-        # to a write is never ACE, so we simply restart the interval.
-        state.last_event = AceEvent.WRITE
-        state.last_cycle = cycle
-        state.last_write_ace = ace
-
-    def warm_words(self, line: int, words: range, cycle: int, dirty: bool, ace: bool) -> None:
-        """Bulk-install words during functional warm-up.
-
-        Equivalent to a fill (plus a write when ``dirty``) of every word in
-        ``words`` at ``cycle``, but without per-event bookkeeping overhead —
-        warm-up touches hundreds of thousands of words, so this path matters
-        for end-to-end evaluation time.
-        """
-        event = AceEvent.WRITE if dirty else AceEvent.FILL
-        live = self._live
-        for word in words:
-            live[(line, word)] = _WordState(event, cycle, last_write_ace=dirty and ace)
-        self.total_events += len(words)
-
-    def record_evict(self, line: int, word: int, cycle: int) -> None:
-        """A resident word left the structure (eviction or invalidation)."""
-        self.total_events += 1
-        key = (line, word)
-        state = self._live.pop(key, None)
-        if state is None:
-            return
-        self._close_interval(state, cycle, AceEvent.EVICT, ace=True)
-
-    def finalize(self, cycle: int) -> None:
-        """Close all open intervals at the end of simulation.
-
-        End-of-simulation is treated like an eviction: dirty ACE data is
-        still needed (ACE), anything else is un-ACE.  This matches the
-        conservative end-of-window treatment used in ACE analysis tools.
-        """
-        for key in list(self._live):
-            self.record_evict(key[0], key[1], cycle)
-
-    def ace_bit_cycles(self) -> float:
-        """Total ACE bit-cycles accumulated so far."""
-        return float(self.ace_word_cycles) * self.word_bits
+__all__ = ["AceEvent", "LifetimeTracker", "ResidencyTracker"]

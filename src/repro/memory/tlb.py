@@ -9,6 +9,9 @@ un-ACE ("read to evict is un-ACE" in the paper's code-generator discussion).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.vuln.ledger import ResidencyTracker
 
 
 @dataclass(frozen=True)
@@ -58,16 +61,29 @@ class TlbStats:
 
 
 class Tlb:
-    """Fully-associative TLB with LRU replacement."""
+    """Fully-associative TLB with LRU replacement.
 
-    def __init__(self, config: TlbConfig) -> None:
+    Residency ACE accounting is emitted as retire-credit events into a
+    :class:`~repro.vuln.ledger.ResidencyTracker` — the structure's account
+    feed when ``tracker`` comes from the per-run ledger, or a private
+    accumulator for standalone TLBs.
+    """
+
+    def __init__(self, config: TlbConfig, tracker: Optional[ResidencyTracker] = None) -> None:
         self.config = config
         self.stats = TlbStats()
         self._entries: dict[int, _TlbEntry] = {}
-        self.ace_entry_cycles = 0
+        self._residency = tracker if tracker is not None else ResidencyTracker(
+            entry_bits=config.entry_bits
+        )
         # Geometry hoisted out of the hot access path.
         self._page_bytes = config.page_bytes
         self._capacity = config.entries
+
+    @property
+    def ace_entry_cycles(self) -> int:
+        """Total ACE entry-cycles credited so far."""
+        return self._residency.ace_entry_cycles
 
     def _page(self, address: int) -> int:
         return address // self._page_bytes
@@ -75,7 +91,7 @@ class Tlb:
     def _retire_entry(self, entry: _TlbEntry) -> None:
         """Credit the ACE residency interval of an entry leaving the TLB."""
         if entry.first_ace_use is not None and entry.last_ace_use is not None:
-            self.ace_entry_cycles += max(0, entry.last_ace_use - entry.first_ace_use)
+            self._residency.credit(entry.last_ace_use - entry.first_ace_use)
 
     def access(self, address: int, cycle: int, ace: bool = True) -> bool:
         """Translate ``address``; returns True on a TLB hit."""
@@ -154,7 +170,7 @@ class Tlb:
 
     def ace_bit_cycles(self) -> float:
         """Total ACE bit-cycles accumulated by the TLB."""
-        return float(self.ace_entry_cycles) * self.config.entry_bits
+        return self._residency.ace_bit_cycles()
 
     def resident_entry_count(self) -> int:
         return len(self._entries)

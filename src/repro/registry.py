@@ -1,0 +1,124 @@
+"""Dependency-free registry machinery shared by every pluggable subsystem.
+
+:class:`Registry` and :class:`RegistryError` used to live in
+:mod:`repro.api.registry`; they moved here so core packages (e.g. the
+vulnerability model in :mod:`repro.vuln`, which must be importable before
+the heavy ``repro.api`` package initialises) can publish registries with the
+same machinery.  ``repro.api.registry`` re-exports everything and hosts the
+component registry *instances*.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Callable, Iterator, Optional
+
+
+def suggest(name: str, known) -> str:
+    """A ``"; did you mean 'x'?"`` suffix for error messages (or ``""``)."""
+    matches = difflib.get_close_matches(str(name), list(known), n=1, cutoff=0.4)
+    return f"; did you mean {matches[0]!r}?" if matches else ""
+
+
+class RegistryError(KeyError):
+    """Lookup of a name that is not registered.
+
+    ``str()`` returns the human-readable message (unlike a plain
+    :class:`KeyError`, which quotes its argument), so CLI error paths can
+    surface it directly.
+    """
+
+    def __init__(self, message: str, suggestion: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.message = message
+        self.suggestion = suggestion
+
+    def __str__(self) -> str:
+        return self.message
+
+
+class Registry:
+    """An ordered name -> factory mapping for one kind of component.
+
+    ``kind`` is a human-readable description used in error messages
+    (e.g. ``"machine config"``).  Insertion order is preserved so CLI
+    ``choices`` render in a deliberate order rather than alphabetically.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, Callable] = {}
+
+    # ------------------------------------------------------------ mutation
+
+    def register(self, name: str, factory: Optional[Callable] = None, *, replace: bool = False):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Duplicate names raise ``ValueError`` unless ``replace=True`` — a
+        silent overwrite would make scenario results depend on import order.
+        """
+        if not name or not isinstance(name, str):
+            raise ValueError(f"{self.kind} registry names must be non-empty strings, got {name!r}")
+
+        def decorator(fn: Callable) -> Callable:
+            if not replace and name in self._entries:
+                raise ValueError(f"{self.kind} {name!r} is already registered")
+            self._entries[name] = fn
+            return fn
+
+        if factory is not None:
+            return decorator(factory)
+        return decorator
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (used by tests and plugin teardown)."""
+        self._entries.pop(name, None)
+
+    # ------------------------------------------------------------- lookups
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name``.
+
+        Raises :class:`RegistryError` with a did-you-mean suggestion for
+        unknown names.
+        """
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise self._unknown(name) from None
+
+    def create(self, name: str, *args: object, **kwargs: object):
+        """Instantiate the component: ``get(name)(*args, **kwargs)``."""
+        return self.get(name)(*args, **kwargs)
+
+    def names(self) -> list[str]:
+        """Registered names in registration order."""
+        return list(self._entries)
+
+    def items(self) -> list[tuple[str, Callable]]:
+        return list(self._entries.items())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={self.names()!r})"
+
+    # ------------------------------------------------------------- errors
+
+    def _unknown(self, name: str) -> RegistryError:
+        known = self.names()
+        matches = difflib.get_close_matches(str(name), known, n=1, cutoff=0.4)
+        suggestion = matches[0] if matches else None
+        message = f"unknown {self.kind} {name!r}{suggest(name, known)}"
+        if known:
+            message += f" (registered: {', '.join(known)})"
+        else:
+            message += f" (no {self.kind} components registered)"
+        return RegistryError(message, suggestion=suggestion)

@@ -73,6 +73,15 @@ class MachineConfig:
     memory_latency: int = 200
     tlb_miss_penalty: int = 30
 
+    # Flag-gated tracked structures (PR 4).  Zero entries disables both the
+    # structure and its SER accounting, leaving the stock paper configurations
+    # bit-identical; see the ``extended`` registered config and ARCHITECTURE.md.
+    store_buffer_entries: int = 0
+    store_buffer_bits_per_entry: int = 128
+    store_buffer_drain_cycles: int = 6
+    l2_tlb_entries: int = 0
+    l2_tlb_hit_latency: int = 8
+
     def __post_init__(self) -> None:
         if min(self.fetch_width, self.dispatch_width, self.issue_width, self.commit_width) <= 0:
             raise ValueError("pipeline widths must be positive")
@@ -80,6 +89,14 @@ class MachineConfig:
             raise ValueError("rename register file must be at least as large as the architected set")
         if min(self.iq_entries, self.rob_entries, self.lq_entries, self.sq_entries) <= 0:
             raise ValueError("queue sizes must be positive")
+        if self.store_buffer_entries < 0 or self.l2_tlb_entries < 0:
+            raise ValueError("optional structure entry counts must be non-negative")
+        if self.store_buffer_entries and (
+            self.store_buffer_bits_per_entry <= 0 or self.store_buffer_drain_cycles <= 0
+        ):
+            raise ValueError("store buffer geometry/latency must be positive when enabled")
+        if self.l2_tlb_entries and self.l2_tlb_hit_latency <= 0:
+            raise ValueError("L2 TLB hit latency must be positive when enabled")
 
     @property
     def free_rename_registers(self) -> int:
@@ -89,6 +106,17 @@ class MachineConfig:
     @property
     def functional_units(self) -> int:
         return self.int_alus + self.int_multipliers
+
+    @property
+    def l2_tlb(self) -> "TlbConfig | None":
+        """Geometry of the optional unified second-level TLB (None = disabled)."""
+        if self.l2_tlb_entries <= 0:
+            return None
+        return TlbConfig(
+            entries=self.l2_tlb_entries,
+            page_bytes=self.dtlb.page_bytes,
+            entry_bits=self.dtlb.entry_bits,
+        )
 
     @property
     def lsq_tag_bits(self) -> int:
@@ -106,6 +134,21 @@ class MachineConfig:
 def baseline_config() -> MachineConfig:
     """The paper's baseline configuration (Table I)."""
     return MachineConfig(name="baseline")
+
+
+def extended_config() -> MachineConfig:
+    """Baseline plus the flag-gated tracked structures (store buffer, L2 TLB).
+
+    Demonstrates the pluggable vulnerability model end-to-end: the post-commit
+    store buffer and a unified second-level TLB are enabled, so their AVF/SER
+    appears in reports, group aggregation and GA fitness.  The paper's
+    structure set is unchanged — only the two extensions are added.
+    """
+    return MachineConfig(
+        name="extended",
+        store_buffer_entries=32,
+        l2_tlb_entries=512,
+    )
 
 
 def config_a() -> MachineConfig:

@@ -18,6 +18,14 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.uarch.structures import StructureName
+from repro.vuln.structures import STRUCTURES
+
+
+def _fault_rate_key(structure: StructureName) -> str:
+    """The structure's declared fault-rate key (its own value if unregistered)."""
+    if structure.value in STRUCTURES:
+        return STRUCTURES.get(structure.value).fault_rate_key
+    return structure.value
 
 
 @dataclass(frozen=True)
@@ -36,8 +44,27 @@ class FaultRateModel:
             raise ValueError("default fault rate must be non-negative")
 
     def rate(self, structure: StructureName) -> float:
-        """Raw fault rate for ``structure`` in units/bit."""
-        return float(self.rates.get(structure, self.default_rate))
+        """Raw fault rate for ``structure`` in units/bit.
+
+        Resolution order: an explicit per-structure rate, then the rate of
+        the structure's declared ``fault_rate_key`` (descriptors may alias
+        another structure's circuit technology, e.g. a new cache sharing the
+        DL1 cell rate), then ``default_rate``.
+        """
+        value = self.rates.get(structure)
+        if value is not None:
+            return float(value)
+        key = _fault_rate_key(structure)
+        if key != structure.value:
+            try:
+                alias = StructureName(key)
+            except ValueError:
+                alias = None
+            if alias is not None:
+                value = self.rates.get(alias)
+                if value is not None:
+                    return float(value)
+        return float(self.default_rate)
 
     def with_rate(self, structure: StructureName, rate: float) -> "FaultRateModel":
         """Return a copy with one structure's rate overridden."""

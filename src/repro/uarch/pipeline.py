@@ -49,9 +49,12 @@ overhead:
   issue-to-dispatch span approaches the ring size, which is the exact
   condition under which two live cycles could alias.
 * ACE intervals are batched into local floating-point accumulators and
-  flushed into the :class:`AceAccumulator` objects once at the end of the
-  run.  The sequence of floating-point additions is unchanged, so results
-  are bit-identical with the straightforward per-op accounting.
+  flushed into the run's :class:`~repro.vuln.ledger.VulnerabilityLedger`
+  accounts once at the end of the run.  The sequence of floating-point
+  additions is unchanged, so results are bit-identical with the
+  straightforward per-op accounting.  Storage-structure (DL1/L2/DTLB and
+  the optional L2 TLB) ACE time flows through the same ledger via the
+  lifetime events the memory hierarchy emits.
 """
 
 from __future__ import annotations
@@ -66,8 +69,9 @@ from repro.isa.instructions import ARCH_REG_COUNT, Instruction, InstructionClass
 from repro.isa.program import BranchBehavior, DynamicOp, Program
 from repro.memory.hierarchy import MemoryAccessOutcome, MemoryHierarchy
 from repro.uarch.config import MachineConfig
-from repro.uarch.structures import AceAccumulator, StructureName, core_structure_accumulators
+from repro.uarch.structures import AceAccumulator, StructureName
 from repro.utils.rng import DeterministicRng
+from repro.vuln.ledger import VulnerabilityLedger
 
 
 @dataclass
@@ -99,7 +103,12 @@ class SimulationStats:
 
 @dataclass
 class SimulationResult:
-    """Result of one detailed simulation: ACE accumulators plus statistics."""
+    """Result of one detailed simulation: the vulnerability accounts + stats.
+
+    ``accumulators`` is the per-structure account mapping of the run's
+    :class:`~repro.vuln.ledger.VulnerabilityLedger` — every structure whose
+    descriptor was enabled for the machine configuration, in registry order.
+    """
 
     program_name: str
     config: MachineConfig
@@ -162,19 +171,23 @@ class OutOfOrderCore:
 
         config = self.config
         rng = DeterministicRng(self.seed).spawn("sim", program.name)
+        ledger = VulnerabilityLedger(config)
         hierarchy = MemoryHierarchy(
             dl1_config=config.dl1,
             l2_config=config.l2,
             dtlb_config=config.dtlb,
             memory_latency=config.memory_latency,
             tlb_miss_penalty=config.tlb_miss_penalty,
+            ledger=ledger,
+            l2_tlb_config=config.l2_tlb,
+            l2_tlb_hit_latency=config.l2_tlb_hit_latency,
         )
         predictor = HybridPredictor(
             global_entries=config.branch_predictor_global_entries,
             local_history_entries=config.branch_predictor_local_entries,
             choice_entries=config.branch_predictor_choice_entries,
         )
-        accumulators = core_structure_accumulators(config)
+        accumulators = ledger.accounts
         stats = SimulationStats()
 
         frontend_miss_rate = float(program.metadata.get("frontend_miss_rate", 0.0))
@@ -257,9 +270,10 @@ class OutOfOrderCore:
         extra_regs: list[int] = []  # regs >= architected, in first-write order
 
         # --------------------------------------------------- batched sums
-        # Each pair mirrors one AceAccumulator's (occupied_entry_cycles,
+        # Each pair mirrors one ledger account's (occupied_entry_cycles,
         # ace_bit_cycles); the same additions happen in the same order, so
-        # flushing once at the end is bit-identical to per-op accounting.
+        # flushing once at the end (``ledger.credit``) is bit-identical to
+        # per-op accounting.
         rob_bits = accumulators[StructureName.ROB].bits_per_entry
         iq_bits = accumulators[StructureName.IQ].bits_per_entry
         lqt_bits = accumulators[StructureName.LQ_TAG].bits_per_entry
@@ -276,6 +290,12 @@ class OutOfOrderCore:
         sqd_occ = sqd_ace = 0.0
         rf_occ = rf_ace = 0.0
         fu_occ = fu_ace = 0.0
+        # Flag-gated post-commit store buffer (absent on the stock configs).
+        sb_account = accumulators.get(StructureName.SB)
+        track_sb = sb_account is not None
+        sb_bits = sb_account.bits_per_entry if track_sb else 0
+        sb_drain = float(config.store_buffer_drain_cycles)
+        sb_occ = sb_ace = 0.0
 
         # ------------------------------------------------------ hot locals
         dispatch_width = config.dispatch_width
@@ -537,6 +557,13 @@ class OutOfOrderCore:
                     if data_frac:
                         sqd_ace += duration * sqd_bits * data_frac
                     sqd_occ += duration
+                    if track_sb:
+                        # The retired store occupies the store buffer for its
+                        # drain window [commit, commit + drain); address+data
+                        # must survive until the DL1 write completes.
+                        sb_occ += sb_drain
+                        if data_frac:
+                            sb_ace += sb_drain * sb_bits * data_frac
 
                 if is_arith:
                     duration = float(latency if latency > 1 else 1)
@@ -591,20 +618,18 @@ class OutOfOrderCore:
                     rf_occ += duration
                     rf_ace += duration * rf_bits * reg_width[reg]
 
-        # Flush the batched sums into the accumulators.
-        for name, occ, ace_bits in (
-            (StructureName.ROB, rob_occ, rob_ace),
-            (StructureName.IQ, iq_occ, iq_ace),
-            (StructureName.LQ_TAG, lqt_occ, lqt_ace),
-            (StructureName.LQ_DATA, lqd_occ, lqd_ace),
-            (StructureName.SQ_TAG, sqt_occ, sqt_ace),
-            (StructureName.SQ_DATA, sqd_occ, sqd_ace),
-            (StructureName.RF, rf_occ, rf_ace),
-            (StructureName.FU, fu_occ, fu_ace),
-        ):
-            accumulator = accumulators[name]
-            accumulator.occupied_entry_cycles += occ
-            accumulator.ace_bit_cycles += ace_bits
+        # Flush the batched sums into the ledger accounts.
+        credit = ledger.credit
+        credit(StructureName.ROB, rob_occ, rob_ace)
+        credit(StructureName.IQ, iq_occ, iq_ace)
+        credit(StructureName.LQ_TAG, lqt_occ, lqt_ace)
+        credit(StructureName.LQ_DATA, lqd_occ, lqd_ace)
+        credit(StructureName.SQ_TAG, sqt_occ, sqt_ace)
+        credit(StructureName.SQ_DATA, sqd_occ, sqd_ace)
+        credit(StructureName.RF, rf_occ, rf_ace)
+        credit(StructureName.FU, fu_occ, fu_ace)
+        if track_sb:
+            credit(StructureName.SB, sb_occ, sb_ace)
 
         hierarchy.finalize(final_cycle)
 
@@ -618,19 +643,8 @@ class OutOfOrderCore:
         stats.l2_miss_rate = hierarchy.l2.stats.miss_rate
         stats.dtlb_miss_rate = hierarchy.dtlb.stats.miss_rate
 
-        accumulators = dict(accumulators)
-        accumulators[StructureName.DL1] = self._cache_accumulator(
-            StructureName.DL1, hierarchy.dl1.config.num_lines,
-            hierarchy.dl1.config.line_bytes * 8, hierarchy.dl1.lifetime.ace_bit_cycles(),
-        )
-        accumulators[StructureName.L2] = self._cache_accumulator(
-            StructureName.L2, hierarchy.l2.config.num_lines,
-            hierarchy.l2.config.line_bytes * 8, hierarchy.l2.lifetime.ace_bit_cycles(),
-        )
-        accumulators[StructureName.DTLB] = self._cache_accumulator(
-            StructureName.DTLB, hierarchy.dtlb.config.entries,
-            hierarchy.dtlb.config.entry_bits, hierarchy.dtlb.ace_bit_cycles(),
-        )
+        # Fold the storage structures' lifetime totals into their accounts.
+        accumulators = dict(ledger.collect())
 
         return SimulationResult(
             program_name=program.name,
@@ -734,14 +748,6 @@ class OutOfOrderCore:
                 new_alu[new_slot] = ring_alu[slot]
                 new_mul[new_slot] = ring_mul[slot]
         return new_size, new_mask, new_tag, new_issue, new_mem, new_alu, new_mul
-
-    @staticmethod
-    def _cache_accumulator(
-        name: StructureName, entries: int, bits_per_entry: int, ace_bit_cycles: float
-    ) -> AceAccumulator:
-        accumulator = AceAccumulator(name=name, entries=entries, bits_per_entry=bits_per_entry)
-        accumulator.add_bit_cycles(ace_bit_cycles)
-        return accumulator
 
     def _run_functional_setup(
         self, program: Program, hierarchy: MemoryHierarchy, rng: DeterministicRng

@@ -1,152 +1,57 @@
-"""ACE accounting for queueing structures, the register file and FUs.
+"""Structure identities and ACE accounts (compatibility surface).
 
 AVF of a structure is the fraction of its bit-cycles that hold ACE state:
 
     AVF = sum over entries of ACE cycles  /  (entries * total cycles)
 
-The pipeline computes, for each dynamic instruction, the cycles during which
-it occupies each structure and how many of the occupied bits are ACE.  Those
-intervals are recorded here; AVF and SER fall out at the end of the run.
+Since the vulnerability-model refactor the authoritative definitions live in
+:mod:`repro.vuln`: structures are :class:`~repro.vuln.structures.
+VulnerableStructure` descriptors in the :data:`~repro.vuln.structures.
+STRUCTURES` registry, and accounting flows through the
+:class:`~repro.vuln.ledger.VulnerabilityLedger`.  This module re-exports the
+identity (:class:`StructureName`) and account (:class:`AceAccumulator`)
+types under their historical import path and keeps the
+:func:`core_structure_accumulators` helper used by analysis code and tests.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from enum import Enum
-
-
-class StructureName(Enum):
-    """Identifiers of every structure tracked for SER accounting."""
-
-    IQ = "iq"
-    ROB = "rob"
-    LQ_TAG = "lq_tag"
-    LQ_DATA = "lq_data"
-    SQ_TAG = "sq_tag"
-    SQ_DATA = "sq_data"
-    RF = "rf"
-    FU = "fu"
-    DL1 = "dl1"
-    DTLB = "dtlb"
-    L2 = "l2"
-
-    @property
-    def is_core(self) -> bool:
-        """True for structures inside the core (queues, RF, FU)."""
-        return self in _CORE_STRUCTURES
-
-    @property
-    def is_queueing(self) -> bool:
-        """True for the queueing structures (QS group of the paper)."""
-        return self in _QUEUEING_STRUCTURES
-
-
-_QUEUEING_STRUCTURES = frozenset(
-    {
-        StructureName.IQ,
-        StructureName.ROB,
-        StructureName.LQ_TAG,
-        StructureName.LQ_DATA,
-        StructureName.SQ_TAG,
-        StructureName.SQ_DATA,
-        StructureName.FU,
-    }
+from repro.vuln.ledger import AceAccumulator, VulnerabilityLedger
+from repro.vuln.structures import (
+    STRUCTURES,
+    StructureName,
+    VulnerableStructure,
+    enabled_structures,
+    register_structure,
 )
 
-_CORE_STRUCTURES = _QUEUEING_STRUCTURES | {StructureName.RF}
-
-
-@dataclass
-class AceAccumulator:
-    """Accumulates occupancy and ACE bit-cycles for one structure.
-
-    Attributes
-    ----------
-    name:
-        Which structure this accumulator belongs to.
-    entries:
-        Number of entries in the structure.
-    bits_per_entry:
-        Storage bits per entry.
-    """
-
-    name: StructureName
-    entries: int
-    bits_per_entry: int
-    ace_bit_cycles: float = 0.0
-    occupied_entry_cycles: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.entries <= 0 or self.bits_per_entry <= 0:
-            raise ValueError("entries and bits_per_entry must be positive")
-
-    @property
-    def total_bits(self) -> int:
-        """Total storage bits of the structure."""
-        return self.entries * self.bits_per_entry
-
-    def add_interval(self, start: int, end: int, ace_fraction: float = 1.0) -> None:
-        """Record that one entry was occupied during [start, end).
-
-        ``ace_fraction`` is the fraction of the entry's bits that hold ACE
-        state during the interval (e.g. 0.5 for a 32-bit operand in a 64-bit
-        data field, or 0.0 for an un-ACE instruction).
-        """
-        if end <= start:
-            return
-        if not 0.0 <= ace_fraction <= 1.0:
-            raise ValueError("ace_fraction must be within [0, 1]")
-        duration = float(end - start)
-        self.occupied_entry_cycles += duration
-        self.ace_bit_cycles += duration * self.bits_per_entry * ace_fraction
-
-    def add_bit_cycles(self, ace_bit_cycles: float, occupied_entry_cycles: float = 0.0) -> None:
-        """Directly add pre-computed ACE bit-cycles (used for caches/TLB)."""
-        if ace_bit_cycles < 0.0 or occupied_entry_cycles < 0.0:
-            raise ValueError("bit-cycles must be non-negative")
-        self.ace_bit_cycles += ace_bit_cycles
-        self.occupied_entry_cycles += occupied_entry_cycles
-
-    def avf(self, total_cycles: int) -> float:
-        """Architectural Vulnerability Factor over ``total_cycles``."""
-        if total_cycles <= 0:
-            return 0.0
-        return min(1.0, self.ace_bit_cycles / (self.total_bits * float(total_cycles)))
-
-    def average_occupancy(self, total_cycles: int) -> float:
-        """Mean fraction of entries occupied over the run."""
-        if total_cycles <= 0:
-            return 0.0
-        return min(1.0, self.occupied_entry_cycles / (self.entries * float(total_cycles)))
+__all__ = [
+    "AceAccumulator",
+    "STRUCTURES",
+    "StructureName",
+    "VulnerableStructure",
+    "core_structure_accumulators",
+    "enabled_structures",
+    "register_structure",
+]
 
 
 def core_structure_accumulators(config: "MachineConfig") -> dict[StructureName, AceAccumulator]:
-    """Create accumulators for every core structure of a machine configuration."""
+    """Create accounts for every enabled *core* structure of a configuration.
+
+    Registry-driven: any registered descriptor of kind ``"core"`` whose
+    ``enabled`` predicate holds for ``config`` contributes an account, in
+    registration order (the stock eight of the paper — IQ, ROB, LQ/SQ tag and
+    data, RF, FU — plus flag-gated extensions such as the store buffer).
+    """
     from repro.uarch.config import MachineConfig  # local import to avoid a cycle
 
     if not isinstance(config, MachineConfig):
         raise TypeError("config must be a MachineConfig")
     return {
-        StructureName.IQ: AceAccumulator(StructureName.IQ, config.iq_entries, config.iq_bits_per_entry),
-        StructureName.ROB: AceAccumulator(
-            StructureName.ROB, config.rob_entries, config.rob_bits_per_entry
-        ),
-        StructureName.LQ_TAG: AceAccumulator(
-            StructureName.LQ_TAG, config.lq_entries, config.lsq_tag_bits
-        ),
-        StructureName.LQ_DATA: AceAccumulator(
-            StructureName.LQ_DATA, config.lq_entries, config.lsq_data_bits
-        ),
-        StructureName.SQ_TAG: AceAccumulator(
-            StructureName.SQ_TAG, config.sq_entries, config.lsq_tag_bits
-        ),
-        StructureName.SQ_DATA: AceAccumulator(
-            StructureName.SQ_DATA, config.sq_entries, config.lsq_data_bits
-        ),
-        StructureName.RF: AceAccumulator(
-            StructureName.RF, config.rename_registers, config.register_bits
-        ),
-        StructureName.FU: AceAccumulator(
-            StructureName.FU, config.functional_units, config.fu_bits_per_unit
-        ),
+        descriptor.structure: AceAccumulator(
+            descriptor.structure, descriptor.entries(config), descriptor.bits_per_entry(config)
+        )
+        for descriptor in enabled_structures(config)
+        if descriptor.kind == "core"
     }

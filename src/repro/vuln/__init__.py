@@ -1,0 +1,47 @@
+"""Pluggable vulnerability-model subsystem.
+
+``repro.vuln`` unifies ACE/lifetime accounting behind a structure registry:
+
+* :mod:`repro.vuln.structures` — :class:`VulnerableStructure` descriptors,
+  the open :class:`StructureName` identity and the :data:`STRUCTURES`
+  registry (register a structure and every report, SER group, fitness
+  objective and CLI listing picks it up).
+* :mod:`repro.vuln.ledger` — the :class:`VulnerabilityLedger`: one per-run
+  accounting object fed by occupancy intervals (core structures) and
+  fill/read/write/evict/flush lifetime events (storage structures).
+
+See ARCHITECTURE.md for the event flow and the <20-line recipe for adding a
+tracked structure.
+"""
+
+from repro.vuln.ledger import (
+    AceAccumulator,
+    AceEvent,
+    LifetimeTracker,
+    ResidencyTracker,
+    VulnerabilityLedger,
+)
+from repro.vuln.structures import (
+    STRUCTURES,
+    StructureName,
+    VulnerableStructure,
+    enabled_structures,
+    register_structure,
+    structure_descriptor,
+    structures_in_group,
+)
+
+__all__ = [
+    "AceAccumulator",
+    "AceEvent",
+    "LifetimeTracker",
+    "ResidencyTracker",
+    "VulnerabilityLedger",
+    "STRUCTURES",
+    "StructureName",
+    "VulnerableStructure",
+    "enabled_structures",
+    "register_structure",
+    "structure_descriptor",
+    "structures_in_group",
+]

@@ -1,0 +1,338 @@
+"""Vulnerable-structure descriptors and the ``STRUCTURES`` registry.
+
+The paper's methodology is only as good as its coverage: a stressmark bounds
+the worst-case SER of *every tracked structure*, so adding a structure to the
+machine model must be a declaration, not a pipeline rewrite.  This module is
+that declaration surface:
+
+* :class:`StructureName` — an *open*, enum-like identity for tracked
+  structures.  It behaves like the closed ``Enum`` it replaces (``
+  StructureName.IQ``, ``StructureName("iq")``, ``.value``, identity
+  comparison, pickling across worker processes), but new members are minted
+  whenever a new structure is registered.
+* :class:`VulnerableStructure` — the descriptor: SER group, geometry
+  (entries / bits-per-entry as functions of the machine config), the
+  fault-rate key and an ``enabled`` predicate for flag-gated structures.
+* :data:`STRUCTURES` — the registry (same :class:`~repro.api.registry.
+  Registry` machinery as configs/fault rates/suites, including nearest-match
+  :class:`~repro.api.registry.RegistryError` on unknown lookups).
+
+Everything downstream — the :class:`~repro.vuln.ledger.VulnerabilityLedger`,
+SER grouping in :mod:`repro.avf.analysis`, reports, GA fitness, the CLI's
+``repro list`` — iterates this registry, so a registered structure is
+automatically simulated, accounted, reported and optimised against.
+
+Registering a structure (the whole recipe, see ARCHITECTURE.md)::
+
+    from repro.vuln import VulnerableStructure, register_structure
+
+    register_structure(VulnerableStructure(
+        name="rename_map",
+        group="qs",                  # SER group it aggregates into
+        kind="core",                 # occupancy-style (vs "storage")
+        entries=lambda c: 2 * c.architected_registers,
+        bits_per_entry=lambda c: 8,
+        description="register rename map checkpoints",
+    ))
+
+and emit ``ledger.add_interval("rename_map", start, end, ace_fraction)``
+(or fill/read/write/evict events) from the component that models it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.uarch.config import MachineConfig
+
+
+# --------------------------------------------------------------- StructureName
+
+
+class _StructureNameMeta(type):
+    """Metaclass giving :class:`StructureName` its enum-like call/iter API."""
+
+    def __call__(cls, value):  # noqa: D102 - enum-style lookup
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls._members[value]
+        except KeyError:
+            raise ValueError(f"{value!r} is not a valid {cls.__name__}") from None
+
+    def __iter__(cls) -> Iterator["StructureName"]:
+        return iter(cls._members.values())
+
+    def __len__(cls) -> int:
+        return len(cls._members)
+
+
+def _restore_structure_name(value: str) -> "StructureName":
+    """Pickle hook: resolve (or re-mint) a member by value.
+
+    Worker processes and result stores may deserialize members of structures
+    registered only in the parent process; minting the member on demand keeps
+    those payloads loadable (the descriptor metadata follows separately when
+    the owning plugin is imported).
+    """
+    return StructureName._mint(value)
+
+
+class StructureName(metaclass=_StructureNameMeta):
+    """Open, enum-like identifier of a structure tracked for SER accounting.
+
+    Members are interned singletons: ``StructureName("iq") is
+    StructureName.IQ`` holds within a process, and pickling round-trips to
+    the same member (old ``Enum`` pickles, which reduce to ``(class,
+    (value,))``, also resolve through the metaclass call).  New members are
+    minted by :func:`register_structure`.
+    """
+
+    __slots__ = ("_value", "_name", "_kind", "_group")
+
+    _members: dict[str, "StructureName"] = {}
+
+    @classmethod
+    def _mint(cls, value: str, kind: str = "", group: str = "") -> "StructureName":
+        member = cls._members.get(value)
+        if member is None:
+            if not value or not isinstance(value, str):
+                raise ValueError(f"structure values must be non-empty strings, got {value!r}")
+            member = object.__new__(cls)
+            member._value = value
+            member._name = value.upper()
+            member._kind = kind
+            member._group = group
+            cls._members[value] = member
+            setattr(cls, member._name, member)
+        else:
+            # Descriptor registration may stamp metadata onto a member that
+            # was first seen via unpickling.
+            if kind:
+                member._kind = kind
+            if group:
+                member._group = group
+        return member
+
+    @property
+    def value(self) -> str:
+        return self._value
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def kind(self) -> str:
+        """``"core"`` (occupancy-interval) or ``"storage"`` (lifetime-event)."""
+        return self._kind
+
+    @property
+    def group(self) -> str:
+        """SER group key of the owning descriptor (``qs``, ``rf``, ...)."""
+        return self._group
+
+    @property
+    def is_core(self) -> bool:
+        """True for structures inside the core (queues, RF, FU, store buffer)."""
+        return self._kind == "core"
+
+    @property
+    def is_queueing(self) -> bool:
+        """True for the queueing structures (QS group of the paper)."""
+        return self._group == "qs"
+
+    def __repr__(self) -> str:
+        return f"<StructureName.{self._name}: {self._value!r}>"
+
+    def __str__(self) -> str:
+        return f"StructureName.{self._name}"
+
+    def __reduce__(self):
+        return (_restore_structure_name, (self._value,))
+
+
+# ----------------------------------------------------------------- descriptor
+
+
+def _always_enabled(config: "MachineConfig") -> bool:
+    return True
+
+
+@dataclass(frozen=True)
+class VulnerableStructure:
+    """Declarative description of one SER-tracked hardware structure.
+
+    Attributes
+    ----------
+    name:
+        Stable registry key (also the :class:`StructureName` value and the
+        default fault-rate key).
+    group:
+        SER aggregation group (``"qs"``, ``"rf"``, ``"dl1_dtlb"``, ``"l2"``);
+        groups feed :class:`~repro.avf.analysis.StructureGroup` SER and the
+        GA fitness objectives.
+    kind:
+        ``"core"`` for occupancy-interval accounting (pipeline queues, RF,
+        FU) or ``"storage"`` for lifetime-event accounting (caches, TLBs).
+    entries / bits_per_entry:
+        Geometry as functions of the :class:`~repro.uarch.config.
+        MachineConfig`, so one descriptor covers every configuration.
+    fault_rate_key:
+        Key the circuit-level fault-rate models use; defaults to ``name``.
+    enabled:
+        Predicate gating flag-guarded structures (e.g. the store buffer is
+        tracked only when ``config.store_buffer_entries > 0``).
+    config_flag:
+        Name of the :class:`MachineConfig` field that gates the structure
+        (documentation for ``repro list``; empty for always-on structures).
+    """
+
+    name: str
+    group: str
+    kind: str
+    entries: Callable[["MachineConfig"], int]
+    bits_per_entry: Callable[["MachineConfig"], int]
+    fault_rate_key: str = ""
+    enabled: Callable[["MachineConfig"], bool] = field(default=_always_enabled)
+    config_flag: str = ""
+    description: str = ""
+    #: Event granularity of the lifetime state machine for ``kind="storage"``
+    #: structures whose entries are tracked at sub-entry (word) granularity,
+    #: e.g. cache lines tracked per 8-byte word.  ``None`` means events cover
+    #: a whole entry (TLBs, and any structure without finer-grained state).
+    word_bits: "Callable[[MachineConfig], int] | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("core", "storage"):
+            raise ValueError(f"structure kind must be 'core' or 'storage', got {self.kind!r}")
+        if not self.group or not isinstance(self.group, str):
+            raise ValueError("structures must declare a non-empty SER group")
+        if not self.fault_rate_key:
+            object.__setattr__(self, "fault_rate_key", self.name)
+
+    @property
+    def structure(self) -> StructureName:
+        """The interned :class:`StructureName` member of this descriptor."""
+        return StructureName._mint(self.name, kind=self.kind, group=self.group)
+
+    def event_word_bits(self, config: "MachineConfig") -> int:
+        """Bits covered by one lifetime event (word size, or the full entry)."""
+        if self.word_bits is not None:
+            return self.word_bits(config)
+        return self.bits_per_entry(config)
+
+
+#: Vulnerable structures: ``name -> VulnerableStructure`` (registration order
+#: is the accounting/report column order).
+STRUCTURES = Registry("vulnerable structure")
+
+
+def register_structure(descriptor: VulnerableStructure, *, replace: bool = False) -> StructureName:
+    """Register a descriptor and mint its :class:`StructureName` member."""
+    if not isinstance(descriptor, VulnerableStructure):
+        raise TypeError("register_structure expects a VulnerableStructure")
+    STRUCTURES.register(descriptor.name, descriptor, replace=replace)
+    return descriptor.structure
+
+
+def structure_descriptor(name: "str | StructureName") -> VulnerableStructure:
+    """The descriptor registered for ``name`` (nearest-match error if unknown)."""
+    key = name.value if isinstance(name, StructureName) else name
+    return STRUCTURES.get(key)
+
+
+def enabled_structures(config: "MachineConfig") -> list[VulnerableStructure]:
+    """Descriptors active for ``config``, in registration order."""
+    return [descriptor for _, descriptor in STRUCTURES.items() if descriptor.enabled(config)]
+
+
+def structures_in_group(group: str) -> tuple[StructureName, ...]:
+    """Registered structures belonging to one SER group, in registration order."""
+    return tuple(
+        descriptor.structure
+        for _, descriptor in STRUCTURES.items()
+        if descriptor.group == group
+    )
+
+
+# ------------------------------------------------------- stock registrations
+#
+# Registration order is deliberate: it is the insertion order of the ledger's
+# accounts and therefore the column order of every report and CSV row — the
+# eight core structures first (matching the paper's Figure 6), then the
+# storage structures, then flag-gated extensions.
+
+
+def _register_builtin_structures() -> None:
+    core = [
+        ("iq", "qs", lambda c: c.iq_entries, lambda c: c.iq_bits_per_entry,
+         "integer issue queue"),
+        ("rob", "qs", lambda c: c.rob_entries, lambda c: c.rob_bits_per_entry,
+         "reorder buffer"),
+        ("lq_tag", "qs", lambda c: c.lq_entries, lambda c: c.lsq_tag_bits,
+         "load queue tag array"),
+        ("lq_data", "qs", lambda c: c.lq_entries, lambda c: c.lsq_data_bits,
+         "load queue data array"),
+        ("sq_tag", "qs", lambda c: c.sq_entries, lambda c: c.lsq_tag_bits,
+         "store queue tag array"),
+        ("sq_data", "qs", lambda c: c.sq_entries, lambda c: c.lsq_data_bits,
+         "store queue data array"),
+        ("rf", "rf", lambda c: c.rename_registers, lambda c: c.register_bits,
+         "integer rename register file"),
+        ("fu", "qs", lambda c: c.functional_units, lambda c: c.fu_bits_per_unit,
+         "functional-unit latches"),
+    ]
+    for name, group, entries, bits, describe in core:
+        register_structure(VulnerableStructure(
+            name=name, group=group, kind="core",
+            entries=entries, bits_per_entry=bits, description=describe,
+        ))
+
+    register_structure(VulnerableStructure(
+        name="dl1", group="dl1_dtlb", kind="storage",
+        entries=lambda c: c.dl1.num_lines,
+        bits_per_entry=lambda c: c.dl1.line_bytes * 8,
+        word_bits=lambda c: c.dl1.word_bytes * 8,
+        description="L1 data cache data array",
+    ))
+    register_structure(VulnerableStructure(
+        name="l2", group="l2", kind="storage",
+        entries=lambda c: c.l2.num_lines,
+        bits_per_entry=lambda c: c.l2.line_bytes * 8,
+        word_bits=lambda c: c.l2.word_bytes * 8,
+        description="unified L2 cache data array",
+    ))
+    register_structure(VulnerableStructure(
+        name="dtlb", group="dl1_dtlb", kind="storage",
+        entries=lambda c: c.dtlb.entries,
+        bits_per_entry=lambda c: c.dtlb.entry_bits,
+        description="data TLB",
+    ))
+
+    # Flag-gated extensions (PR 4): disabled on the stock paper configs so
+    # the baseline AVF/SER output is unchanged; enable via MachineConfig
+    # fields (see the registered ``extended`` config).
+    register_structure(VulnerableStructure(
+        name="sb", group="qs", kind="core",
+        entries=lambda c: c.store_buffer_entries,
+        bits_per_entry=lambda c: c.store_buffer_bits_per_entry,
+        enabled=lambda c: getattr(c, "store_buffer_entries", 0) > 0,
+        config_flag="store_buffer_entries",
+        description="post-commit store buffer (address+data, drains to DL1)",
+    ))
+    register_structure(VulnerableStructure(
+        name="l2_tlb", group="dl1_dtlb", kind="storage",
+        entries=lambda c: c.l2_tlb_entries,
+        bits_per_entry=lambda c: c.dtlb.entry_bits,
+        enabled=lambda c: getattr(c, "l2_tlb_entries", 0) > 0,
+        config_flag="l2_tlb_entries",
+        description="unified second-level TLB backing the DTLB",
+    ))
+
+
+_register_builtin_structures()

@@ -82,7 +82,7 @@ class TestRegistryErrors:
 
 class TestDefaultComponents:
     def test_all_stock_components_registered(self):
-        assert CONFIGS.names() == ["baseline", "config_a"]
+        assert CONFIGS.names() == ["baseline", "config_a", "extended"]
         assert FAULT_RATES.names() == ["unit", "rhc", "edr"]
         assert WORKLOAD_SUITES.names() == ["spec_int", "spec_fp", "mibench", "all"]
         assert FITNESS_OBJECTIVES.names() == ["balanced", "overall", "core_only"]
@@ -99,8 +99,18 @@ class TestDefaultComponents:
 
     def test_registries_mapping_covers_every_registry(self):
         mapping = registries()
-        assert set(mapping) == {"config", "fault_rates", "suite", "fitness", "scale", "backend"}
+        assert set(mapping) == {
+            "config", "fault_rates", "suite", "fitness", "scale", "backend", "structures",
+        }
         assert mapping["config"] is CONFIGS
+
+    def test_structure_registry_is_exposed(self):
+        from repro.vuln import STRUCTURES
+
+        assert registries()["structures"] is STRUCTURES
+        assert STRUCTURES.names()[:8] == [
+            "iq", "rob", "lq_tag", "lq_data", "sq_tag", "sq_data", "rf", "fu",
+        ]
 
     def test_backend_factories(self):
         serial = BACKENDS.create("serial", 4)

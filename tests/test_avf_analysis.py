@@ -59,7 +59,11 @@ class TestGroups:
         assert group_structures(StructureGroup.CORE) == group_structures(StructureGroup.QS_RF)
 
     def test_cache_groups(self):
-        assert group_structures(StructureGroup.DL1_DTLB) == {StructureName.DL1, StructureName.DTLB}
+        # The registry-level group also carries flag-gated members (the
+        # optional L2 TLB); the stock cache structures are always present.
+        dl1_dtlb = group_structures(StructureGroup.DL1_DTLB)
+        assert {StructureName.DL1, StructureName.DTLB} <= dl1_dtlb
+        assert StructureName.L2 not in dl1_dtlb
         assert group_structures(StructureGroup.L2) == {StructureName.L2}
 
 
@@ -73,7 +77,11 @@ class TestNormalizedGroupSer:
     def test_equals_bit_weighted_avf_with_unit_rates(self, sample_result):
         rates = unit_fault_rates()
         members = group_structures(StructureGroup.QS)
-        bits = {name: sample_result.accumulators[name].total_bits for name in members}
+        bits = {
+            name: sample_result.accumulators[name].total_bits
+            for name in members
+            if name in sample_result.accumulators
+        }
         expected = sum(sample_result.avf(n) * b for n, b in bits.items()) / sum(bits.values())
         assert normalized_group_ser(sample_result, StructureGroup.QS, rates) == pytest.approx(expected)
 

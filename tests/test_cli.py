@@ -73,6 +73,17 @@ class TestCheapCommands:
         assert "experiment scales" in output and "paper" in output
         assert "evaluation backends" in output and "process" in output
 
+    def test_list_shows_tracked_structures(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "tracked vulnerable structures" in output
+        # Name, group, geometry and fault-rate key per structure, including
+        # the flag-gated extensions with their config gate.
+        assert "rob" in output and "qs" in output
+        assert "sb" in output and "store_buffer_entries (off at baseline)" in output
+        assert "l2_tlb" in output and "l2_tlb_entries" in output
+        assert "extended" in output  # the extensions-enabled machine config
+
 
 class TestSpecCommands:
     def test_parser_accepts_run_with_spec_path(self):

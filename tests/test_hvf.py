@@ -41,7 +41,7 @@ def unace_result(request):
 
 class TestStructureHvf:
     def test_hvf_bounds_avf_for_core_structures(self, ace_result):
-        for structure in StructureName:
+        for structure in ace_result.accumulators:
             if structure.is_core:
                 assert ace_result.avf(structure) <= structure_hvf(ace_result, structure) + 1e-9
 

@@ -89,7 +89,7 @@ class TestSimulatorInvariants:
         assert result.stats.committed_instructions == 300
         assert 0.0 < result.stats.ipc <= CONFIG.commit_width
 
-        for structure in StructureName:
+        for structure in result.accumulators:
             avf = result.avf(structure)
             occupancy = result.occupancy(structure)
             assert 0.0 <= avf <= 1.0
@@ -119,6 +119,6 @@ class TestSimulatorInvariants:
         unace_body = [replace(instruction, ace=False) for instruction in program.body]
         unace_program = Program(name="unace", body=unace_body, iterations=10**9)
         result = OutOfOrderCore(CONFIG, seed=1).run(unace_program, max_instructions=200)
-        for structure in StructureName:
+        for structure in result.accumulators:
             if structure.is_core and structure is not StructureName.RF:
                 assert result.avf(structure) == 0.0

@@ -45,7 +45,7 @@ class TestBuildReport:
 
     def test_structure_avf_matches_result(self, report_pair):
         result, report = report_pair
-        for structure in StructureName:
+        for structure in result.accumulators:
             assert report.avf(structure) == pytest.approx(result.avf(structure))
 
     def test_groups_present(self, report_pair):
@@ -72,7 +72,7 @@ class TestBuildReport:
         rhc_report = build_report(result, rhc_fault_rates())
         assert rhc_report.ser(StructureGroup.CORE) <= unit_report.ser(StructureGroup.CORE)
         # Structure AVF itself is fault-rate independent.
-        for structure in StructureName:
+        for structure in result.accumulators:
             assert rhc_report.avf(structure) == pytest.approx(unit_report.avf(structure))
 
 

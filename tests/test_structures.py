@@ -51,7 +51,17 @@ class TestAceAccumulator:
     def test_empty_interval_ignored(self):
         accumulator = AceAccumulator(StructureName.ROB, entries=1, bits_per_entry=76)
         accumulator.add_interval(50, 50, ace_fraction=1.0)
-        accumulator.add_interval(60, 40, ace_fraction=1.0)
+        assert accumulator.ace_bit_cycles == 0.0
+
+    def test_reversed_interval_rejected(self):
+        accumulator = AceAccumulator(StructureName.ROB, entries=1, bits_per_entry=76)
+        with pytest.raises(ValueError):
+            accumulator.add_interval(60, 40, ace_fraction=1.0)
+        # The fraction is validated even when the interval is degenerate.
+        with pytest.raises(ValueError):
+            accumulator.add_interval(60, 40, ace_fraction=-0.5)
+        with pytest.raises(ValueError):
+            accumulator.add_interval(10, 10, ace_fraction=2.0)
         assert accumulator.ace_bit_cycles == 0.0
 
     def test_ace_fraction_validation(self):

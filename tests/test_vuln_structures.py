@@ -1,0 +1,175 @@
+"""Tests for the structure registry and the flag-gated structures end-to-end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.registry import RegistryError
+from repro.api.registry import registries
+from repro.avf.analysis import StructureGroup, group_structures, normalized_group_ser
+from repro.avf.report import build_report
+from repro.stressmark.fitness import FitnessFunction
+from repro.uarch.config import baseline_config, extended_config
+from repro.uarch.faultrates import unit_fault_rates
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.uarch.structures import core_structure_accumulators
+from repro.vuln import (
+    STRUCTURES,
+    StructureName,
+    VulnerableStructure,
+    enabled_structures,
+    register_structure,
+    structure_descriptor,
+)
+
+
+class TestRegistry:
+    def test_stock_structures_registered(self):
+        names = STRUCTURES.names()
+        assert names == [
+            "iq", "rob", "lq_tag", "lq_data", "sq_tag", "sq_data", "rf", "fu",
+            "dl1", "l2", "dtlb", "sb", "l2_tlb",
+        ]
+
+    def test_nearest_match_error(self):
+        with pytest.raises(RegistryError, match="did you mean 'dtlb'"):
+            STRUCTURES.get("dtlbb")
+
+    def test_structure_descriptor_accepts_members(self):
+        descriptor = structure_descriptor(StructureName.ROB)
+        assert descriptor.name == "rob"
+        assert descriptor.fault_rate_key == "rob"
+
+    def test_descriptor_validation(self):
+        with pytest.raises(ValueError):
+            VulnerableStructure(
+                name="x", group="qs", kind="bogus",
+                entries=lambda c: 1, bits_per_entry=lambda c: 1,
+            )
+        with pytest.raises(ValueError):
+            VulnerableStructure(
+                name="x", group="", kind="core",
+                entries=lambda c: 1, bits_per_entry=lambda c: 1,
+            )
+
+    def test_register_structure_round_trip(self):
+        descriptor = VulnerableStructure(
+            name="test_scratchpad", group="qs", kind="core",
+            entries=lambda c: 4, bits_per_entry=lambda c: 8,
+        )
+        member = register_structure(descriptor)
+        try:
+            assert StructureName("test_scratchpad") is member
+            assert member.is_core and member.is_queueing
+            assert member in group_structures(StructureGroup.QS)
+            # Not enabled-gated, so every new ledger would track it; the
+            # baseline helper picks it up immediately.
+            accumulators = core_structure_accumulators(baseline_config())
+            assert member in accumulators
+            assert accumulators[member].total_bits == 32
+        finally:
+            STRUCTURES.unregister("test_scratchpad")
+
+    def test_exposed_via_api_registries(self):
+        assert registries()["structures"] is STRUCTURES
+
+    def test_fault_rate_key_aliases_another_structures_rate(self):
+        descriptor = VulnerableStructure(
+            name="test_victim_cache", group="dl1_dtlb", kind="storage",
+            entries=lambda c: 8, bits_per_entry=lambda c: 512,
+            fault_rate_key="dl1",  # shares the DL1 circuit technology
+        )
+        member = register_structure(descriptor)
+        try:
+            rates = unit_fault_rates().with_rate(StructureName.DL1, 0.25)
+            assert rates.rate(member) == 0.25
+            # An explicit per-structure rate still wins over the alias.
+            assert rates.with_rate(member, 0.75).rate(member) == 0.75
+            # Stock structures are unaffected (key == own name).
+            assert rates.rate(StructureName.ROB) == 1.0
+        finally:
+            STRUCTURES.unregister("test_victim_cache")
+
+    def test_enabled_structures_respects_flags(self):
+        baseline_names = {d.name for d in enabled_structures(baseline_config())}
+        extended_names = {d.name for d in enabled_structures(extended_config())}
+        assert "sb" not in baseline_names and "l2_tlb" not in baseline_names
+        assert {"sb", "l2_tlb"} <= extended_names
+
+
+@pytest.fixture(scope="module")
+def extended_result():
+    from repro.stressmark.generator import StressmarkGenerator, reference_knobs
+
+    config = extended_config()
+    generator = StressmarkGenerator(config=config, max_instructions=2_000)
+    program = generator.codegen.generate(reference_knobs(config))
+    return OutOfOrderCore(config, seed=1).run(program, max_instructions=2_000)
+
+
+class TestExtendedStructuresEndToEnd:
+    def test_new_structures_have_accounts(self, extended_result):
+        assert StructureName.SB in extended_result.accumulators
+        assert StructureName.L2_TLB in extended_result.accumulators
+
+    def test_store_buffer_accrues_ace_time(self, extended_result):
+        sb = extended_result.accumulators[StructureName.SB]
+        assert sb.ace_bit_cycles > 0.0
+        assert 0.0 < extended_result.avf(StructureName.SB) <= 1.0
+
+    def test_l2_tlb_accrues_ace_time(self, extended_result):
+        assert extended_result.avf(StructureName.L2_TLB) > 0.0
+
+    def test_report_includes_new_structures(self, extended_result):
+        report = build_report(extended_result)
+        row = report.as_row()
+        assert "avf_sb" in row and "avf_l2_tlb" in row
+        assert report.avf(StructureName.SB) == extended_result.avf(StructureName.SB)
+
+    def test_new_structures_feed_group_ser_and_fitness(self, extended_result):
+        rates = unit_fault_rates()
+        # Zeroing the store buffer's fault rate must change the QS-group SER:
+        # proof that the new structure participates in the aggregate.
+        with_sb = normalized_group_ser(extended_result, StructureGroup.QS, rates)
+        without_sb = normalized_group_ser(
+            extended_result, StructureGroup.QS, rates.with_rate(StructureName.SB, 0.0)
+        )
+        assert with_sb != without_sb
+        # Same story for the balanced GA fitness objective (l2_tlb is in the
+        # DL1+DTLB group).
+        fitness = FitnessFunction.balanced(rates)
+        muted = FitnessFunction.balanced(rates.with_rate(StructureName.L2_TLB, 0.0))
+        assert fitness(extended_result) != muted(extended_result)
+
+    def test_baseline_output_untouched_by_registration(self):
+        config = baseline_config()
+        accumulators = core_structure_accumulators(config)
+        assert StructureName.SB not in accumulators
+        assert len(accumulators) == 8
+
+
+class TestExtendedConfigTiming:
+    def test_l2_tlb_hit_shortens_walk(self):
+        from repro.memory.hierarchy import MemoryHierarchy
+
+        config = extended_config()
+        with_l2 = MemoryHierarchy(
+            dl1_config=config.dl1, l2_config=config.l2, dtlb_config=config.dtlb,
+            memory_latency=config.memory_latency, tlb_miss_penalty=config.tlb_miss_penalty,
+            l2_tlb_config=config.l2_tlb, l2_tlb_hit_latency=config.l2_tlb_hit_latency,
+        )
+        without = MemoryHierarchy(
+            dl1_config=config.dl1, l2_config=config.l2, dtlb_config=config.dtlb,
+            memory_latency=config.memory_latency, tlb_miss_penalty=config.tlb_miss_penalty,
+        )
+        address = 123 * 8192
+        # Prime the L2 TLB, then evict the DTLB entry by filling its capacity.
+        with_l2.access(address, is_write=False, cycle=0)
+        without.access(address, is_write=False, cycle=0)
+        for i in range(1, config.dtlb.entries + 1):
+            with_l2.dtlb.access(address + i * 8192 * 1000, cycle=i)
+            without.dtlb.access(address + i * 8192 * 1000, cycle=i)
+        hit = with_l2.access(address, is_write=False, cycle=10_000)
+        miss = without.access(address, is_write=False, cycle=10_000)
+        assert not hit.tlb_hit and not miss.tlb_hit
+        assert hit.latency < miss.latency
