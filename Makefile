@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke avf-smoke avf-golden
+.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke avf-smoke avf-golden kernel-smoke
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -37,3 +37,9 @@ avf-smoke:
 # Regenerate the AVF golden — only for INTENTIONAL accounting changes.
 avf-golden:
 	$(PYTHON) -c "from repro.avf.goldens import write_golden; write_golden()"
+
+# Tier-2 kernel gate: specialized-kernel vs interpreter parity on the golden
+# workload matrix, plus a kernel throughput floor vs BENCH_pipeline.json
+# (see PERFORMANCE.md and ARCHITECTURE.md, "Kernel lifecycle").
+kernel-smoke:
+	REPRO_KERNEL_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_kernel_smoke.py -m kernel_smoke -q

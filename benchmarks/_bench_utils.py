@@ -21,3 +21,41 @@ def print_series(title: str, rows: list[dict]) -> None:
             else:
                 cells.append(f"{str(value):>14s}")
         print("  ".join(cells))
+
+
+# --------------------------------------------------------- perf-gate shared
+
+#: Allowed slowdown versus a recorded BENCH_pipeline.json baseline, shared by
+#: the bench-smoke and kernel-smoke gates so the two can never drift apart.
+MAX_REGRESSION = 0.30
+
+
+def pipeline_bench_path():
+    """BENCH_pipeline.json at the repository root (works from any cwd)."""
+    from pathlib import Path
+
+    from repro.experiments.bench import PIPELINE_BENCH_FILE
+
+    here = Path(__file__).resolve().parent.parent / PIPELINE_BENCH_FILE
+    return here if here.exists() else Path(PIPELINE_BENCH_FILE)
+
+
+def kernel_baseline():
+    """First trajectory entry recorded with the kernel path active."""
+    from repro.experiments.bench import baseline_entry
+
+    return baseline_entry(pipeline_bench_path(), lambda entry: entry.get("kernel"))
+
+
+def assert_kernel_throughput_floor(metrics, pytest):
+    """Shared floor assertion of the bench-smoke and kernel-smoke gates."""
+    assert metrics["kernel_identical"], "kernel and interpreter disagreed on the reference run"
+    recorded = kernel_baseline()
+    if recorded is None:
+        pytest.skip("no recorded kernel baseline (run `python -m repro bench` first)")
+    floor = recorded["instructions_per_second"] * (1.0 - MAX_REGRESSION)
+    assert metrics["instructions_per_second"] >= floor, (
+        f"kernel throughput {metrics['instructions_per_second']:.0f} insns/s fell below "
+        f"baseline {recorded['instructions_per_second']:.0f}/s "
+        f"(-{MAX_REGRESSION:.0%} floor {floor:.0f}/s)"
+    )

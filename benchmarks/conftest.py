@@ -55,6 +55,12 @@ def pytest_configure(config: pytest.Config) -> None:
         "against benchmarks/golden_avf.json (run via `make avf-smoke` or "
         "REPRO_AVF_SMOKE=1; regenerate via `make avf-golden`)",
     )
+    config.addinivalue_line(
+        "markers",
+        "kernel_smoke: specialized-kernel gate — kernel/interpreter parity on "
+        "the golden matrix plus a kernel throughput floor (run via "
+        "`make kernel-smoke` or REPRO_KERNEL_SMOKE=1; see PERFORMANCE.md)",
+    )
 
 
 def pytest_report_header(config: pytest.Config) -> str:

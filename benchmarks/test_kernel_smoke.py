@@ -1,0 +1,76 @@
+"""Kernel parity + throughput gate (tier-2 ``kernel_smoke``).
+
+Two checks on the program-specialized simulator kernels (ARCHITECTURE.md):
+
+* **Parity** — the full ``avf-smoke`` workload matrix is simulated twice,
+  once through the kernels and once through the interpreted reference loop
+  (``REPRO_KERNEL=0``), and the canonical AVF/SER payloads are compared
+  byte for byte; the kernel payload must also still match the checked-in
+  ``benchmarks/golden_avf.json``.
+* **Throughput floor** — the 50k-op reference simulation through the kernel
+  path must not fall more than 30% below the kernel baseline recorded in
+  ``BENCH_pipeline.json``, and must beat the same entry's interpreted time
+  (the kernel never being slower than the interpreter is part of the
+  contract — otherwise the default path silently regresses).
+
+Run via ``make kernel-smoke`` or ``REPRO_KERNEL_SMOKE=1``; skipped in plain
+test runs (the matrix takes tens of seconds).
+"""
+
+from __future__ import annotations
+
+import difflib
+import os
+
+import pytest
+
+from _bench_utils import assert_kernel_throughput_floor
+from repro.avf.goldens import avf_smoke_payload, golden_path, render_payload
+from repro.experiments.bench import bench_pipeline
+from repro.uarch import kernel
+
+pytestmark = [pytest.mark.kernel_smoke]
+if not os.environ.get("REPRO_KERNEL_SMOKE"):
+    pytestmark.append(
+        pytest.mark.skip(
+            reason="kernel smoke disabled (set REPRO_KERNEL_SMOKE=1 or run `make kernel-smoke`)"
+        )
+    )
+
+
+class TestKernelParity:
+    def test_golden_matrix_identical_under_kernels(self, monkeypatch):
+        monkeypatch.delenv(kernel.KERNEL_ENV_VAR, raising=False)
+        assert kernel.kernel_enabled()
+        kernel_payload = render_payload(avf_smoke_payload())
+
+        monkeypatch.setenv(kernel.KERNEL_ENV_VAR, "0")
+        assert not kernel.kernel_enabled()
+        interpreted_payload = render_payload(avf_smoke_payload())
+
+        if kernel_payload != interpreted_payload:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    interpreted_payload.splitlines(), kernel_payload.splitlines(),
+                    fromfile="interpreted", tofile="kernel", lineterm="", n=2,
+                )
+            )
+            pytest.fail(f"kernel path diverged from the interpreter:\n{diff[:4000]}")
+
+        path = golden_path()
+        if path.exists():
+            assert kernel_payload == path.read_text(), (
+                "kernel path drifted from benchmarks/golden_avf.json"
+            )
+
+
+class TestKernelThroughput:
+    def test_kernel_throughput_floor(self, monkeypatch):
+        monkeypatch.delenv(kernel.KERNEL_ENV_VAR, raising=False)
+        metrics = bench_pipeline(instructions=50_000, repeats=3)
+        assert metrics["kernel"], "kernel path inactive despite REPRO_KERNEL being unset"
+        assert metrics["seconds"] <= metrics["interpreted_seconds"] * (1.0 + 0.05), (
+            f"kernel ({metrics['seconds']:.3f}s) slower than the interpreter "
+            f"({metrics['interpreted_seconds']:.3f}s)"
+        )
+        assert_kernel_throughput_floor(metrics, pytest)

@@ -29,8 +29,9 @@ from repro.experiments.bench import (
     bench_pipeline,
 )
 
-#: Allowed single-thread slowdown versus the recorded baseline.
-MAX_REGRESSION = 0.30
+#: Allowed single-thread slowdown versus the recorded baseline (shared
+#: with the kernel-smoke gate via _bench_utils).
+from _bench_utils import MAX_REGRESSION  # noqa: E402
 
 pytestmark = [pytest.mark.perf_smoke]
 if not os.environ.get("REPRO_PERF_SMOKE"):
@@ -92,7 +93,25 @@ class TestSimulatorPerf:
         assert metrics["seconds"] > 0
 
     def test_parallel_backend_is_deterministic_and_measured(self):
-        """Process-pool evaluation matches serial results; speedup recorded."""
+        """Process-pool evaluation matches serial results; timings split."""
         metrics = bench_parallel_speedup(jobs=2, batch=4)
         assert metrics["deterministic"], "parallel fitness values diverged from serial"
         assert metrics["speedup"] > 0
+        assert metrics["warmup_seconds"] > 0
+        assert metrics["steady_seconds"] > 0
+        assert metrics["cores"] >= 1
+
+    def test_kernel_throughput_floor(self):
+        """The specialized-kernel path stays within budget of its baseline.
+
+        The same floor (shared via ``_bench_utils``) also runs with the
+        parity matrix in the dedicated ``make kernel-smoke`` gate; keeping
+        it in bench-smoke means a plain perf run cannot miss a kernel
+        regression.
+        """
+        from _bench_utils import assert_kernel_throughput_floor
+
+        metrics = bench_pipeline(instructions=50_000, repeats=3)
+        if not metrics["kernel"]:
+            pytest.skip("kernel path disabled via REPRO_KERNEL")
+        assert_kernel_throughput_floor(metrics, pytest)

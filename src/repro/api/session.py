@@ -63,7 +63,7 @@ from repro.avf.analysis import StructureGroup
 from repro.experiments.runner import ExperimentContext, ExperimentScale, WorkloadReportSet
 from repro.memory.cache import CacheConfig
 from repro.memory.tlb import TlbConfig
-from repro.parallel.backends import resolve_jobs
+from repro.parallel.backends import EvaluationBackend, create_backend, resolve_jobs
 from repro.stressmark.fitness import FitnessFunction
 from repro.stressmark.generator import StressmarkResult
 from repro.uarch.config import MachineConfig
@@ -120,6 +120,11 @@ class Session:
             self._store = open_store(store)
         self._contexts: dict[tuple[ExperimentScale, int, str], ExperimentContext] = {}
         self._owned: list[ExperimentContext] = []
+        # One warm worker pool per jobs count, shared by every context the
+        # session creates (sweep points at different scales included): the
+        # versioned task registry inside ProcessPoolBackend lets one pool
+        # serve any number of distinct evaluators without recycling workers.
+        self._backends: dict[int, "EvaluationBackend"] = {}
         if context is not None:
             # A wrapped context serves every backend request for its
             # (scale, jobs) pair — it already owns a live backend.  The
@@ -215,8 +220,21 @@ class Session:
 
     # -------------------------------------------------------------- contexts
 
+    def _shared_backend(self, jobs: int) -> "EvaluationBackend":
+        """The session's shared evaluation backend for a jobs count."""
+        backend = self._backends.get(jobs)
+        if backend is None:
+            backend = create_backend(jobs)
+            self._backends[jobs] = backend
+        return backend
+
     def context_for(self, spec: SpecLike) -> ExperimentContext:
-        """The (cached) ExperimentContext executing a spec's scale/jobs/backend."""
+        """The (cached) ExperimentContext executing a spec's scale/jobs/backend.
+
+        Contexts with the default backend share one session-owned worker
+        pool per jobs count, so a sweep's points (and the GA generations
+        inside each) reuse warm workers instead of respawning them.
+        """
         spec = self.coerce(spec)
         scale = self.resolve_scale(spec)
         jobs = self.resolve_jobs(spec)
@@ -225,9 +243,15 @@ class Session:
         key = (scale, jobs, spec.backend)
         context = self._contexts.get(key)
         if context is None:
-            backend = BACKENDS.create(spec.backend, jobs) if spec.backend else None
+            if spec.backend:
+                backend = BACKENDS.create(spec.backend, jobs)
+                owns_backend = True
+            else:
+                backend = self._shared_backend(jobs)
+                owns_backend = False
             context = ExperimentContext(
-                scale, jobs=jobs, backend=backend, store=self._store, resume=self._resume
+                scale, jobs=jobs, backend=backend, store=self._store,
+                resume=self._resume, owns_backend=owns_backend,
             )
             self._contexts[key] = context
             self._owned.append(context)
@@ -363,6 +387,7 @@ class Session:
                 "evaluations": ga.evaluations,
                 "cache_hits": ga.cache_hits,
                 "cache_misses": ga.cache_misses,
+                "evaluation_seconds": ga.evaluation_seconds,
                 "cataclysm_generations": list(ga.cataclysm_generations),
                 "average_fitness_per_generation": ga.average_fitness_trace(),
                 "best_fitness_per_generation": ga.best_fitness_trace(),
@@ -388,6 +413,9 @@ class Session:
             context.close()
         self._owned.clear()
         self._contexts.clear()
+        for backend in self._backends.values():
+            backend.close()
+        self._backends.clear()
         if self._store is not None and self._owns_store:
             self._store.close()
         self._store = None

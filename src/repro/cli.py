@@ -190,6 +190,9 @@ def _cmd_bench(session: Session, args: argparse.Namespace) -> None:
             "seconds": pipeline["seconds"],
             "insn_per_sec": pipeline["instructions_per_second"],
             "ipc": pipeline["ipc"],
+            "kernel": str(pipeline["kernel"]),
+            "kernel_speedup": pipeline["kernel_speedup"],
+            "identical": str(pipeline["kernel_identical"]),
         }],
     )
     _print_rows(
@@ -208,7 +211,10 @@ def _cmd_bench(session: Session, args: argparse.Namespace) -> None:
             "evaluations": ga["evaluations"],
             "cache_hits": ga["cache_hits"],
             "par_jobs": parallel["jobs"],
-            "par_speedup": parallel["speedup"],
+            "cores": parallel["cores"],
+            "warmup_s": parallel["warmup_seconds"],
+            "steady_s": parallel["steady_seconds"],
+            "steady_speedup": parallel["speedup"],
             "deterministic": str(parallel["deterministic"]),
         }],
     )

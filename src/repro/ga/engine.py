@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import hashlib
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
@@ -64,7 +65,14 @@ class GenerationStats:
 
 @dataclass
 class GAResult:
-    """Outcome of a GA run."""
+    """Outcome of a GA run.
+
+    ``evaluation_seconds`` is the wall-clock time this process spent inside
+    the evaluation backend (worker fan-out included, cache hits excluded) —
+    the number ``repro bench`` splits into warm-up and steady state.  Like
+    the cache counters it describes *this* process's work, so a resumed run
+    restarts it at zero.
+    """
 
     best: Individual
     history: list[GenerationStats] = field(default_factory=list)
@@ -72,6 +80,7 @@ class GAResult:
     cataclysm_generations: list[int] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
+    evaluation_seconds: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -173,6 +182,7 @@ class GeneticAlgorithm:
                 f"parameters or a different gene space; clear it to start fresh"
             )
 
+        self._eval_seconds = 0.0
         if resumed is not None:
             rng.setstate(resumed.rng_state)
             population = [individual.copy() for individual in resumed.population]
@@ -200,6 +210,7 @@ class GeneticAlgorithm:
 
         for generation in range(start_generation, params.generations):
             result.evaluations += self._evaluate(population)
+            result.evaluation_seconds = self._eval_seconds
 
             stats, population = self._generation_stats(generation, population)
             if stats.best_fitness > best_so_far + 1e-12:
@@ -240,6 +251,7 @@ class GeneticAlgorithm:
                 )
 
         result.evaluations += self._evaluate(population)
+        result.evaluation_seconds = self._eval_seconds
         result.best = best_of(population + [result.best] if result.best.evaluated else population)
         # Keep the globally best individual (elitism already preserves it in
         # the population, but a cataclysm in the last generation could not).
@@ -257,6 +269,7 @@ class GeneticAlgorithm:
     _all_time_best: Optional[Individual] = None
     _run_cache_hits: int = 0
     _run_cache_misses: int = 0
+    _eval_seconds: float = 0.0
 
     def _settings_digest(self) -> str:
         """Digest of the parameters + gene space a checkpoint is valid for."""
@@ -344,7 +357,9 @@ class GeneticAlgorithm:
                     run_keys.append(key)
                     self._run_cache_misses += 1
 
+        eval_start = time.perf_counter()
         outcomes = self.backend.evaluate_individuals(self.evaluator, to_run)
+        self._eval_seconds += time.perf_counter() - eval_start
         for index, (individual, (fitness, payload)) in enumerate(zip(to_run, outcomes, strict=True)):
             individual.fitness = float(fitness)
             individual.payload = payload

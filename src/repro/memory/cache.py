@@ -127,8 +127,7 @@ class Cache:
         victim_tag = min(cache_set, key=lambda tag: cache_set[tag].last_use)
         victim = cache_set.pop(victim_tag)
         line_number = victim_tag * self._num_sets + set_index
-        for word in victim.words_touched:
-            self.lifetime.record_evict(line_number, word, cycle)
+        self.lifetime.evict_words(line_number, victim.words_touched, cycle)
         self.stats.evictions += 1
         if victim.dirty:
             self.stats.dirty_evictions += 1
@@ -137,6 +136,14 @@ class Cache:
 
     def access(self, address: int, is_write: bool, cycle: int, ace: bool = True) -> CacheAccessResult:
         """Perform a read or write access of one word at ``address``."""
+        return CacheAccessResult(*self.access_parts(address, is_write, cycle, ace))
+
+    def access_parts(
+        self, address: int, is_write: bool, cycle: int, ace: bool = True
+    ) -> tuple[bool, bool, Optional[int], bool]:
+        """:meth:`access` returning a plain ``(hit, evicted_dirty,
+        evicted_address, evicted_ace)`` tuple — the allocation-light form the
+        memory hierarchy's per-op path uses."""
         self.stats.accesses += 1
         line_address = address // self._line_bytes
         set_index = line_address % self._num_sets
@@ -177,12 +184,7 @@ class Cache:
         else:
             self.lifetime.record_read(line_number, word_index, cycle, ace=ace)
 
-        return CacheAccessResult(
-            hit=hit,
-            evicted_dirty=evicted_dirty,
-            evicted_address=evicted_address,
-            evicted_ace=evicted_ace,
-        )
+        return hit, evicted_dirty, evicted_address, evicted_ace
 
     def warm_line(
         self,
@@ -221,6 +223,54 @@ class Cache:
             line.dirty = True
             if ace:
                 line.dirty_ace = True
+
+    def warm_lines(
+        self,
+        first_address: int,
+        count: int,
+        cycle: int = 0,
+        dirty: bool = True,
+        ace: bool = True,
+        word_fraction: float = 1.0,
+    ) -> None:
+        """Install ``count`` consecutive lines starting at ``first_address``.
+
+        Bulk form of :meth:`warm_line` for functional region warm-up: the
+        per-line geometry math and word-count rounding are hoisted out of the
+        loop.  Equivalent to calling ``warm_line`` once per line in address
+        order (warm-up walks hundreds of thousands of words, so this path
+        matters for end-to-end evaluation time).
+        """
+        if not 0.0 <= word_fraction <= 1.0:
+            raise ValueError("word_fraction must be within [0, 1]")
+        if count <= 0:
+            return
+        num_sets = self._num_sets
+        associativity = self._associativity
+        sets = self._sets
+        warm_words = self.lifetime.warm_words
+        words_to_touch = int(round(word_fraction * self._words_per_line))
+        touched = range(words_to_touch)
+        mark_dirty = bool(dirty and words_to_touch)
+        first_line = first_address // self._line_bytes
+        for line_number in range(first_line, first_line + count):
+            set_index = line_number % num_sets
+            tag = line_number // num_sets
+            cache_set = sets[set_index]
+            line = cache_set.get(tag)
+            if line is None:
+                if len(cache_set) >= associativity:
+                    self._evict(set_index, cycle)
+                line = _Line(tag=tag, last_use=cycle)
+                cache_set[tag] = line
+            if words_to_touch:
+                warm_words(line_number, touched, cycle, dirty=dirty, ace=ace)
+                line.words_touched.update(touched)
+            line.last_use = cycle
+            if mark_dirty:
+                line.dirty = True
+                if ace:
+                    line.dirty_ace = True
 
     def writeback(self, address: int, cycle: int, ace: bool = True) -> CacheAccessResult:
         """Install a dirty line arriving from the level above (victim writeback)."""

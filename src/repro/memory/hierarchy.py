@@ -83,6 +83,20 @@ class MemoryHierarchy:
 
     def access(self, address: int, is_write: bool, cycle: int, ace: bool = True) -> MemoryAccessOutcome:
         """Perform one data access and return its latency and hit breakdown."""
+        latency, dl1_hit, l2_hit, tlb_hit = self.access_parts(address, is_write, cycle, ace)
+        return MemoryAccessOutcome(
+            latency=latency,
+            dl1_hit=dl1_hit,
+            l2_hit=l2_hit,
+            tlb_hit=tlb_hit,
+        )
+
+    def access_parts(
+        self, address: int, is_write: bool, cycle: int, ace: bool = True
+    ) -> tuple[int, bool, bool, bool]:
+        """:meth:`access` returning a plain ``(latency, dl1_hit, l2_hit,
+        tlb_hit)`` tuple — the allocation-light form the simulator's per-op
+        path (interpreted and kernel alike) uses."""
         if address < 0:
             raise ValueError("addresses must be non-negative")
 
@@ -99,29 +113,24 @@ class MemoryHierarchy:
         else:
             latency = self.tlb_miss_penalty
 
-        dl1_result = self.dl1.access(address, is_write=is_write, cycle=cycle, ace=ace)
+        dl1_hit, dl1_evicted_dirty, dl1_evicted_address, dl1_evicted_ace = self.dl1.access_parts(
+            address, is_write=is_write, cycle=cycle, ace=ace
+        )
         latency += self._dl1_hit_latency
         l2_hit = True
-        if not dl1_result.hit:
+        if not dl1_hit:
             # Line fill from L2 (a write miss allocates too: write-allocate).
-            l2_result = self.l2.access(address, is_write=False, cycle=cycle, ace=ace)
+            l2_hit, _, _, _ = self.l2.access_parts(address, is_write=False, cycle=cycle, ace=ace)
             latency += self._l2_hit_latency
-            l2_hit = l2_result.hit
-            if not l2_result.hit:
+            if not l2_hit:
                 latency += self.memory_latency
-            if l2_result.evicted_dirty and l2_result.evicted_address is not None:
-                # Dirty L2 victim goes to memory; nothing further to track.
-                pass
-        if dl1_result.evicted_dirty and dl1_result.evicted_address is not None:
-            # Dirty DL1 victim is written back into the L2.
-            self.l2.writeback(dl1_result.evicted_address, cycle, ace=dl1_result.evicted_ace)
+            # A dirty L2 victim goes to memory; nothing further to track.
+        if dl1_evicted_dirty and dl1_evicted_address is not None:
+            # Dirty DL1 victim is written back into the L2 (same semantics
+            # as Cache.writeback, minus the discarded result object).
+            self.l2.access_parts(dl1_evicted_address, is_write=True, cycle=cycle, ace=dl1_evicted_ace)
 
-        return MemoryAccessOutcome(
-            latency=latency,
-            dl1_hit=dl1_result.hit,
-            l2_hit=l2_hit,
-            tlb_hit=tlb_hit,
-        )
+        return latency, dl1_hit, l2_hit, tlb_hit
 
     def warm_region(
         self,
@@ -159,14 +168,16 @@ class MemoryHierarchy:
                 self.l2_tlb.warm_page(base + offset, cycle=0, ace=ace, recurrent=recurrent)
         for offset in range(size_bytes - tlb_span, size_bytes, page_bytes):
             self.dtlb.warm_page(base + offset, cycle=0, ace=ace, recurrent=recurrent)
-        for offset in range(size_bytes - l2_span, size_bytes, line_bytes):
-            self.l2.warm_line(
-                base + offset, cycle=0, dirty=dirty, ace=ace, word_fraction=word_fraction
-            )
-        for offset in range(size_bytes - dl1_span, size_bytes, line_bytes):
-            self.dl1.warm_line(
-                base + offset, cycle=0, dirty=dirty, ace=ace, word_fraction=word_fraction
-            )
+        self.l2.warm_lines(
+            base + size_bytes - l2_span,
+            len(range(size_bytes - l2_span, size_bytes, line_bytes)),
+            cycle=0, dirty=dirty, ace=ace, word_fraction=word_fraction,
+        )
+        self.dl1.warm_lines(
+            base + size_bytes - dl1_span,
+            len(range(size_bytes - dl1_span, size_bytes, line_bytes)),
+            cycle=0, dirty=dirty, ace=ace, word_fraction=word_fraction,
+        )
 
     def finalize(self, cycle: int) -> None:
         """Close all lifetime intervals at the end of simulation."""

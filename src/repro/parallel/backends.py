@@ -7,10 +7,13 @@ through an :class:`EvaluationBackend`.  The contract every backend honours:
 * **Ordered results** — ``map(fn, items)`` returns results in the order of
   ``items`` regardless of which worker finished first, so GA runs are
   bit-identical no matter the worker count.
-* **Per-worker state reuse** — :class:`ProcessPoolBackend` installs the task
-  callable once per worker process (pool initializer), so expensive per-task
-  state (code generator, machine configuration, fitness function) is built
-  once per worker instead of once per item.
+* **Per-worker state reuse** — :class:`ProcessPoolBackend` workers keep every
+  task callable they have ever seen in a version-keyed registry, so expensive
+  per-task state (code generator, machine configuration, compiled simulator
+  kernels, fitness function) is built once per worker per task *version*
+  instead of once per item — and the pool itself is **never recycled** when
+  the mapped callable changes (sweeps alternating evaluators reuse the same
+  warm workers).
 * **Chunked dispatch** — items are shipped to workers in chunks to amortise
   IPC overhead over many small tasks.
 
@@ -31,19 +34,30 @@ R = TypeVar("R")
 #: Environment variable consulted when no explicit worker count is given.
 JOBS_ENV_VAR = "REPRO_JOBS"
 
-# Module-global slot holding the task callable inside a worker process; set
-# once by the pool initializer so per-item messages carry only the item.
-_worker_fn: Optional[Callable] = None
+#: Most task versions a worker-side registry retains (oldest evicted first).
+#: Bounds worker memory for very long sweeps over many distinct evaluators.
+TASK_REGISTRY_LIMIT = 64
+
+# Worker-side task registry: version -> installed callable.  Task messages
+# are ``(version, fn, item)``; ``fn`` pickles once per *chunk* (pickle memoises
+# the repeated reference inside a chunk list), and a worker that has already
+# installed ``version`` keeps using its registered instance, preserving any
+# lazily built per-task state across chunks, map calls and evaluator changes.
+_worker_tasks: dict[int, Callable] = {}
 
 
-def _init_worker(fn: Callable) -> None:
-    global _worker_fn
-    _worker_fn = fn
+def _init_worker() -> None:
+    _worker_tasks.clear()
 
 
-def _run_task(item):
-    assert _worker_fn is not None, "worker pool used before initialisation"
-    return _worker_fn(item)
+def _run_task(payload):
+    version, fn, item = payload
+    task = _worker_tasks.get(version)
+    if task is None:
+        while len(_worker_tasks) >= TASK_REGISTRY_LIMIT:
+            _worker_tasks.pop(min(_worker_tasks))
+        _worker_tasks[version] = task = fn
+    return task(item)
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -82,12 +96,20 @@ class EvaluationBackend(ABC):
         return self.map(task, individuals)
 
     def _individual_task(self, evaluator: Callable) -> "_IndividualTask":
-        # Keep the wrapper stable across calls with the same evaluator so
-        # process pools can be reused between GA generations.
-        cached = getattr(self, "_task_cache", None)
+        # Keep one stable wrapper per evaluator (not just the most recent
+        # one), so sweeps alternating between evaluators hand the pool the
+        # same callable objects — and therefore the same task versions —
+        # every time they come back around.
+        cache = getattr(self, "_task_cache", None)
+        if cache is None:
+            cache = {}
+            self._task_cache = cache
+        cached = cache.get(id(evaluator))
         if cached is None or cached.evaluator is not evaluator:
+            while len(cache) >= TASK_REGISTRY_LIMIT:
+                cache.pop(next(iter(cache)))
             cached = _IndividualTask(evaluator)
-            self._task_cache = cached
+            cache[id(evaluator)] = cached
         return cached
 
     def close(self) -> None:
@@ -123,10 +145,11 @@ class SerialBackend(EvaluationBackend):
 class ProcessPoolBackend(EvaluationBackend):
     """Multiprocessing pool backend with chunked, order-preserving dispatch.
 
-    The pool is created lazily on the first :meth:`map` call and kept alive
-    while the mapped callable stays the same object, so per-worker state
-    (installed by the pool initializer) is reused across GA generations.
-    Mapping a different callable recycles the pool.
+    The pool is created lazily on the first :meth:`map` call and stays alive
+    for the backend's whole lifetime: mapped callables are assigned monotone
+    *task versions* and installed into a worker-side registry on first sight,
+    so changing the callable (a sweep moving to the next evaluator, the GA
+    finishing one search and starting another) never tears workers down.
     """
 
     def __init__(
@@ -141,7 +164,12 @@ class ProcessPoolBackend(EvaluationBackend):
         self.chunk_size = chunk_size
         self._mp_context = mp_context
         self._pool = None
-        self._pool_fn: Optional[Callable] = None
+        # version -> callable.  The strong references also pin every seen
+        # callable's id(), so the id-keyed lookup table can never alias a
+        # collected object (bounded alongside the worker-side registry).
+        self._task_table: dict[int, Callable] = {}
+        self._task_versions: dict[int, int] = {}
+        self._next_version = 0
 
     # ------------------------------------------------------------------ map
 
@@ -149,18 +177,32 @@ class ProcessPoolBackend(EvaluationBackend):
         items = list(items)
         if not items:
             return []
-        pool = self._ensure_pool(fn)
+        pool = self._ensure_pool()
+        version = self._version_for(fn)
         chunk = self.chunk_size or max(1, len(items) // (self.jobs * 4))
-        return pool.map(_run_task, items, chunksize=chunk)
+        payloads = [(version, fn, item) for item in items]
+        return pool.map(_run_task, payloads, chunksize=chunk)
 
     # ------------------------------------------------------------- plumbing
 
-    def _ensure_pool(self, fn: Callable):
-        if self._pool is None or self._pool_fn is not fn:
-            self.close()
+    def _version_for(self, fn: Callable) -> int:
+        version = self._task_versions.get(id(fn))
+        if version is not None and self._task_table.get(version) is fn:
+            return version
+        while len(self._task_table) >= TASK_REGISTRY_LIMIT:
+            oldest = min(self._task_table)
+            stale = self._task_table.pop(oldest)
+            self._task_versions.pop(id(stale), None)
+        self._next_version += 1
+        version = self._next_version
+        self._task_versions[id(fn)] = version
+        self._task_table[version] = fn
+        return version
+
+    def _ensure_pool(self):
+        if self._pool is None:
             context = multiprocessing.get_context(self._mp_context)
-            self._pool = context.Pool(self.jobs, initializer=_init_worker, initargs=(fn,))
-            self._pool_fn = fn
+            self._pool = context.Pool(self.jobs, initializer=_init_worker)
         return self._pool
 
     def close(self) -> None:
@@ -168,7 +210,6 @@ class ProcessPoolBackend(EvaluationBackend):
             self._pool.terminate()
             self._pool.join()
             self._pool = None
-            self._pool_fn = None
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
         try:

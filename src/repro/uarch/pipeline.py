@@ -35,8 +35,11 @@ inefficiencies) is modelled statistically: programs may carry
 Implementation notes (hot loop)
 -------------------------------
 ``run`` is the single hottest function of the repository — every GA fitness
-evaluation is one call — so its inner loop avoids per-dynamic-op Python
-overhead:
+evaluation is one call.  By default it executes through a *program-
+specialized compiled kernel* (see :mod:`repro.uarch.kernel` and
+ARCHITECTURE.md, "Kernel lifecycle"); ``run_interpreted`` below is the
+reference implementation the kernels are generated from and differentially
+tested against, and its inner loop avoids per-dynamic-op Python overhead:
 
 * Static per-instruction facts (class flags, latencies, ACE fractions,
   branch behaviour) are precomputed once per run into flat tuples instead of
@@ -165,6 +168,37 @@ class OutOfOrderCore:
         of the memory hierarchy (cache/TLB contents and lifetime state) without
         occupying core structures, mirroring the common practice of functional
         cache warm-up before a detailed simulation window.
+
+        By default the simulation executes through a *program-specialized
+        kernel*: Python source generated for this exact (program, config)
+        pair, compiled once and memoized (see :mod:`repro.uarch.kernel` and
+        ARCHITECTURE.md).  Kernel results are bit-identical to the
+        interpreted reference loop — same floating-point addition order,
+        same RNG consumption — so the switch is purely about speed.  Set
+        ``REPRO_KERNEL=0`` to force the interpreter; invocations the kernel
+        does not cover (explicitly simulated setup sections, enormous
+        bodies) fall back automatically.
+        """
+        if functional_setup:
+            from repro.uarch import kernel as _kernel
+
+            if _kernel.kernel_enabled() and _kernel.supports(program, functional_setup):
+                kernel_run = _kernel.kernel_for(self.config, program)
+                if kernel_run is not None:
+                    return kernel_run(self, program, max_instructions)
+        return self.run_interpreted(program, max_instructions, functional_setup)
+
+    def run_interpreted(
+        self,
+        program: Program,
+        max_instructions: int = 50_000,
+        functional_setup: bool = True,
+    ) -> SimulationResult:
+        """The interpreted reference implementation of :meth:`run`.
+
+        Kept as the semantics oracle for the generated kernels: the
+        differential suite and the ``kernel-smoke`` gate compare the two
+        paths cycle-for-cycle and ledger-credit-for-credit.
         """
         if max_instructions <= 0:
             raise ValueError("max_instructions must be positive")
@@ -311,7 +345,7 @@ class OutOfOrderCore:
         free_rename = config.free_rename_registers
         mispredict_penalty = config.branch_misprediction_penalty
         iterations_total = program.iterations
-        hierarchy_access = hierarchy.access
+        hierarchy_access = hierarchy.access_parts
         predictor_update = predictor.update
         branch_random = branch_rng.raw().random
         frontend_random = frontend_rng.raw().random
@@ -469,9 +503,8 @@ class OutOfOrderCore:
                         # Load/prefetch: resolve the address and access the
                         # memory hierarchy at issue time.
                         address = pattern.resolve(resolve_iteration, memory_rng)
-                        outcome = hierarchy_access(address, False, issue, ace)
-                        latency = outcome.latency
-                        if not outcome.dl1_hit and not outcome.l2_hit:
+                        latency, dl1_hit, l2_hit, _ = hierarchy_access(address, False, issue, ace)
+                        if not dl1_hit and not l2_hit:
                             l2_misses += 1
                     complete = issue + latency
 

@@ -126,15 +126,6 @@ class AceAccumulator:
 # ------------------------------------------------------- lifetime state machine
 
 
-@dataclass(slots=True)
-class _WordState:
-    """Lifetime state for one resident word."""
-
-    last_event: AceEvent
-    last_cycle: int
-    last_write_ace: bool = False
-
-
 class LifetimeTracker:
     """Word-granular lifetime ACE state machine (Biswas et al.).
 
@@ -164,27 +155,17 @@ class LifetimeTracker:
     re-exports it for backward compatibility).
     """
 
+    #: Word state is an immutable ``(last_event, last_cycle, last_write_ace)``
+    #: tuple.  Immutability lets warm-up share one state object across a whole
+    #: range of words (``dict.fromkeys``), and event updates replace the tuple
+    #: — all interval credit is *integer* word-cycle arithmetic, so bulk
+    #: formulations below are exactly equal to per-event accounting.
+
     def __init__(self, word_bits: int = 64) -> None:
         self.word_bits = word_bits
-        self._live: dict[tuple[int, int], _WordState] = {}
+        self._live: dict[tuple[int, int], tuple[AceEvent, int, bool]] = {}
         self.ace_word_cycles = 0
         self.total_events = 0
-
-    def _close_interval(self, state: _WordState, cycle: int, closing: AceEvent, ace: bool) -> None:
-        """Credit the interval ``state.last_cycle -> cycle`` if it is ACE."""
-        duration = max(0, cycle - state.last_cycle)
-        if duration == 0:
-            return
-        interval_ace = False
-        if closing is AceEvent.READ and ace:
-            # Fill=>Read, Read=>Read and Write=>Read are all ACE provided the
-            # consumer is an ACE instruction.
-            interval_ace = True
-        elif closing is AceEvent.EVICT and state.last_event is AceEvent.WRITE and state.last_write_ace:
-            # Dirty data written by an ACE store must survive until writeback.
-            interval_ace = True
-        if interval_ace:
-            self.ace_word_cycles += duration
 
     def record_fill(self, line: int, word: int, cycle: int, ace: bool = True) -> None:
         """A word became resident (brought in from the next level)."""
@@ -197,36 +178,40 @@ class LifetimeTracker:
             # did not report).  Close its interval as an eviction so a dirty
             # ACE write keeps its Write=>Evict credit instead of being
             # silently dropped with the overwritten state.
-            self._close_interval(state, cycle, AceEvent.EVICT, ace=True)
-        self._live[key] = _WordState(AceEvent.FILL, cycle, last_write_ace=False)
+            if state[0] is AceEvent.WRITE and state[2]:
+                duration = cycle - state[1]
+                if duration > 0:
+                    self.ace_word_cycles += duration
+        self._live[key] = (AceEvent.FILL, cycle, False)
 
     def record_read(self, line: int, word: int, cycle: int, ace: bool) -> None:
-        """A resident word was read by an instruction (ACE or not)."""
+        """A resident word was read by an instruction (ACE or not).
+
+        Fill=>Read, Read=>Read and Write=>Read intervals are all ACE provided
+        the consumer is an ACE instruction.
+        """
         self.total_events += 1
         key = (line, word)
         state = self._live.get(key)
         if state is None:
             # A read to a word we never saw filled (e.g. structure warm-up
             # before tracking started): start tracking from this read.
-            self._live[key] = _WordState(AceEvent.READ, cycle, last_write_ace=False)
+            self._live[key] = (AceEvent.READ, cycle, False)
             return
-        self._close_interval(state, cycle, AceEvent.READ, ace)
-        state.last_event = AceEvent.READ
-        state.last_cycle = cycle
+        if ace:
+            duration = cycle - state[1]
+            if duration > 0:
+                self.ace_word_cycles += duration
+        self._live[key] = (AceEvent.READ, cycle, state[2])
 
     def record_write(self, line: int, word: int, cycle: int, ace: bool) -> None:
-        """A resident word was overwritten by a store."""
+        """A resident word was overwritten by a store.
+
+        Whatever was there before the write is dead: the interval leading up
+        to a write is never ACE, so the interval simply restarts.
+        """
         self.total_events += 1
-        key = (line, word)
-        state = self._live.get(key)
-        if state is None:
-            self._live[key] = _WordState(AceEvent.WRITE, cycle, last_write_ace=ace)
-            return
-        # Whatever was there before the write is dead: the interval leading up
-        # to a write is never ACE, so we simply restart the interval.
-        state.last_event = AceEvent.WRITE
-        state.last_cycle = cycle
-        state.last_write_ace = ace
+        self._live[(line, word)] = (AceEvent.WRITE, cycle, ace)
 
     def warm_words(self, line: int, words: range, cycle: int, dirty: bool, ace: bool) -> None:
         """Bulk-install words during functional warm-up.
@@ -234,22 +219,48 @@ class LifetimeTracker:
         Equivalent to a fill (plus a write when ``dirty``) of every word in
         ``words`` at ``cycle``, but without per-event bookkeeping overhead —
         warm-up touches hundreds of thousands of words, so this path matters
-        for end-to-end evaluation time.
+        for end-to-end evaluation time: one shared state tuple is installed
+        for the whole range in a single C-level ``dict.update``.
         """
-        event = AceEvent.WRITE if dirty else AceEvent.FILL
-        live = self._live
-        for word in words:
-            live[(line, word)] = _WordState(event, cycle, last_write_ace=dirty and ace)
+        state = (AceEvent.WRITE if dirty else AceEvent.FILL, cycle, dirty and ace)
+        self._live.update(dict.fromkeys([(line, word) for word in words], state))
         self.total_events += len(words)
 
     def record_evict(self, line: int, word: int, cycle: int) -> None:
-        """A resident word left the structure (eviction or invalidation)."""
+        """A resident word left the structure (eviction or invalidation).
+
+        Only dirty data written by an ACE store must survive until writeback
+        (Write=>Evict); everything else ends un-ACE.
+        """
         self.total_events += 1
-        key = (line, word)
-        state = self._live.pop(key, None)
+        state = self._live.pop((line, word), None)
         if state is None:
             return
-        self._close_interval(state, cycle, AceEvent.EVICT, ace=True)
+        if state[0] is AceEvent.WRITE and state[2]:
+            duration = cycle - state[1]
+            if duration > 0:
+                self.ace_word_cycles += duration
+
+    def evict_words(self, line: int, words, cycle: int) -> None:
+        """Evict a batch of words of one line (a cache line replacement).
+
+        Exactly ``record_evict`` per word, without per-word method dispatch;
+        interval credit is integer arithmetic, so the bulk sum is identical.
+        """
+        live = self._live
+        pop = live.pop
+        credited = 0
+        write = AceEvent.WRITE
+        count = 0
+        for word in words:
+            count += 1
+            state = pop((line, word), None)
+            if state is not None and state[0] is write and state[2]:
+                duration = cycle - state[1]
+                if duration > 0:
+                    credited += duration
+        self.total_events += count
+        self.ace_word_cycles += credited
 
     def finalize(self, cycle: int) -> None:
         """Close all open intervals at the end of simulation.
@@ -257,9 +268,20 @@ class LifetimeTracker:
         End-of-simulation is treated like an eviction: dirty ACE data is
         still needed (ACE), anything else is un-ACE.  This matches the
         conservative end-of-window treatment used in ACE analysis tools.
+        The bulk pass credits exactly what per-word ``record_evict`` calls
+        would (integer word-cycles), without the per-event overhead.
         """
-        for key in list(self._live):
-            self.record_evict(key[0], key[1], cycle)
+        live = self._live
+        self.total_events += len(live)
+        credited = 0
+        write = AceEvent.WRITE
+        for state in live.values():
+            if state[0] is write and state[2]:
+                duration = cycle - state[1]
+                if duration > 0:
+                    credited += duration
+        self.ace_word_cycles += credited
+        live.clear()
 
     # ``flush`` is the ledger-event name for end-of-run closure.
     flush = finalize

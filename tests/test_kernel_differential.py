@@ -1,0 +1,427 @@
+"""Differential suite: generated kernels vs the interpreted reference loop.
+
+Every comparison checks *bit-identity*, not closeness: total cycles, commit
+counters, branch/miss statistics, and every ledger account's occupancy and
+ACE bit-cycle totals must match exactly (same float addition order, same RNG
+consumption).  Programs cover the stressmark generator's output, the
+synthetic workload proxies, and seeded randomized programs over the whole
+ISA; configurations cover the paper baseline, a constrained derivative
+(small queues, fewer architected registers than the ISA — exercising the
+kernel's non-resident register path), and the ``extended`` config (store
+buffer + L2 TLB).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instructions import (
+    OperandWidth,
+    make_alu,
+    make_branch,
+    make_div,
+    make_load,
+    make_mul,
+    make_nop,
+    make_prefetch,
+    make_store,
+)
+from repro.isa.memoryref import (
+    FixedPattern,
+    LineCoverPattern,
+    PointerChasePattern,
+    RandomPattern,
+    StridedPattern,
+)
+from repro.isa.program import BranchBehavior, Program, WarmupRegion
+from repro.stressmark.generator import StressmarkGenerator, reference_knobs
+from repro.uarch import kernel
+from repro.uarch.config import MachineConfig, baseline_config, config_a, extended_config
+from repro.uarch.pipeline import OutOfOrderCore
+from repro.utils.rng import DeterministicRng
+from repro.workloads.suite import all_profiles
+from repro.workloads.synthetic import build_workload
+
+STAT_FIELDS = (
+    "total_cycles",
+    "committed_instructions",
+    "committed_ace_instructions",
+    "branch_count",
+    "branch_mispredictions",
+    "l2_misses",
+    "dl1_miss_rate",
+    "l2_miss_rate",
+    "dtlb_miss_rate",
+)
+
+
+def constrained_config() -> MachineConfig:
+    """Small queues + fewer architected registers than the ISA exposes."""
+    return baseline_config().derive(
+        name="constrained",
+        iq_entries=4,
+        rob_entries=12,
+        lq_entries=4,
+        sq_entries=4,
+        rename_registers=40,
+        architected_registers=24,
+        int_alus=1,
+        int_multipliers=1,
+        memory_issue_width=1,
+        dispatch_width=2,
+        commit_width=2,
+    )
+
+
+def assert_identical(reference, candidate, label: str) -> None:
+    """Exact (bitwise) equality of two SimulationResults."""
+    for fieldname in STAT_FIELDS:
+        ref_value = getattr(reference.stats, fieldname)
+        got_value = getattr(candidate.stats, fieldname)
+        assert ref_value == got_value, f"{label}: stats.{fieldname} {ref_value} != {got_value}"
+    assert list(reference.accumulators) == list(candidate.accumulators), f"{label}: account order"
+    for name, ref_account in reference.accumulators.items():
+        got_account = candidate.accumulators[name]
+        assert ref_account.occupied_entry_cycles == got_account.occupied_entry_cycles, (
+            f"{label}: {name} occupancy"
+        )
+        assert ref_account.ace_bit_cycles == got_account.ace_bit_cycles, f"{label}: {name} ACE"
+
+
+def run_both(config, program, max_instructions, seed=3):
+    core = OutOfOrderCore(config, seed=seed)
+    reference = core.run_interpreted(program, max_instructions=max_instructions)
+    kernel_run = kernel.kernel_for(config, program)
+    assert kernel_run is not None, "kernel generation failed"
+    candidate = kernel_run(core, program, max_instructions)
+    return reference, candidate
+
+
+def random_program(seed: int, name: str) -> Program:
+    """A seeded random program spanning the whole ISA and pattern set."""
+    rng = DeterministicRng(seed)
+    body = []
+    branch_behaviors = {}
+    patterns = [
+        FixedPattern(address=rng.randint(0, 1 << 16) * 8),
+        StridedPattern(base=8192, stride=rng.randint(8, 256), region=1 << rng.randint(12, 18)),
+        PointerChasePattern(base=1 << 20, stride=64, region=1 << 16),
+        LineCoverPattern(base=4096, line_bytes=64, region=1 << 14,
+                         slot=rng.randint(0, 1), slots=2, iteration_offset=rng.randint(-1, 1)),
+        RandomPattern(base=0, region=1 << rng.randint(12, 20)),
+    ]
+    size = rng.randint(6, 24)
+    for index in range(size):
+        kind = rng.randint(0, 8)
+        width = rng.choice([OperandWidth.WORD32, OperandWidth.WORD64])
+        ace = rng.coin(0.8)
+        dest = rng.randint(0, 31)
+        srcs = [rng.randint(0, 31) for _ in range(rng.randint(0, 2))]
+        if kind <= 2:
+            body.append(make_alu(dest, srcs, width=width, ace=ace))
+        elif kind == 3:
+            body.append(make_mul(dest, srcs, width=width, ace=ace))
+        elif kind == 4:
+            body.append(make_div(dest, srcs, width=width, ace=ace))
+        elif kind == 5:
+            body.append(make_load(dest, rng.choice(patterns), srcs=srcs, width=width, ace=ace))
+        elif kind == 6:
+            body.append(make_store(rng.choice(patterns), srcs=srcs or [dest], width=width, ace=ace))
+        elif kind == 7:
+            if rng.coin(0.3):
+                body.append(make_nop())
+            else:
+                body.append(make_prefetch(rng.choice(patterns)))
+        else:
+            body.append(make_branch(srcs=srcs, taken_probability=rng.uniform(0.0, 1.0), ace=ace))
+            if rng.coin(0.5):
+                branch_behaviors[index] = BranchBehavior.LOOP_CLOSING
+    metadata = {}
+    if rng.coin(0.5):
+        metadata = {"frontend_miss_rate": rng.uniform(0.001, 0.05), "frontend_miss_penalty": rng.randint(4, 16)}
+    return Program(
+        name=name,
+        body=body,
+        iterations=rng.randint(20, 4000),
+        branch_behaviors=branch_behaviors,
+        warmup_regions=[WarmupRegion(base=4096, size_bytes=1 << 15, dirty=rng.coin(0.7))],
+        metadata=metadata,
+    )
+
+
+class TestKernelDifferential:
+    @pytest.mark.parametrize("config_factory", [baseline_config, config_a, extended_config, constrained_config])
+    def test_reference_stressmark(self, config_factory):
+        config = config_factory()
+        generator = StressmarkGenerator(config=config, max_instructions=4_000)
+        program = generator.codegen.generate(reference_knobs(config))
+        reference, candidate = run_both(config, program, 4_000)
+        assert_identical(reference, candidate, f"stressmark/{config.name}")
+
+    @pytest.mark.parametrize("knob_seed", [1, 2, 3])
+    def test_derived_stressmarks(self, knob_seed):
+        config = baseline_config()
+        generator = StressmarkGenerator(config=config, max_instructions=3_000)
+        knobs = reference_knobs(config).derive(random_seed=knob_seed)
+        program = generator.codegen.generate(knobs)
+        reference, candidate = run_both(config, program, 3_000)
+        assert_identical(reference, candidate, f"stressmark-knobs-{knob_seed}")
+
+    @pytest.mark.parametrize("profile_index", [0, 7, 15, 23, 31])
+    def test_workload_programs(self, profile_index):
+        config = baseline_config()
+        profile = all_profiles()[profile_index % len(all_profiles())]
+        program = build_workload(profile, config, seed=11)
+        reference, candidate = run_both(config, program, 3_000)
+        assert_identical(reference, candidate, f"workload/{profile.name}")
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_programs(self, seed):
+        program = random_program(seed, f"random-{seed}")
+        for config_factory in (baseline_config, extended_config, constrained_config):
+            config = config_factory()
+            reference, candidate = run_both(config, program, 2_500)
+            assert_identical(reference, candidate, f"random-{seed}/{config.name}")
+
+    @pytest.mark.parametrize("budget", [1, 17, 81, 82, 1000, 2_047])
+    def test_partial_iteration_budgets(self, budget):
+        """Budgets that end mid-iteration exercise the generic tail path."""
+        config = baseline_config()
+        program = random_program(99, "tail-program")
+        reference, candidate = run_both(config, program, budget)
+        assert_identical(reference, candidate, f"budget-{budget}")
+        assert candidate.stats.committed_instructions == min(
+            budget, len(program.body) * program.iterations
+        )
+
+    def test_dispatcher_uses_kernel_by_default(self, monkeypatch):
+        monkeypatch.delenv(kernel.KERNEL_ENV_VAR, raising=False)
+        kernel.clear_kernels()
+        config = baseline_config()
+        program = random_program(5, "dispatch-check")
+        core = OutOfOrderCore(config, seed=3)
+        core.run(program, max_instructions=500)
+        assert kernel.STATS.compiled == 1
+        core.run(program, max_instructions=500)
+        assert kernel.STATS.memo_hits >= 1
+
+    def test_repro_kernel_zero_forces_interpreter(self, monkeypatch):
+        monkeypatch.setenv(kernel.KERNEL_ENV_VAR, "0")
+        kernel.clear_kernels()
+        config = baseline_config()
+        program = random_program(6, "disabled-check")
+        core = OutOfOrderCore(config, seed=3)
+        disabled = core.run(program, max_instructions=500)
+        assert kernel.STATS.compiled == 0 and kernel.STATS.generated == 0
+        monkeypatch.delenv(kernel.KERNEL_ENV_VAR, raising=False)
+        enabled = core.run(program, max_instructions=500)
+        assert_identical(disabled, enabled, "env-switch")
+
+    def test_explicit_setup_section_falls_back_to_interpreter(self):
+        """functional_setup=False is out of kernel scope — results still match."""
+        kernel.clear_kernels()
+        config = baseline_config()
+        program = random_program(7, "setup-check")
+        program.setup = [make_alu(1, [0]), make_store(FixedPattern(address=64), srcs=[1])]
+        core = OutOfOrderCore(config, seed=3)
+        via_run = core.run(program, max_instructions=500, functional_setup=False)
+        reference = core.run_interpreted(program, max_instructions=500, functional_setup=False)
+        assert kernel.STATS.compiled == 0
+        assert_identical(reference, via_run, "setup-fallback")
+
+
+class TestKernelCache:
+    def test_source_store_round_trip(self, tmp_path):
+        from repro.store.artifacts import ArtifactStore
+
+        kernel.clear_kernels()
+        config = baseline_config()
+        program = random_program(11, "store-check")
+        store = ArtifactStore(tmp_path / "kernels.sqlite")
+        try:
+            kernel.configure_source_store(store)
+            first = kernel.kernel_for(config, program)
+            assert first is not None and kernel.STATS.generated == 1
+            key = kernel.source_key(kernel.program_digest(program), kernel.config_digest(config))
+            assert isinstance(store.get(key), str)
+
+            # A fresh process (simulated by clearing the in-process memo)
+            # loads source from the store instead of regenerating.
+            kernel.clear_kernels()
+            second = kernel.kernel_for(config, program)
+            assert second is not None
+            assert kernel.STATS.generated == 0
+            assert kernel.STATS.source_store_hits == 1
+            core = OutOfOrderCore(config, seed=3)
+            assert_identical(
+                core.run_interpreted(program, max_instructions=400),
+                second(core, program, 400),
+                "store-kernel",
+            )
+        finally:
+            kernel.configure_source_store(None)
+            store.close()
+            kernel.clear_kernels()
+
+    def test_failure_remembered_not_retried(self, monkeypatch):
+        kernel.clear_kernels()
+        config = baseline_config()
+        program = random_program(13, "failure-check")
+        calls = {"n": 0}
+
+        def boom(*args, **kwargs):
+            calls["n"] += 1
+            raise RuntimeError("codegen exploded")
+
+        monkeypatch.setattr(kernel, "generate_kernel_source", boom)
+        assert kernel.kernel_for(config, program) is None
+        assert kernel.kernel_for(config, program) is None
+        assert calls["n"] == 1 and kernel.STATS.failures == 1
+        # The dispatcher degrades to the interpreter transparently.
+        core = OutOfOrderCore(config, seed=3)
+        result = core.run(program, max_instructions=300)
+        assert result.stats.committed_instructions == 300
+        kernel.clear_kernels()
+
+    def test_closed_source_store_detaches_instead_of_failing(self, tmp_path):
+        """A source store outliving its session must not poison generation.
+
+        Regression test: sessions attach their result store's artifact
+        database as the kernel source cache; after the session closes the
+        sqlite handle, kernel generation must detach the dead store and
+        keep compiling locally (not record a failure).
+        """
+        from repro.store.artifacts import ArtifactStore
+
+        kernel.clear_kernels()
+        store = ArtifactStore(tmp_path / "kernels.sqlite")
+        kernel.configure_source_store(store)
+        store.close()  # the owner went away without detaching
+
+        config = baseline_config()
+        program = random_program(19, "closed-store-check")
+        assert kernel.kernel_for(config, program) is not None
+        assert kernel.STATS.failures == 0
+        kernel.clear_kernels()
+
+    def test_context_detaches_kernel_store_on_close(self, tmp_path):
+        from repro.experiments.runner import ExperimentContext, ExperimentScale
+        from repro.store.result_store import open_store
+
+        kernel.clear_kernels()
+        store = open_store(tmp_path / "store")
+        context = ExperimentContext(ExperimentScale.quick(), store=store)
+        context.close()
+        store.close()
+        program = random_program(23, "context-close-check")
+        assert kernel.kernel_for(baseline_config(), program) is not None
+        assert kernel.STATS.failures == 0
+        kernel.clear_kernels()
+
+    def test_shared_store_survives_sibling_context_close(self, tmp_path):
+        """Closing one of two contexts on a store must not detach the cache."""
+        from repro.experiments.runner import ExperimentContext, ExperimentScale
+        from repro.store.result_store import open_store
+
+        kernel.clear_kernels()
+        store = open_store(tmp_path / "store")
+        try:
+            first = ExperimentContext(ExperimentScale.quick(), store=store)
+            second = ExperimentContext(ExperimentScale.quick(), store=store)
+            first.close()
+            assert kernel._active_source_store() is not None, (
+                "source store detached while a sibling context still owns it"
+            )
+            second.close()
+            assert kernel._active_source_store() is None
+        finally:
+            store.close()
+            kernel.clear_kernels()
+
+    def test_failed_store_pruned_from_attach_stack(self, tmp_path):
+        """A store that raises is evicted everywhere; the survivor takes over."""
+        from repro.store.artifacts import ArtifactStore
+
+        kernel.clear_kernels()
+        healthy = ArtifactStore(tmp_path / "healthy.sqlite")
+        broken = ArtifactStore(tmp_path / "broken.sqlite")
+        try:
+            kernel.attach_source_store(healthy)
+            kernel.attach_source_store(broken)
+            broken.close()  # now every get/put on it raises
+            program = random_program(37, "failed-store-check")
+            assert kernel.kernel_for(baseline_config(), program) is not None
+            assert kernel.STATS.failures == 0
+            # The broken store was pruned and the healthy one restored —
+            # persistence keeps working (source landed in the survivor).
+            assert kernel._active_source_store() is healthy
+            key = kernel.source_key(
+                kernel.program_digest(program), kernel.config_digest(baseline_config())
+            )
+            assert isinstance(healthy.get(key), str)
+        finally:
+            kernel.release_source_store(healthy)
+            kernel.release_source_store(broken)
+            kernel.configure_source_store(None)
+            healthy.close()
+            kernel.clear_kernels()
+
+    def test_memo_is_bounded(self, monkeypatch):
+        kernel.clear_kernels()
+        monkeypatch.setattr(kernel, "KERNEL_CACHE_LIMIT", 2)
+        config = baseline_config()
+        for seed in (31, 32, 33):
+            assert kernel.kernel_for(config, random_program(seed, f"bound-{seed}")) is not None
+        assert len(kernel._kernels) == 2
+        kernel.clear_kernels()
+
+    def test_corrupt_stored_source_falls_back_to_local_generation(self, tmp_path):
+        from repro.store.artifacts import ArtifactStore
+
+        kernel.clear_kernels()
+        config = baseline_config()
+        program = random_program(29, "corrupt-source-check")
+        store = ArtifactStore(tmp_path / "kernels.sqlite")
+        try:
+            key = kernel.source_key(kernel.program_digest(program), kernel.config_digest(config))
+            store.put(key, "def kernel_run(:  # truncated garbage")
+            kernel.configure_source_store(store)
+            kernel_run = kernel.kernel_for(config, program)
+            assert kernel_run is not None, "corrupt stored source must not disable the kernel"
+            assert kernel.STATS.failures == 0
+            assert kernel.STATS.generated == 1
+            # The repaired source overwrites the corrupt entry.
+            assert "truncated garbage" not in store.get(key)
+        finally:
+            kernel.configure_source_store(None)
+            store.close()
+            kernel.clear_kernels()
+
+    def test_source_store_reopened_after_fork(self, tmp_path):
+        """A child process must not reuse the parent's sqlite connection."""
+        from repro.store.artifacts import ArtifactStore
+
+        kernel.clear_kernels()
+        store = ArtifactStore(tmp_path / "kernels.sqlite")
+        try:
+            kernel.configure_source_store(store)
+            # Simulate being on the other side of a fork().
+            kernel._source_store_pid = -1
+            reopened = kernel._active_source_store()
+            assert reopened is not None and reopened is not store
+            assert reopened.path == store.path
+            reopened.close()
+        finally:
+            kernel.configure_source_store(None)
+            store.close()
+            kernel.clear_kernels()
+
+    def test_distinct_configs_get_distinct_kernels(self):
+        kernel.clear_kernels()
+        program = random_program(17, "digest-check")
+        assert kernel.config_digest(baseline_config()) != kernel.config_digest(extended_config())
+        assert kernel.kernel_for(baseline_config(), program) is not kernel.kernel_for(
+            extended_config(), program
+        )
+        assert kernel.STATS.compiled == 2
+        kernel.clear_kernels()
