@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke avf-smoke avf-golden kernel-smoke
+.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke avf-smoke avf-golden kernel-smoke chaos-smoke
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -43,3 +43,10 @@ avf-golden:
 # (see PERFORMANCE.md and ARCHITECTURE.md, "Kernel lifecycle").
 kernel-smoke:
 	REPRO_KERNEL_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_kernel_smoke.py -m kernel_smoke -q
+
+# Tier-2 fault-tolerance gate: a jobs=4 GA under injected worker kills and a
+# torn store write must finish byte-identical to a clean serial run, with
+# retries/restarts recorded in provenance (see ARCHITECTURE.md, "Failure
+# semantics").
+chaos-smoke:
+	REPRO_CHAOS_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_chaos_smoke.py -m chaos_smoke -q

@@ -61,6 +61,12 @@ def pytest_configure(config: pytest.Config) -> None:
         "the golden matrix plus a kernel throughput floor (run via "
         "`make kernel-smoke` or REPRO_KERNEL_SMOKE=1; see PERFORMANCE.md)",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos_smoke: fault-tolerance gate — GA under injected worker kills "
+        "and torn store writes byte-compared against a clean serial run (run "
+        "via `make chaos-smoke` or REPRO_CHAOS_SMOKE=1; see ARCHITECTURE.md)",
+    )
 
 
 def pytest_report_header(config: pytest.Config) -> str:

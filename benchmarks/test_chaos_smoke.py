@@ -1,0 +1,114 @@
+"""Chaos smoke gate (tier-2 ``chaos_smoke``, run via ``make chaos-smoke``).
+
+End-to-end check of the fault-tolerance contract under injected chaos
+(see :mod:`repro.testing.chaos`): a jobs=4 GA stressmark search whose
+workers are being killed must complete with results byte-identical to a
+clean serial run of the same seed, recording its retries/restarts in the
+result provenance — and a result store whose append is torn mid-record
+must salvage on reopen, recompute the lost result, and come out clean
+under ``repro fsck``.  Like the other tier-2 gates, the suite only runs
+when explicitly requested:
+
+    make chaos-smoke
+    # or
+    REPRO_CHAOS_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_chaos_smoke.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.api import RunSpec, Session
+from repro.store.fsck import fsck_store
+from repro.testing.chaos import CHAOS_ENV_VAR, CHAOS_SEED_ENV_VAR
+
+pytestmark = [pytest.mark.chaos_smoke]
+if not os.environ.get("REPRO_CHAOS_SMOKE"):
+    pytestmark.append(
+        pytest.mark.skip(reason="chaos smoke disabled (set REPRO_CHAOS_SMOKE=1 or run `make chaos-smoke`)")
+    )
+
+_SCALE = {
+    "workload_instructions": 1500,
+    "stressmark_instructions": 2000,
+    "ga_population": 4,
+    "ga_generations": 3,
+}
+
+
+def test_ga_under_worker_kills_is_byte_identical(monkeypatch):
+    """jobs=4 GA with every worker killed on its first task == clean serial.
+
+    The ``worker:exit:1.0:1`` clause makes each worker process die once;
+    respawned workers die again, so the pool eventually degrades to serial
+    — exercising kill detection, respawn, retry accounting and graceful
+    degradation in one run.  The search outcome must not change at all.
+    """
+    spec = RunSpec(kind="stressmark", name="chaos_smoke/sm", scale_overrides=_SCALE, retries=8)
+
+    with Session(jobs=1) as session:
+        reference = session.run(spec)
+
+    monkeypatch.setenv(CHAOS_ENV_VAR, "worker:exit:1.0:1")
+    monkeypatch.setenv(CHAOS_SEED_ENV_VAR, "2010")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with Session(jobs=4) as session:
+            chaotic = session.run(spec)
+    monkeypatch.delenv(CHAOS_ENV_VAR)
+
+    assert json.dumps(chaotic.rows) == json.dumps(reference.rows)
+    assert chaotic.knobs == reference.knobs
+    assert chaotic.ga["best_fitness"] == reference.ga["best_fitness"]
+    assert chaotic.ga["best_fitness_per_generation"] == reference.ga["best_fitness_per_generation"]
+    assert chaotic.ga["quarantined"] == 0
+
+    resilience = chaotic.provenance["resilience"]
+    assert resilience["worker_restarts"] > 0
+    assert resilience["failures"] > 0
+    assert resilience["retries"] > 0
+    assert resilience["quarantined"] == 0
+
+
+def test_truncated_store_write_salvages_and_recovers(tmp_path, monkeypatch):
+    """A store append torn mid-record salvages on reopen and recomputes."""
+    spec_a = RunSpec(
+        kind="simulate", name="chaos_smoke/wl",
+        workloads=("crc32_proxy", "sha_proxy"),
+        scale_overrides={"workload_instructions": 1500},
+    )
+    spec_b = spec_a.replace(fault_rates="rhc")
+
+    with Session() as session:
+        reference = [session.run(spec_a), session.run(spec_b)]
+
+    # First (and only) store append of this session is torn in half,
+    # exactly like a crash mid-write.
+    store_dir = tmp_path / "store"
+    monkeypatch.setenv(CHAOS_ENV_VAR, "result-store:truncate:1.0:1")
+    with Session(store=store_dir) as session:
+        session.run(spec_a)
+    monkeypatch.delenv(CHAOS_ENV_VAR)
+
+    # The torn record is visible to fsck as salvageable damage.
+    report = fsck_store(store_dir)
+    assert any("truncated final record" in finding.problem for finding in report.findings)
+
+    # Reopening salvages the tail; the lost result recomputes, the rest
+    # run fresh, and every row is byte-identical to the clean reference.
+    with Session(store=store_dir) as session:
+        recovered = [session.run(spec_a), session.run(spec_b)]
+    for fresh, clean in zip(recovered, reference, strict=True):
+        assert json.dumps(fresh.rows) == json.dumps(clean.rows)
+
+    # A replay session serves both from the now-complete store.
+    with Session(store=store_dir) as session:
+        replayed = [session.run(spec_a), session.run(spec_b)]
+    for again, fresh in zip(replayed, recovered, strict=True):
+        assert json.dumps(again.rows) == json.dumps(fresh.rows)
+
+    assert fsck_store(store_dir).clean

@@ -12,7 +12,7 @@ component the repository ships into the registries of
   ``all`` (the 33 proxies),
 * fitness objectives — ``balanced``, ``overall``, ``core_only``,
 * experiment scales — ``quick``, ``default``, ``paper``,
-* evaluation backends — ``serial``, ``process``.
+* evaluation backends — ``serial``, ``process``, ``resilient``.
 
 Registration lives here rather than on the defining modules so the core
 packages stay import-cycle-free; user code extends the same registries with
@@ -33,6 +33,7 @@ from repro.api.registry import (
 )
 from repro.experiments.runner import ExperimentScale
 from repro.parallel.backends import ProcessPoolBackend, SerialBackend, resolve_jobs
+from repro.parallel.resilience import FailurePolicy, ResilientPoolBackend
 from repro.stressmark.fitness import FitnessFunction
 from repro.uarch.config import baseline_config, config_a, extended_config
 from repro.uarch.faultrates import edr_fault_rates, rhc_fault_rates, unit_fault_rates
@@ -76,6 +77,7 @@ def install_default_components() -> None:
 
     BACKENDS.register("serial", _serial_backend)
     BACKENDS.register("process", _process_backend)
+    BACKENDS.register("resilient", _resilient_backend)
 
 
 def _serial_backend(jobs: Optional[int] = None) -> SerialBackend:
@@ -86,6 +88,11 @@ def _serial_backend(jobs: Optional[int] = None) -> SerialBackend:
 def _process_backend(jobs: Optional[int] = None) -> ProcessPoolBackend:
     """Process-pool evaluation with ``jobs`` workers (``REPRO_JOBS`` fallback)."""
     return ProcessPoolBackend(resolve_jobs(jobs))
+
+
+def _resilient_backend(jobs: Optional[int] = None) -> ResilientPoolBackend:
+    """Fault-tolerant pool with ``jobs`` workers; retry policy from ``REPRO_RETRY_*``."""
+    return ResilientPoolBackend(resolve_jobs(jobs), policy=FailurePolicy.from_env())
 
 
 install_default_components()

@@ -64,6 +64,7 @@ from repro.experiments.runner import ExperimentContext, ExperimentScale, Workloa
 from repro.memory.cache import CacheConfig
 from repro.memory.tlb import TlbConfig
 from repro.parallel.backends import EvaluationBackend, create_backend, resolve_jobs
+from repro.parallel.resilience import FailurePolicy, RetryPolicy
 from repro.stressmark.fitness import FitnessFunction
 from repro.stressmark.generator import StressmarkResult
 from repro.uarch.config import MachineConfig
@@ -84,6 +85,7 @@ class ResolvedRun:
     fitness: FitnessFunction
     scale: ExperimentScale
     jobs: int
+    retry: RetryPolicy
 
 
 class Session:
@@ -103,6 +105,7 @@ class Session:
         context: Optional[ExperimentContext] = None,
         store: Optional[Union["ResultStore", str, Path]] = None,
         resume: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if isinstance(scale, str):
             scale = SCALES.create(scale)
@@ -110,6 +113,9 @@ class Session:
         self._pinned_jobs: Optional[int] = jobs if jobs is not None else (
             context.jobs if context is not None else None
         )
+        # Retry precedence: pinned (CLI --retries/--task-timeout) > spec
+        # fields > REPRO_RETRY_* environment > library defaults.
+        self._pinned_retry: Optional[RetryPolicy] = retry
         self._resume = bool(resume)
         self._store: Optional["ResultStore"] = None
         self._owns_store = False
@@ -118,19 +124,19 @@ class Session:
 
             self._owns_store = not isinstance(store, ResultStore)
             self._store = open_store(store)
-        self._contexts: dict[tuple[ExperimentScale, int, str], ExperimentContext] = {}
+        self._contexts: dict[tuple, ExperimentContext] = {}
         self._owned: list[ExperimentContext] = []
         # One warm worker pool per jobs count, shared by every context the
         # session creates (sweep points at different scales included): the
         # versioned task registry inside ProcessPoolBackend lets one pool
         # serve any number of distinct evaluators without recycling workers.
-        self._backends: dict[int, "EvaluationBackend"] = {}
+        self._backends: dict[tuple[int, FailurePolicy], "EvaluationBackend"] = {}
         if context is not None:
             # A wrapped context serves every backend request for its
             # (scale, jobs) pair — it already owns a live backend.  The
             # wrapped context's own store configuration is left untouched.
             self._wrapped = context
-            self._contexts[(context.scale, context.jobs, "")] = context
+            self._contexts[(context.scale, context.jobs, "", None)] = context
         else:
             self._wrapped = None
 
@@ -160,6 +166,7 @@ class Session:
             fitness=FITNESS_OBJECTIVES.create(spec.fitness, fault_rates),
             scale=self.resolve_scale(spec),
             jobs=self.resolve_jobs(spec),
+            retry=self.resolve_retry(spec),
         )
 
     def resolve_config(self, spec: RunSpec) -> MachineConfig:
@@ -198,6 +205,18 @@ class Session:
             return resolve_jobs(self._pinned_jobs)
         return resolve_jobs(spec.jobs)
 
+    def resolve_retry(self, spec: RunSpec) -> RetryPolicy:
+        """The retry policy a spec runs under (pinned > spec > environment)."""
+        if self._pinned_retry is not None:
+            return self._pinned_retry
+        policy = RetryPolicy.from_env()
+        overrides: dict[str, object] = {}
+        if spec.retries is not None:
+            overrides["max_attempts"] = spec.retries
+        if spec.task_timeout is not None:
+            overrides["timeout"] = float(spec.task_timeout)
+        return policy.derive(**overrides) if overrides else policy
+
     def resolve_profiles(self, spec: RunSpec) -> tuple[WorkloadProfile, ...]:
         """Workload profiles of a simulate spec, in deterministic order."""
         if spec.workloads:
@@ -220,38 +239,41 @@ class Session:
 
     # -------------------------------------------------------------- contexts
 
-    def _shared_backend(self, jobs: int) -> "EvaluationBackend":
-        """The session's shared evaluation backend for a jobs count."""
-        backend = self._backends.get(jobs)
+    def _shared_backend(self, jobs: int, policy: FailurePolicy) -> "EvaluationBackend":
+        """The session's shared evaluation backend for a (jobs, policy) pair."""
+        backend = self._backends.get((jobs, policy))
         if backend is None:
-            backend = create_backend(jobs)
-            self._backends[jobs] = backend
+            backend = create_backend(jobs, policy=policy)
+            self._backends[(jobs, policy)] = backend
         return backend
 
     def context_for(self, spec: SpecLike) -> ExperimentContext:
         """The (cached) ExperimentContext executing a spec's scale/jobs/backend.
 
         Contexts with the default backend share one session-owned worker
-        pool per jobs count, so a sweep's points (and the GA generations
-        inside each) reuse warm workers instead of respawning them.
+        pool per (jobs, failure policy) pair, so a sweep's points (and the
+        GA generations inside each) reuse warm workers instead of
+        respawning them.
         """
         spec = self.coerce(spec)
         scale = self.resolve_scale(spec)
         jobs = self.resolve_jobs(spec)
         if self._wrapped is not None and (scale, jobs) == (self._wrapped.scale, self._wrapped.jobs):
             return self._wrapped
-        key = (scale, jobs, spec.backend)
+        policy = FailurePolicy(retry=self.resolve_retry(spec))
+        key = (scale, jobs, spec.backend, policy)
         context = self._contexts.get(key)
         if context is None:
             if spec.backend:
                 backend = BACKENDS.create(spec.backend, jobs)
                 owns_backend = True
             else:
-                backend = self._shared_backend(jobs)
+                backend = self._shared_backend(jobs, policy)
                 owns_backend = False
             context = ExperimentContext(
                 scale, jobs=jobs, backend=backend, store=self._store,
                 resume=self._resume, owns_backend=owns_backend,
+                failure_policy=policy,
             )
             self._contexts[key] = context
             self._owned.append(context)
@@ -369,14 +391,21 @@ class Session:
         resolved = self.resolve(spec)
         profiles = self.resolve_profiles(spec)
         context = self.context_for(spec)
+        before = context.backend.failure_counters()
         report_set = context.workload_reports(resolved.config, resolved.fault_rates, profiles=profiles)
         rows = [report_set.report(profile.name).as_row() for profile in profiles]
-        return RunResult(spec=spec, rows=rows, provenance=self._provenance(resolved))
+        provenance = self._provenance(resolved)
+        self._attach_resilience(provenance, context, before)
+        return RunResult(spec=spec, rows=rows, provenance=provenance)
 
     def _run_stressmark(self, spec: RunSpec) -> RunResult:
         resolved = self.resolve(spec)
+        context = self.context_for(resolved.spec)
+        before = context.backend.failure_counters()
         stressmark = self._stressmark_from_resolved(resolved)
         ga = stressmark.ga_result
+        provenance = self._provenance(resolved)
+        self._attach_resilience(provenance, context, before)
         return RunResult(
             spec=spec,
             rows=[stressmark.report.as_row()],
@@ -388,12 +417,28 @@ class Session:
                 "cache_hits": ga.cache_hits,
                 "cache_misses": ga.cache_misses,
                 "evaluation_seconds": ga.evaluation_seconds,
+                "quarantined": ga.quarantined,
                 "cataclysm_generations": list(ga.cataclysm_generations),
                 "average_fitness_per_generation": ga.average_fitness_trace(),
                 "best_fitness_per_generation": ga.best_fitness_trace(),
             },
-            provenance=self._provenance(resolved),
+            provenance=provenance,
         )
+
+    @staticmethod
+    def _attach_resilience(provenance: dict, context: ExperimentContext, before: dict) -> None:
+        """Record this run's fault-tolerance counter deltas in provenance.
+
+        Backends without fault tolerance report nothing and the key is
+        omitted.  Like ``timing``, the block is volatile — the store strips
+        it when comparing results for conflicts.
+        """
+        after = context.backend.failure_counters()
+        if not after:
+            return
+        provenance["resilience"] = {
+            key: after.get(key, 0) - before.get(key, 0) for key in after
+        }
 
     def _provenance(self, resolved: ResolvedRun) -> dict:
         return build_provenance(

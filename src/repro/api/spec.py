@@ -65,8 +65,12 @@ class RunSpec:
     ``backend``, ``suites``) hold registry *names*; ``config_overrides`` /
     ``scale_overrides`` are keyword overrides applied via
     ``MachineConfig.derive`` / ``ExperimentScale.derive``.  ``seed``
-    overrides the GA seed of a stressmark search.  Sweep-only fields:
-    ``base``, ``axes``, ``runs``.
+    overrides the GA seed of a stressmark search.  ``retries`` /
+    ``task_timeout`` tune the resilient backend's
+    :class:`~repro.parallel.resilience.RetryPolicy` (max attempts per item,
+    per-item deadline in seconds); unset means the ``REPRO_RETRY_*``
+    environment (or library defaults) applies.  Sweep-only fields: ``base``,
+    ``axes``, ``runs``.
     """
 
     kind: str
@@ -82,6 +86,8 @@ class RunSpec:
     jobs: Optional[int] = None
     backend: str = ""
     seed: Optional[int] = None
+    retries: Optional[int] = None
+    task_timeout: Optional[float] = None
     base: Optional["RunSpec"] = None
     axes: Mapping[str, tuple] = field(default_factory=dict)
     runs: tuple["RunSpec", ...] = ()
@@ -102,6 +108,14 @@ class RunSpec:
             raise SpecError(f"jobs must be a positive integer, got {self.jobs!r}")
         if self.seed is not None and not isinstance(self.seed, int):
             raise SpecError(f"seed must be an integer, got {self.seed!r}")
+        if self.retries is not None and (not isinstance(self.retries, int) or self.retries < 1):
+            raise SpecError(f"retries must be a positive integer, got {self.retries!r}")
+        if self.task_timeout is not None and (
+            not isinstance(self.task_timeout, (int, float))
+            or isinstance(self.task_timeout, bool)
+            or self.task_timeout <= 0
+        ):
+            raise SpecError(f"task_timeout must be a positive number, got {self.task_timeout!r}")
         if self.kind == "sweep":
             self._validate_sweep()
         elif self.base is not None or self.axes or self.runs:
@@ -132,8 +146,9 @@ class RunSpec:
         if self.axes and self.base is None:
             raise SpecError("a sweep with 'axes' needs a 'base' spec to expand")
         # Component fields live on the children; a sweep-level value would be
-        # silently ignored, so reject anything off its default (jobs and
-        # backend are the exceptions — expand() inherits them into children).
+        # silently ignored, so reject anything off its default (jobs, backend
+        # and the retry knobs are the exceptions — expand() inherits them
+        # into children).
         defaults = RunSpec(kind="sweep")
         for leaf_field in ("config", "config_overrides", "fault_rates", "suites", "workloads",
                            "fitness", "scale", "scale_overrides", "seed"):
@@ -160,8 +175,8 @@ class RunSpec:
     def expand(self) -> list["RunSpec"]:
         """Children of a sweep (axes product first, then explicit runs).
 
-        Sweep-level ``jobs`` / ``backend`` are inherited by children that do
-        not set their own.
+        Sweep-level ``jobs`` / ``backend`` / ``retries`` / ``task_timeout``
+        are inherited by children that do not set their own.
         """
         if self.kind != "sweep":
             return [self]
@@ -184,6 +199,10 @@ class RunSpec:
             overrides["jobs"] = self.jobs
         if not child.backend and self.backend:
             overrides["backend"] = self.backend
+        if child.retries is None and self.retries is not None:
+            overrides["retries"] = self.retries
+        if child.task_timeout is None and self.task_timeout is not None:
+            overrides["task_timeout"] = self.task_timeout
         return replace(child, **overrides) if overrides else child
 
     def replace(self, **overrides: object) -> "RunSpec":
@@ -209,6 +228,13 @@ class RunSpec:
             "backend": self.backend,
             "seed": self.seed,
         }
+        # Resilience knobs are emitted only when set: digests of specs that
+        # never mention them are unchanged, so results stored before these
+        # fields existed still match their specs.
+        if self.retries is not None:
+            data["retries"] = self.retries
+        if self.task_timeout is not None:
+            data["task_timeout"] = self.task_timeout
         if self.kind == "sweep":
             data["base"] = self.base.to_json_dict() if self.base is not None else None
             data["axes"] = {key: list(values) for key, values in self.axes.items()}

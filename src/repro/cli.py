@@ -15,6 +15,8 @@ Usage (after ``pip install -e .``)::
     repro sweep sweep.json --store results/          # persist + resume runs
     repro sweep sweep.json --store shard1/ --shard 1/3   # one shard of three
     repro merge results/ shard1/ shard2/ shard3/     # join shard stores
+    repro fsck results/                              # audit a store directory
+    repro fsck results/ --repair                     # also fix salvageable damage
 
 Every experiment routes through the declarative run API
 (:mod:`repro.api`): a figure/table command executes its canned
@@ -33,6 +35,12 @@ finished results are served from the store instead of re-simulated — an
 interrupted sweep resumes from its last finished run, figure/table commands
 replay from a populated store, and ``--resume`` additionally continues an
 interrupted GA search from its per-generation checkpoint.
+
+``--retries N`` / ``--task-timeout S`` tune the fault-tolerant evaluation
+backend used for ``--jobs > 1``: each simulation/GA evaluation gets up to N
+attempts (with capped exponential backoff) and S seconds per attempt before
+its worker is declared hung and replaced.  Defaults come from the
+``REPRO_RETRY_*`` environment, then the library (3 attempts, no deadline).
 """
 
 from __future__ import annotations
@@ -253,12 +261,13 @@ SPEC_COMMANDS = ("run", "sweep")
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("experiment", choices=sorted(COMMANDS) + ["list", "run", "sweep", "merge"],
+    parser.add_argument("experiment",
+                        choices=sorted(COMMANDS) + ["list", "run", "sweep", "merge", "fsck"],
                         help="experiment to regenerate, 'list', 'run'/'sweep' a spec "
-                             "file, or 'merge' shard stores")
+                             "file, 'merge' shard stores, or 'fsck' a store directory")
     parser.add_argument("spec", nargs="?", default=None, metavar="SPEC.json",
                         help="RunSpec JSON file (run/sweep), or the destination "
-                             "store (merge)")
+                             "store (merge), or the store to audit (fsck)")
     parser.add_argument("extra", nargs="*", default=[], metavar="STORE",
                         help="source stores to join (merge command only)")
     parser.add_argument("--scale", choices=SCALES.names(), default="quick",
@@ -285,6 +294,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shard", default=None, metavar="I/N",
                         help="run only the I-th of N round-robin shards of a sweep "
                              "(1-based; sweep command only, requires --store)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="attempts per simulation/GA evaluation before the item "
+                             "is quarantined (resilient backend, --jobs > 1; "
+                             "default: $REPRO_RETRY_MAX_ATTEMPTS, then 3)")
+    parser.add_argument("--task-timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-attempt deadline before a worker is declared hung "
+                             "and replaced (resilient backend, --jobs > 1; "
+                             "default: $REPRO_RETRY_TIMEOUT, then unlimited)")
+    parser.add_argument("--repair", action="store_true",
+                        help="fsck command only: repair salvageable damage in place "
+                             "(truncate torn JSONL tails, drop unloadable checkpoints, "
+                             "remove temp-file debris)")
     return parser
 
 
@@ -295,6 +316,7 @@ def _cmd_list() -> None:
     for name in SPEC_COMMANDS:
         print(f"  {name} <spec.json>")
     print("  merge <dest-store> <src-store>...")
+    print("  fsck <store> [--repair]")
     print("\nregistered components (usable in RunSpec files):")
     labels = {
         "config": "machine configs",
@@ -354,6 +376,23 @@ def _print_result_rows(result) -> None:
                     [{"knob": k, "value": v} for k, v in result.knobs.items()])
 
 
+def _retry_from_args(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """A pinned RetryPolicy from --retries/--task-timeout, or None."""
+    if args.retries is None and args.task_timeout is None:
+        return None
+    from repro.parallel.resilience import RetryPolicy
+
+    overrides: dict[str, object] = {}
+    if args.retries is not None:
+        overrides["max_attempts"] = args.retries
+    if args.task_timeout is not None:
+        overrides["timeout"] = args.task_timeout
+    try:
+        return RetryPolicy.from_env().derive(**overrides)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
 def _parse_shard(parser: argparse.ArgumentParser, value: str) -> tuple[int, int]:
     try:
         index_text, count_text = value.split("/", 1)
@@ -387,7 +426,8 @@ def _cmd_run_spec(parser: argparse.ArgumentParser, args: argparse.Namespace) -> 
     if args.resume and not args.store:
         parser.error("--resume needs --store (checkpoints live in the store)")
     try:
-        with Session(jobs=args.jobs, store=args.store, resume=args.resume) as session:
+        with Session(jobs=args.jobs, store=args.store, resume=args.resume,
+                     retry=_retry_from_args(parser, args)) as session:
             if shard is not None:
                 result = session.run_shard(spec, *shard)
             else:
@@ -429,6 +469,23 @@ def _cmd_merge(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     return 0
 
 
+def _cmd_fsck(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if not args.spec:
+        parser.error("'fsck' needs a store directory: repro fsck <store> [--repair]")
+    if args.extra:
+        parser.error(f"unexpected arguments: {' '.join(args.extra)}")
+    from repro.store import fsck_store
+
+    report = fsck_store(args.spec, repair=args.repair)
+    for finding in report.findings:
+        print(finding.describe())
+    print(report.summary())
+    unrepaired = [f for f in report.findings if not f.repaired]
+    if unrepaired and not args.repair and all(f.repairable for f in unrepaired):
+        print("hint: rerun with --repair to fix the salvageable problems above")
+    return 0 if not unrepaired else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -437,6 +494,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "merge":
         return _cmd_merge(parser, args)
+    if args.experiment == "fsck":
+        return _cmd_fsck(parser, args)
     if args.experiment in SPEC_COMMANDS:
         return _cmd_run_spec(parser, args)
     if args.spec or args.extra:
@@ -447,7 +506,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and not args.store:
         parser.error("--resume needs --store (checkpoints live in the store)")
     try:
-        session = Session(scale=args.scale, jobs=args.jobs, store=args.store, resume=args.resume)
+        session = Session(scale=args.scale, jobs=args.jobs, store=args.store, resume=args.resume,
+                          retry=_retry_from_args(parser, args))
     except (ValueError, RegistryError, StoreError) as exc:
         parser.error(str(exc))
     try:

@@ -17,6 +17,7 @@ from typing import Iterable, Optional, Sequence
 from repro.avf.report import SerReport, build_report
 from repro.ga.engine import GAParameters
 from repro.parallel.backends import EvaluationBackend, create_backend, resolve_jobs
+from repro.parallel.resilience import FailurePolicy, Quarantined
 from repro.stressmark.fitness import FitnessFunction
 from repro.stressmark.generator import StressmarkGenerator, StressmarkResult, reference_knobs
 from repro.stressmark.knobs import KnobSpace
@@ -169,11 +170,13 @@ class ExperimentContext:
         store: Optional[object] = None,
         resume: bool = False,
         owns_backend: Optional[bool] = None,
+        failure_policy: Optional[FailurePolicy] = None,
     ) -> None:
         self.scale = scale or ExperimentScale.quick()
         self.jobs = resolve_jobs(jobs) if backend is None else backend.jobs
         self.store = store
         self.resume = resume
+        self.failure_policy = failure_policy
         self._backend = backend
         # A context closes backends it created; a *shared* backend (the
         # Session hands one pool to every context of a sweep) is closed by
@@ -202,7 +205,7 @@ class ExperimentContext:
     def backend(self) -> EvaluationBackend:
         """The evaluation backend (created lazily from ``jobs``)."""
         if self._backend is None:
-            self._backend = create_backend(self.jobs)
+            self._backend = create_backend(self.jobs, policy=self.failure_policy)
         return self._backend
 
     def _workload_task(self, config: MachineConfig) -> _WorkloadSimulationTask:
@@ -297,6 +300,12 @@ class ExperimentContext:
         if len(to_simulate) > 1 and self.backend.jobs > 1:
             results = self.backend.map(self._workload_task(config), to_simulate)
             for profile, result in zip(to_simulate, results, strict=True):
+                # A workload the resilient backend quarantined is simply not
+                # recorded: the serial loop below re-simulates it in-process,
+                # so deterministic failures still surface with a real
+                # traceback and transient ones produce the normal report.
+                if isinstance(result, Quarantined):
+                    continue
                 self._record_workload_result(config, profile, result)
         for profile in missing:
             report_set.reports[profile.name] = self.run_workload(profile, config, fault_rates)

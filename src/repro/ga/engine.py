@@ -15,6 +15,7 @@ from repro.ga.individual import Individual, best_of, population_diversity
 from repro.ga.operators import cataclysm, crossover, migrate, mutate, tournament_selection
 from repro.parallel.backends import EvaluationBackend, SerialBackend
 from repro.parallel.cache import FitnessCache
+from repro.parallel.resilience import Quarantined, TaskFailedError
 from repro.utils.rng import DeterministicRng
 
 
@@ -72,6 +73,11 @@ class GAResult:
     the number ``repro bench`` splits into warm-up and steady state.  Like
     the cache counters it describes *this* process's work, so a resumed run
     restarts it at zero.
+
+    ``quarantined`` counts individuals whose evaluation kept failing and was
+    quarantined by a resilient backend (see
+    :class:`~repro.parallel.resilience.Quarantined`); they carry ``-inf``
+    fitness and are excluded from the fitness cache.
     """
 
     best: Individual
@@ -81,6 +87,7 @@ class GAResult:
     cache_hits: int = 0
     cache_misses: int = 0
     evaluation_seconds: float = 0.0
+    quarantined: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -195,6 +202,9 @@ class GeneticAlgorithm:
             self._all_time_best = resumed.all_time_best
             self._run_cache_hits = resumed.cache_hits
             self._run_cache_misses = resumed.cache_misses
+            # Older checkpoints (pre-resilience) lack the counter; pickle
+            # restores __dict__ directly, so dataclass defaults do not apply.
+            self._run_quarantined = getattr(resumed, "quarantined", 0)
             stall = resumed.stall
             best_so_far = resumed.best_so_far
             start_generation = resumed.next_generation
@@ -202,6 +212,7 @@ class GeneticAlgorithm:
             self._all_time_best = None
             self._run_cache_hits = 0
             self._run_cache_misses = 0
+            self._run_quarantined = 0
             population = self._initial_population(initial_population, rng)
             result = GAResult(best=population[0])
             stall = 0
@@ -209,7 +220,23 @@ class GeneticAlgorithm:
             start_generation = 0
 
         for generation in range(start_generation, params.generations):
-            result.evaluations += self._evaluate(population)
+            # On KeyboardInterrupt (or an aborting worker failure) mid-
+            # generation, persist the loop state *before* this generation's
+            # evaluation so a resume re-runs only the in-flight generation.
+            # The RNG is untouched during evaluation and the population is
+            # exactly what the end of the previous generation produced, so
+            # checkpointing "generation - 1" here is equivalent to the
+            # checkpoint written after the previous generation — it merely
+            # also exists when the interrupt precedes any completed one.
+            try:
+                result.evaluations += self._evaluate(population)
+            except (KeyboardInterrupt, TaskFailedError):
+                if checkpoint is not None:
+                    self._save_checkpoint(
+                        checkpoint, settings_digest, generation - 1, rng,
+                        population, result, stall, best_so_far,
+                    )
+                raise
             result.evaluation_seconds = self._eval_seconds
 
             stats, population = self._generation_stats(generation, population)
@@ -250,7 +277,15 @@ class GeneticAlgorithm:
                     result, stall, best_so_far,
                 )
 
-        result.evaluations += self._evaluate(population)
+        try:
+            result.evaluations += self._evaluate(population)
+        except (KeyboardInterrupt, TaskFailedError):
+            if checkpoint is not None:
+                self._save_checkpoint(
+                    checkpoint, settings_digest, params.generations - 1, rng,
+                    population, result, stall, best_so_far,
+                )
+            raise
         result.evaluation_seconds = self._eval_seconds
         result.best = best_of(population + [result.best] if result.best.evaluated else population)
         # Keep the globally best individual (elitism already preserves it in
@@ -262,6 +297,7 @@ class GeneticAlgorithm:
             result.best = all_time_best
         result.cache_hits = self._run_cache_hits
         result.cache_misses = self._run_cache_misses
+        result.quarantined = self._run_quarantined
         return result
 
     # ------------------------------------------------------------- helpers
@@ -269,6 +305,7 @@ class GeneticAlgorithm:
     _all_time_best: Optional[Individual] = None
     _run_cache_hits: int = 0
     _run_cache_misses: int = 0
+    _run_quarantined: int = 0
     _eval_seconds: float = 0.0
 
     def _settings_digest(self) -> str:
@@ -305,6 +342,7 @@ class GeneticAlgorithm:
                 cache_misses=self._run_cache_misses,
                 stall=stall,
                 best_so_far=best_so_far,
+                quarantined=self._run_quarantined,
             )
         )
 
@@ -360,7 +398,23 @@ class GeneticAlgorithm:
         eval_start = time.perf_counter()
         outcomes = self.backend.evaluate_individuals(self.evaluator, to_run)
         self._eval_seconds += time.perf_counter() - eval_start
-        for index, (individual, (fitness, payload)) in enumerate(zip(to_run, outcomes, strict=True)):
+        for index, (individual, outcome) in enumerate(zip(to_run, outcomes, strict=True)):
+            if isinstance(outcome, Quarantined):
+                # A resilient backend gave up on this individual: worst
+                # possible fitness so selection discards it, and *no* cache
+                # entry so a healthy later run (or a duplicate genome in a
+                # later generation) still gets a real evaluation.
+                individual.fitness = float("-inf")
+                individual.payload = {
+                    "quarantined": {"error": outcome.error, "attempts": outcome.attempts}
+                }
+                self._run_quarantined += 1
+                if cache is not None:
+                    for duplicate in followers[run_keys[index]]:
+                        duplicate.fitness = individual.fitness
+                        duplicate.payload = dict(individual.payload)
+                continue
+            fitness, payload = outcome
             individual.fitness = float(fitness)
             individual.payload = payload
             if cache is not None:

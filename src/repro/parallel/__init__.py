@@ -18,12 +18,26 @@ from repro.parallel.cache import (
     evaluation_context_digest,
     genome_digest,
 )
+from repro.parallel.resilience import (
+    FailurePolicy,
+    FailureStats,
+    Quarantined,
+    ResilientPoolBackend,
+    RetryPolicy,
+    TaskFailedError,
+)
 
 __all__ = [
     "JOBS_ENV_VAR",
     "EvaluationBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ResilientPoolBackend",
+    "RetryPolicy",
+    "FailurePolicy",
+    "FailureStats",
+    "Quarantined",
+    "TaskFailedError",
     "create_backend",
     "resolve_jobs",
     "FitnessCache",

@@ -26,7 +26,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 from abc import ABC, abstractmethod
-from typing import Callable, Iterable, Optional, Sequence, TypeVar
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence, TypeVar
+
+from repro.testing.chaos import chaos_hook
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.resilience import FailurePolicy
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -57,7 +62,36 @@ def _run_task(payload):
         while len(_worker_tasks) >= TASK_REGISTRY_LIMIT:
             _worker_tasks.pop(min(_worker_tasks))
         _worker_tasks[version] = task = fn
+    chaos_hook("worker")
     return task(item)
+
+
+class _TaskVersionTable:
+    """Monotone task versions for mapped callables.
+
+    The strong references in ``_table`` also pin every seen callable's
+    ``id()``, so the id-keyed lookup can never alias a collected object;
+    both maps are bounded alongside the worker-side registry.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[int, Callable] = {}
+        self._ids: dict[int, int] = {}
+        self._next_version = 0
+
+    def version_for(self, fn: Callable) -> int:
+        version = self._ids.get(id(fn))
+        if version is not None and self._table.get(version) is fn:
+            return version
+        while len(self._table) >= TASK_REGISTRY_LIMIT:
+            oldest = min(self._table)
+            stale = self._table.pop(oldest)
+            self._ids.pop(id(stale), None)
+        self._next_version += 1
+        version = self._next_version
+        self._ids[id(fn)] = version
+        self._table[version] = fn
+        return version
 
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
@@ -112,6 +146,15 @@ class EvaluationBackend(ABC):
             cache[id(evaluator)] = cached
         return cached
 
+    def failure_counters(self) -> dict[str, int]:
+        """Cumulative fault-tolerance counters (empty for non-resilient backends).
+
+        Resilient backends report ``failures`` / ``retries`` / ``quarantined``
+        / ``worker_restarts`` / ``degraded`` so callers (the Session) can
+        attribute per-run deltas in result provenance.
+        """
+        return {}
+
     def close(self) -> None:
         """Release worker resources (no-op for serial backends)."""
 
@@ -164,12 +207,7 @@ class ProcessPoolBackend(EvaluationBackend):
         self.chunk_size = chunk_size
         self._mp_context = mp_context
         self._pool = None
-        # version -> callable.  The strong references also pin every seen
-        # callable's id(), so the id-keyed lookup table can never alias a
-        # collected object (bounded alongside the worker-side registry).
-        self._task_table: dict[int, Callable] = {}
-        self._task_versions: dict[int, int] = {}
-        self._next_version = 0
+        self._versions = _TaskVersionTable()
 
     # ------------------------------------------------------------------ map
 
@@ -178,26 +216,12 @@ class ProcessPoolBackend(EvaluationBackend):
         if not items:
             return []
         pool = self._ensure_pool()
-        version = self._version_for(fn)
+        version = self._versions.version_for(fn)
         chunk = self.chunk_size or max(1, len(items) // (self.jobs * 4))
         payloads = [(version, fn, item) for item in items]
         return pool.map(_run_task, payloads, chunksize=chunk)
 
     # ------------------------------------------------------------- plumbing
-
-    def _version_for(self, fn: Callable) -> int:
-        version = self._task_versions.get(id(fn))
-        if version is not None and self._task_table.get(version) is fn:
-            return version
-        while len(self._task_table) >= TASK_REGISTRY_LIMIT:
-            oldest = min(self._task_table)
-            stale = self._task_table.pop(oldest)
-            self._task_versions.pop(id(stale), None)
-        self._next_version += 1
-        version = self._next_version
-        self._task_versions[id(fn)] = version
-        self._task_table[version] = fn
-        return version
 
     def _ensure_pool(self):
         if self._pool is None:
@@ -206,21 +230,58 @@ class ProcessPoolBackend(EvaluationBackend):
         return self._pool
 
     def close(self) -> None:
-        if self._pool is not None:
+        """Graceful shutdown: let workers finish before joining.
+
+        ``terminate()`` here could kill a worker mid-write (a persistent
+        fitness cache flushing sqlite, for example); it is reserved for the
+        error path (:meth:`__exit__` with an exception) and :meth:`__del__`.
+        """
+        self._shutdown(graceful=True)
+
+    def terminate(self) -> None:
+        """Forceful shutdown for error paths: kill workers immediately."""
+        self._shutdown(graceful=False)
+
+    def _shutdown(self, graceful: bool) -> None:
+        if self._pool is None:
+            return
+        if graceful:
+            self._pool.close()
+        else:
             self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        self._pool.join()
+        self._pool = None
+
+    def __exit__(self, *exc_info: object) -> None:
+        if exc_info and exc_info[0] is not None:
+            self.terminate()
+        else:
+            self.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter shutdown path
         try:
-            self.close()
+            self._shutdown(graceful=False)
         except Exception:
             pass
 
 
-def create_backend(jobs: Optional[int] = None, chunk_size: Optional[int] = None) -> EvaluationBackend:
-    """Backend for ``jobs`` workers (resolving ``None`` via ``REPRO_JOBS``)."""
+def create_backend(
+    jobs: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    policy: Optional["FailurePolicy"] = None,
+) -> EvaluationBackend:
+    """Backend for ``jobs`` workers (resolving ``None`` via ``REPRO_JOBS``).
+
+    ``jobs > 1`` returns the fault-tolerant
+    :class:`~repro.parallel.resilience.ResilientPoolBackend` (``policy``
+    defaults to the ``REPRO_RETRY_*`` environment); the chunked
+    :class:`ProcessPoolBackend` stays available via the ``process`` entry of
+    the BACKENDS registry.  ``chunk_size`` only applies to the latter and is
+    ignored here.
+    """
     resolved = resolve_jobs(jobs)
     if resolved <= 1:
         return SerialBackend()
-    return ProcessPoolBackend(resolved, chunk_size=chunk_size)
+    from repro.parallel.resilience import ResilientPoolBackend
+
+    return ResilientPoolBackend(resolved, policy=policy)

@@ -14,6 +14,9 @@ persistent home keyed by content digests:
   processes and sessions.
 * :class:`CheckpointManager` / :class:`GACheckpoint` — per-generation GA
   checkpoints; an interrupted search resumes bit-identically.
+* :func:`fsck_store` — the ``repro fsck`` audit/repair pass over all of the
+  above (salvage torn JSONL tails, drop unloadable checkpoints, report
+  sqlite corruption).
 """
 
 from repro.store.artifacts import ArtifactStore, artifact_key
@@ -24,6 +27,7 @@ from repro.store.checkpoint import (
     GACheckpoint,
 )
 from repro.store.fitness_store import PersistentFitnessCache
+from repro.store.fsck import FsckFinding, FsckReport, fsck_store
 from repro.store.result_store import (
     SCHEMA_VERSION,
     ResultStore,
@@ -41,6 +45,9 @@ __all__ = [
     "CheckpointManager",
     "GACheckpoint",
     "PersistentFitnessCache",
+    "FsckFinding",
+    "FsckReport",
+    "fsck_store",
     "SCHEMA_VERSION",
     "ResultStore",
     "StoreError",

@@ -22,6 +22,8 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.parallel.cache import evaluation_context_digest
+from repro.store.sqlite_util import connect_with_retry, retry_locked
+from repro.testing.chaos import chaos_hook
 
 
 def artifact_key(*parts: object) -> str:
@@ -42,7 +44,9 @@ class ArtifactStore:
     def __init__(self, path: Union[str, Path]) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._connection = sqlite3.connect(str(self.path))
+        # Retried open: sibling processes (pool workers flushing the fitness
+        # cache, sweep shards) legitimately hold the lock in bursts.
+        self._connection = connect_with_retry(self.path)
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS artifacts (key TEXT PRIMARY KEY, payload BLOB NOT NULL)"
         )
@@ -59,12 +63,17 @@ class ArtifactStore:
 
     def put(self, key: str, value: object) -> None:
         """Persist an object under ``key`` (last write wins)."""
+        chaos_hook("artifact-store")
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        with self._connection:
-            self._connection.execute(
-                "INSERT OR REPLACE INTO artifacts (key, payload) VALUES (?, ?)",
-                (key, sqlite3.Binary(payload)),
-            )
+
+        def _write() -> None:
+            with self._connection:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO artifacts (key, payload) VALUES (?, ?)",
+                    (key, sqlite3.Binary(payload)),
+                )
+
+        retry_locked(_write, f"put into {self.path}")
 
     def keys(self) -> list[str]:
         rows = self._connection.execute("SELECT key FROM artifacts ORDER BY key")

@@ -48,6 +48,10 @@ class GACheckpoint:
     cache_misses: int = 0
     stall: int = 0
     best_so_far: float = float("-inf")
+    # Readers use getattr with a default: pickle restores __dict__ directly,
+    # so checkpoints written before this field lack it (schema unchanged —
+    # old checkpoints stay loadable, old readers ignore the extra attribute).
+    quarantined: int = 0
     schema_version: int = CHECKPOINT_SCHEMA_VERSION
 
 

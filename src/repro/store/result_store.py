@@ -21,7 +21,12 @@ instead of silently misreading records.
 Putting two *different* results under the same digest raises — deterministic
 simulations must reproduce the same rows for the same spec, so a conflict
 indicates nondeterminism (or a stale store) that should never be papered
-over.  Wall-clock ``timing`` blocks are excluded from the comparison.
+over.  Wall-clock ``timing`` blocks and fault-tolerance
+``provenance.resilience`` counters are excluded from the comparison — they
+describe how a run executed, not what it computed.
+
+``repro fsck`` (see :mod:`repro.store.fsck`) audits every file of a store
+directory and can repair salvageable corruption in place.
 
 The directory also hosts the sibling persistence layers used by the
 execution stack (see :mod:`repro.store.artifacts`,
@@ -40,12 +45,16 @@ execution stack (see :mod:`repro.store.artifacts`,
 from __future__ import annotations
 
 import json
+import logging
 import os
-import sqlite3
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
 from repro.api.spec import RunResult
+from repro.store.sqlite_util import connect_with_retry, retry_locked
+from repro.testing.chaos import chaos_mangle
+
+logger = logging.getLogger("repro.store")
 
 #: Version of the on-disk record layout; bump on incompatible changes.
 SCHEMA_VERSION = 1
@@ -70,11 +79,22 @@ def atomic_write_text(path: Union[str, Path], text: str) -> None:
     os.replace(tmp, path)
 
 
-def _strip_timing(document: dict) -> dict:
-    """A copy of a RunResult JSON dict with every ``timing`` block removed."""
+def _strip_volatile(document: dict) -> dict:
+    """A copy of a RunResult JSON dict without run-dependent blocks.
+
+    ``timing`` and ``provenance.resilience`` describe *how* a run executed
+    (wall clock, fault/retry counters), not *what* it computed, so two
+    results differing only there are still the same result for conflict
+    detection.
+    """
     stripped = {key: value for key, value in document.items() if key != "timing"}
+    provenance = stripped.get("provenance")
+    if isinstance(provenance, dict) and "resilience" in provenance:
+        stripped["provenance"] = {
+            key: value for key, value in provenance.items() if key != "resilience"
+        }
     if stripped.get("children"):
-        stripped["children"] = [_strip_timing(child) for child in stripped["children"]]
+        stripped["children"] = [_strip_volatile(child) for child in stripped["children"]]
     return stripped
 
 
@@ -90,21 +110,41 @@ class _JsonlBackend:
         if not self.path.exists():
             return {}
         records: dict[str, dict] = {}
-        lines = self.path.read_text().splitlines()
+        text = self.path.read_text()
+        # A file not ending in a newline was torn by a crash mid-append:
+        # its final line is a fragment, even if it happens to parse.
+        torn_tail = bool(text) and not text.endswith("\n")
+        lines = text.splitlines()
         for index, line in enumerate(lines):
             if not line.strip():
                 continue
+            final = index == len(lines) - 1
+            where = f"{self.path}:{index + 1}"
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
-                if index == len(lines) - 1:
-                    # A truncated final line is the footprint of a run killed
-                    # mid-append; everything before it is intact.
+                if final:
+                    # Salvage: everything before the torn record is intact.
+                    self._log_salvage(where, f"unparseable fragment ({exc})", len(records))
                     break
-                raise StoreError(f"corrupt record at {self.path}:{index + 1}: {exc}") from exc
-            self._check_schema(record, f"{self.path}:{index + 1}")
+                raise StoreError(f"corrupt record at {where}: {exc}") from exc
+            try:
+                self._check_schema(record, where)
+            except StoreError as exc:
+                if final and torn_tail:
+                    self._log_salvage(where, str(exc), len(records))
+                    break
+                raise
             records[str(record["digest"])] = record["result"]
         return records
+
+    @staticmethod
+    def _log_salvage(where: str, reason: str, intact: int) -> None:
+        logger.warning(
+            "salvaged result store: dropped truncated final record at %s (%s); "
+            "%d intact record(s) kept — the interrupted run will recompute it",
+            where, reason, intact,
+        )
 
     @staticmethod
     def _check_schema(record: dict, where: str) -> None:
@@ -120,6 +160,9 @@ class _JsonlBackend:
     def append(self, digest: str, document: dict) -> None:
         record = {"schema_version": SCHEMA_VERSION, "digest": digest, "result": document}
         line = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        # Chaos site "result-store": the truncate kind tears this write in
+        # half, exactly like a crash mid-append (no-op outside chaos tests).
+        line = chaos_mangle("result-store", line)
         # A single buffered write + flush keeps the line contiguous; the
         # loader above recovers from a torn final line either way.
         if self.path.exists():
@@ -161,7 +204,7 @@ class _SqliteBackend:
 
     def __init__(self, root: Path) -> None:
         self.path = root / SQLITE_FILE
-        self._connection = sqlite3.connect(str(self.path))
+        self._connection = connect_with_retry(self.path)
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS results ("
             " digest TEXT PRIMARY KEY,"
@@ -184,11 +227,15 @@ class _SqliteBackend:
 
     def append(self, digest: str, document: dict) -> None:
         payload = json.dumps(document, separators=(",", ":"))
-        with self._connection:
-            self._connection.execute(
-                "INSERT OR REPLACE INTO results (digest, schema_version, payload) VALUES (?, ?, ?)",
-                (digest, SCHEMA_VERSION, payload),
-            )
+
+        def _write() -> None:
+            with self._connection:
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO results (digest, schema_version, payload) VALUES (?, ?, ?)",
+                    (digest, SCHEMA_VERSION, payload),
+                )
+
+        retry_locked(_write, f"append to {self.path}")
 
     def close(self) -> None:
         self._connection.close()
@@ -263,7 +310,7 @@ class ResultStore:
         document = result.to_json_dict()
         existing = self._documents.get(digest)
         if existing is not None:
-            if _strip_timing(existing) != _strip_timing(document):
+            if _strip_volatile(existing) != _strip_volatile(document):
                 raise StoreError(
                     f"digest {digest} already maps to a different result in {self.root}; "
                     f"deterministic runs must agree — refusing to overwrite"
@@ -314,7 +361,7 @@ class ResultStore:
             assert document is not None
             existing = self._documents.get(digest)
             if existing is not None:
-                if _strip_timing(existing) != _strip_timing(document):
+                if _strip_volatile(existing) != _strip_volatile(document):
                     raise StoreError(
                         f"merge conflict for digest {digest}: {other.root} disagrees with {self.root}"
                     )

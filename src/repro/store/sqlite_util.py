@@ -1,0 +1,66 @@
+"""Sqlite open/write helpers that survive transient ``database is locked``.
+
+Several processes share one store directory (sharded sweeps, a warm pool
+flushing the fitness cache while the orchestrator writes artifacts), so a
+connection or commit can transiently hit sqlite's ``database is locked`` /
+``database is busy`` errors.  Those are not corruption — another writer
+merely holds the lock — so every store-side open and write retries with
+capped exponential backoff before giving up.
+
+The backoff schedule mirrors :class:`~repro.parallel.resilience.RetryPolicy`
+in spirit but is deliberately independent: store contention limits are not a
+per-run tunable, and importing the parallel layer here would invert the
+dependency between the two subsystems.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+from pathlib import Path
+from typing import Callable, TypeVar, Union
+
+T = TypeVar("T")
+
+#: Attempts per locked operation (first try included).
+LOCKED_MAX_ATTEMPTS = 6
+
+#: Base backoff between attempts; doubles per retry, capped below.
+LOCKED_BASE_DELAY = 0.05
+LOCKED_MAX_DELAY = 1.0
+
+#: Per-connection sqlite busy timeout (seconds) — sqlite's own first line of
+#: defence before our retry loop even sees a locked error.
+BUSY_TIMEOUT_SECONDS = 5.0
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
+
+
+def retry_locked(operation: Callable[[], T], what: str) -> T:
+    """Run a sqlite operation, retrying transient locked/busy errors.
+
+    Any other :class:`sqlite3.OperationalError` (corruption, disk full,
+    schema mismatch) propagates on the first attempt.
+    """
+    for attempt in range(1, LOCKED_MAX_ATTEMPTS + 1):
+        try:
+            return operation()
+        except sqlite3.OperationalError as exc:
+            if not _is_locked(exc) or attempt >= LOCKED_MAX_ATTEMPTS:
+                raise
+            time.sleep(min(LOCKED_MAX_DELAY, LOCKED_BASE_DELAY * (2.0 ** (attempt - 1))))
+    raise AssertionError(f"unreachable: {what}")  # pragma: no cover
+
+
+def connect_with_retry(path: Union[str, Path]) -> sqlite3.Connection:
+    """Open a sqlite database, retrying while another process holds the lock."""
+
+    def _open() -> sqlite3.Connection:
+        connection = sqlite3.connect(str(path), timeout=BUSY_TIMEOUT_SECONDS)
+        connection.execute(f"PRAGMA busy_timeout = {int(BUSY_TIMEOUT_SECONDS * 1000)}")
+        return connection
+
+    return retry_locked(_open, f"connect {path}")

@@ -1,0 +1,29 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.chaos` is the fault-injection harness behind the
+``chaos-smoke`` tier-2 gate: it turns the ``REPRO_CHAOS`` environment
+variable into worker crashes, hangs and torn store writes so the resilience
+layer (:mod:`repro.parallel.resilience`, the salvageable stores) can be
+exercised end to end.  Everything here is inert unless explicitly enabled,
+so shipping it costs production runs nothing.
+"""
+
+from repro.testing.chaos import (
+    CHAOS_ENV_VAR,
+    CHAOS_SEED_ENV_VAR,
+    ChaosClause,
+    ChaosError,
+    chaos_hook,
+    chaos_mangle,
+    parse_chaos_spec,
+)
+
+__all__ = [
+    "CHAOS_ENV_VAR",
+    "CHAOS_SEED_ENV_VAR",
+    "ChaosClause",
+    "ChaosError",
+    "chaos_hook",
+    "chaos_mangle",
+    "parse_chaos_spec",
+]

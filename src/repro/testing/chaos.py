@@ -1,0 +1,213 @@
+"""Injectable fault hooks for the chaos test harness (``REPRO_CHAOS``).
+
+The resilience layer promises that worker crashes, hangs and torn store
+writes never corrupt a run.  This module provides the faults to prove it:
+instrumented call sites (worker task execution, store appends) consult the
+``REPRO_CHAOS`` environment variable and, when a matching clause fires,
+inject the configured failure.  With the variable unset every hook is a
+single dictionary lookup, so production runs pay nothing.
+
+Spec grammar (comma-separated clauses)::
+
+    REPRO_CHAOS = clause ("," clause)*
+    clause      = site ":" kind [":" probability [":" limit]]
+
+``site`` names an instrumented location:
+
+``worker``
+    Task execution inside a pool worker process
+    (:func:`repro.parallel.backends._run_task`).
+``result-store``
+    A JSONL record append in :class:`~repro.store.result_store.ResultStore`
+    (the ``truncate`` kind tears the write mid-line).
+``artifact-store``
+    A pickled-artifact write in :class:`~repro.store.artifacts.ArtifactStore`.
+
+``kind`` is one of:
+
+``exit``   — ``os._exit`` the current process (worker kill / OOM proxy)
+``raise``  — raise :class:`ChaosError` (evaluator bug / transient error proxy)
+``hang``   — sleep far past any reasonable deadline (stuck-kernel proxy)
+``slow``   — sleep briefly (I/O latency proxy)
+``truncate`` — only meaningful via :func:`chaos_mangle`: truncate the payload
+    of a write mid-record (crash-during-append proxy)
+
+``probability`` (default 1.0) is the chance a clause fires per visit;
+``limit`` (default 0 = unlimited) caps how many times it fires *per
+process*.  ``REPRO_CHAOS_SEED`` seeds the per-process RNG (mixed with the
+pid so workers draw independent sequences).
+
+Process-killing kinds (``exit``, ``hang``) never fire in the process that
+first imported this module — chaos must take down workers, not the
+orchestrator.  Fork-based worker pools (the Linux default) inherit that
+root-pid marker, so worker processes fire normally.
+
+The injected failures are *random by design*: the resilience machinery
+guarantees results are bit-identical to a clean serial run no matter which
+subset of faults fires, so the chaos-smoke gate byte-compares outcomes
+rather than fault schedules.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass
+
+#: Environment variable holding the fault-injection spec; unset = no chaos.
+CHAOS_ENV_VAR = "REPRO_CHAOS"
+
+#: Optional integer seed for the per-process chaos RNG.
+CHAOS_SEED_ENV_VAR = "REPRO_CHAOS_SEED"
+
+#: Fault kinds that take down or stall the current process.
+PROCESS_KINDS = ("exit", "raise", "hang", "slow")
+
+#: Fault kinds that corrupt a payload instead (see :func:`chaos_mangle`).
+MANGLE_KINDS = ("truncate",)
+
+KINDS = PROCESS_KINDS + MANGLE_KINDS
+
+#: Sleep used by the ``hang`` kind — far past any sane per-item deadline.
+HANG_SECONDS = 3600.0
+
+#: Sleep used by the ``slow`` kind.
+SLOW_SECONDS = 0.02
+
+#: Exit status used by the ``exit`` kind (distinctive in worker post-mortems).
+EXIT_STATUS = 113
+
+# Pid of the process that first imported this module: the orchestrator.
+# Forked workers inherit this value while reporting a different os.getpid(),
+# which is exactly the distinction the process-kind guard needs.
+_ROOT_PID = os.getpid()
+
+
+class ChaosError(RuntimeError):
+    """The injected failure raised by the ``raise`` fault kind."""
+
+
+@dataclass(frozen=True)
+class ChaosClause:
+    """One parsed ``site:kind[:probability[:limit]]`` clause."""
+
+    site: str
+    kind: str
+    probability: float = 1.0
+    limit: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown chaos kind {self.kind!r} (expected one of: {', '.join(KINDS)})")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"chaos probability must be within [0, 1], got {self.probability!r}")
+        if self.limit < 0:
+            raise ValueError(f"chaos limit must be >= 0, got {self.limit!r}")
+
+
+def parse_chaos_spec(spec: str) -> tuple[ChaosClause, ...]:
+    """Parse a ``REPRO_CHAOS`` spec string into clauses."""
+    clauses: list[ChaosClause] = []
+    for raw in spec.split(","):
+        raw = raw.strip()
+        if not raw:
+            continue
+        parts = raw.split(":")
+        if len(parts) < 2 or len(parts) > 4:
+            raise ValueError(
+                f"malformed chaos clause {raw!r} (expected site:kind[:probability[:limit]])"
+            )
+        site, kind = parts[0].strip(), parts[1].strip()
+        try:
+            probability = float(parts[2]) if len(parts) > 2 else 1.0
+            limit = int(parts[3]) if len(parts) > 3 else 0
+        except ValueError as exc:
+            raise ValueError(f"malformed chaos clause {raw!r}: {exc}") from exc
+        clauses.append(ChaosClause(site=site, kind=kind, probability=probability, limit=limit))
+    return tuple(clauses)
+
+
+class _Injector:
+    """Per-process fault state: parsed clauses, RNG and fire counters."""
+
+    def __init__(self, clauses: tuple[ChaosClause, ...], seed: int) -> None:
+        self.clauses = clauses
+        self._rng = random.Random(seed)
+        self._fired = [0] * len(clauses)
+
+    def _should_fire(self, index: int, clause: ChaosClause) -> bool:
+        if clause.limit and self._fired[index] >= clause.limit:
+            return False
+        if clause.probability < 1.0 and self._rng.random() >= clause.probability:
+            return False
+        self._fired[index] += 1
+        return True
+
+    def fire(self, site: str) -> None:
+        for index, clause in enumerate(self.clauses):
+            if clause.site != site or clause.kind not in PROCESS_KINDS:
+                continue
+            if not self._should_fire(index, clause):
+                continue
+            self._execute(clause)
+
+    @staticmethod
+    def _execute(clause: ChaosClause) -> None:
+        if clause.kind == "slow":
+            time.sleep(SLOW_SECONDS)
+            return
+        if clause.kind == "raise":
+            raise ChaosError(f"injected fault at {clause.site!r}")
+        # Process-killing kinds must never take down the orchestrator.
+        if os.getpid() == _ROOT_PID:
+            return
+        if clause.kind == "hang":
+            time.sleep(HANG_SECONDS)
+        elif clause.kind == "exit":
+            os._exit(EXIT_STATUS)
+
+    def mangle(self, site: str, data: bytes) -> bytes:
+        for index, clause in enumerate(self.clauses):
+            if clause.site != site or clause.kind not in MANGLE_KINDS:
+                continue
+            if not self._should_fire(index, clause):
+                continue
+            # Tear the write mid-record: keep a non-empty prefix so the
+            # salvage path has an actual truncated fragment to skip.
+            return data[: max(1, len(data) // 2)]
+        return data
+
+
+# Cache keyed by (spec, pid): re-parsed when the env var changes (tests
+# monkeypatching REPRO_CHAOS) or after a fork (workers must not share the
+# parent's RNG stream and fire counters).
+_cache: tuple[str, int, _Injector] | None = None
+
+
+def _injector() -> _Injector | None:
+    spec = os.environ.get(CHAOS_ENV_VAR, "")
+    if not spec:
+        return None
+    global _cache
+    pid = os.getpid()
+    if _cache is None or _cache[0] != spec or _cache[1] != pid:
+        seed_text = os.environ.get(CHAOS_SEED_ENV_VAR, "").strip()
+        seed = int(seed_text) if seed_text else 0
+        _cache = (spec, pid, _Injector(parse_chaos_spec(spec), seed=seed ^ pid))
+    return _cache[2]
+
+
+def chaos_hook(site: str) -> None:
+    """Maybe inject a process fault at ``site``; no-op unless ``REPRO_CHAOS`` is set."""
+    injector = _injector()
+    if injector is not None:
+        injector.fire(site)
+
+
+def chaos_mangle(site: str, data: bytes) -> bytes:
+    """Maybe corrupt a payload written at ``site``; identity unless chaos is on."""
+    injector = _injector()
+    if injector is None:
+        return data
+    return injector.mangle(site, data)

@@ -87,7 +87,7 @@ class TestDefaultComponents:
         assert WORKLOAD_SUITES.names() == ["spec_int", "spec_fp", "mibench", "all"]
         assert FITNESS_OBJECTIVES.names() == ["balanced", "overall", "core_only"]
         assert SCALES.names() == ["quick", "default", "paper"]
-        assert BACKENDS.names() == ["serial", "process"]
+        assert BACKENDS.names() == ["serial", "process", "resilient"]
 
     def test_factories_build_the_canonical_objects(self):
         assert CONFIGS.create("config_a").rob_entries == 96

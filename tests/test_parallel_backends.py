@@ -52,10 +52,12 @@ class TestResolveJobs:
         assert resolve_jobs(-4) == 1
 
     def test_create_backend_kinds(self, monkeypatch):
+        from repro.parallel.resilience import ResilientPoolBackend
+
         monkeypatch.delenv(JOBS_ENV_VAR, raising=False)
         assert isinstance(create_backend(), SerialBackend)
         backend = create_backend(2)
-        assert isinstance(backend, ProcessPoolBackend)
+        assert isinstance(backend, ResilientPoolBackend)
         backend.close()
 
 
