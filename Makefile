@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke avf-smoke avf-golden kernel-smoke chaos-smoke
+.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke avf-smoke avf-golden kernel-smoke chaos-smoke serve-smoke serve-bench
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -50,3 +50,15 @@ kernel-smoke:
 # semantics").
 chaos-smoke:
 	REPRO_CHAOS_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_chaos_smoke.py -m chaos_smoke -q
+
+# Tier-2 evaluation-service gate: a real `repro serve` daemon subprocess must
+# serve every example spec byte-identical to a local Session run, survive
+# three concurrent clients mixing duplicate/unique/cancelled submissions,
+# answer store hits without queueing, and shut down cleanly — exit code 0,
+# `repro fsck` clean, no temp debris (see EXPERIMENTS.md).
+serve-smoke:
+	REPRO_SERVE_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_serve_smoke.py -m serve_smoke -q
+
+# Record/append service latency+throughput baselines (writes BENCH_serve.json).
+serve-bench:
+	$(PYTHON) -m repro loadtest

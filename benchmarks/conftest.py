@@ -67,6 +67,13 @@ def pytest_configure(config: pytest.Config) -> None:
         "and torn store writes byte-compared against a clean serial run (run "
         "via `make chaos-smoke` or REPRO_CHAOS_SMOKE=1; see ARCHITECTURE.md)",
     )
+    config.addinivalue_line(
+        "markers",
+        "serve_smoke: evaluation-service gate — real `repro serve` daemon, "
+        "remote results byte-compared against local runs, concurrent clients, "
+        "clean shutdown (run via `make serve-smoke` or REPRO_SERVE_SMOKE=1; "
+        "see EXPERIMENTS.md)",
+    )
 
 
 def pytest_report_header(config: pytest.Config) -> str:

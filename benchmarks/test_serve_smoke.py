@@ -1,0 +1,162 @@
+"""Evaluation-service smoke gate (tier-2 ``serve_smoke``, ``make serve-smoke``).
+
+End-to-end check of the service contract against a *real* ``repro serve``
+daemon subprocess: every checked-in example spec run remotely must come back
+byte-identical to a local :class:`Session` run (volatile timing/resilience
+blocks excluded); three concurrent clients mixing duplicate, unique and
+cancelled submissions must all be served correctly; store hits must skip the
+queue entirely; and shutdown must be clean — daemon exit code 0, ``repro
+fsck`` clean on the store it wrote, no leftover temp debris.  Like the other
+tier-2 gates, the suite only runs when explicitly requested:
+
+    make serve-smoke
+    # or
+    REPRO_SERVE_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_serve_smoke.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.api import RunSpec, Session
+from repro.serve.client import RemoteRunError, ServeClient
+from repro.serve.loadtest import duplicate_spec, spawn_daemon, unique_spec
+from repro.store import fsck_store
+from repro.store.result_store import _strip_volatile
+
+SPECS_DIR = Path(__file__).resolve().parent.parent / "examples" / "specs"
+
+pytestmark = [pytest.mark.serve_smoke]
+if not os.environ.get("REPRO_SERVE_SMOKE"):
+    pytestmark.append(
+        pytest.mark.skip(reason="serve smoke disabled (set REPRO_SERVE_SMOKE=1 or run `make serve-smoke`)")
+    )
+
+
+def _spec_files() -> list[Path]:
+    return sorted(SPECS_DIR.glob("*.json"))
+
+
+@pytest.fixture(scope="module")
+def serve_env():
+    """Environment both sides share: byte-compare needs identical resolution.
+
+    ``REPRO_JOBS`` is stripped so the daemon's session and the local
+    comparison session record the same ``provenance.jobs``.
+    """
+    with pytest.MonkeyPatch.context() as patcher:
+        patcher.delenv("REPRO_JOBS", raising=False)
+        yield
+
+
+@pytest.fixture(scope="module")
+def daemon(serve_env, tmp_path_factory):
+    """One live daemon (with a store) shared by the whole module."""
+    store = tmp_path_factory.mktemp("serve-store")
+    process, endpoint = spawn_daemon(str(store))
+    yield endpoint, store
+    with ServeClient(endpoint, client_id="smoke-teardown") as client:
+        client.shutdown()
+    assert process.wait(timeout=60.0) == 0, "daemon did not exit cleanly"
+
+
+def test_example_specs_exist():
+    assert _spec_files(), f"no example specs found under {SPECS_DIR}"
+
+
+@pytest.mark.parametrize("path", _spec_files(), ids=lambda p: p.stem)
+def test_remote_matches_local_byte_identical(daemon, path: Path):
+    """Every example spec served remotely == the same spec run locally."""
+    endpoint, _ = daemon
+    spec = RunSpec.load(path)
+    with ServeClient(endpoint, client_id="smoke-compare") as client:
+        remote = client.run(spec, busy_deadline=600.0)
+    with Session() as session:
+        local = session.run(spec)
+    assert _strip_volatile(remote.to_json_dict()) == _strip_volatile(local.to_json_dict())
+    assert remote.spec_digest == local.spec_digest == spec.digest
+
+
+def test_three_concurrent_clients_mixed_workload(daemon):
+    """Duplicate, unique and cancelled submissions from 3 clients at once."""
+    endpoint, _ = daemon
+    results: dict[str, object] = {}
+    errors: list[str] = []
+
+    def duplicates() -> None:
+        with ServeClient(endpoint, client_id="smoke-dup") as client:
+            results["dup"] = [client.run(duplicate_spec()) for _ in range(3)]
+
+    def uniques() -> None:
+        with ServeClient(endpoint, client_id="smoke-uniq") as client:
+            results["uniq"] = [client.run(unique_spec(index)) for index in range(2)]
+
+    def cancels() -> None:
+        with ServeClient(endpoint, client_id="smoke-cancel") as client:
+            # Queue behind the other clients' work, then withdraw.
+            submitted = client.submit(unique_spec(97))
+            response = client.cancel(submitted["job_id"])
+            results["cancelled"] = (submitted["job_id"], response)
+
+    threads = [threading.Thread(target=_trap(worker, errors))
+               for worker in (duplicates, uniques, cancels)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=600.0)
+    assert not errors, errors
+
+    dup_docs = [r.to_json_dict() for r in results["dup"]]
+    # Store-served duplicates are the original result verbatim.
+    assert dup_docs[0] == dup_docs[1] == dup_docs[2]
+    assert [r.spec.name for r in results["uniq"]] == ["loadtest-unique-0", "loadtest-unique-1"]
+
+    job_id, response = results["cancelled"]
+    with ServeClient(endpoint, client_id="smoke-check") as client:
+        if response["cancelled"]:
+            with pytest.raises(RemoteRunError) as excinfo:
+                client.result(job_id)
+            assert excinfo.value.code == "job_cancelled"
+        else:
+            # The job started before the cancel landed; it must still finish.
+            client.wait(job_id)
+
+
+def _trap(worker, errors: list[str]):
+    def run() -> None:
+        try:
+            worker()
+        except Exception as exc:  # noqa: BLE001 - surfaced via the errors list
+            errors.append(f"{worker.__name__}: {exc!r}")
+    return run
+
+
+def test_store_hits_skip_the_queue(daemon):
+    """A digest already in the store is answered inline, without a job."""
+    endpoint, _ = daemon
+    with ServeClient(endpoint, client_id="smoke-hit") as client:
+        client.run(duplicate_spec())  # ensure the digest is stored
+        before = client.stats()["counters"]["store_hits"]
+        response = client.submit(duplicate_spec())
+        after = client.stats()["counters"]["store_hits"]
+    assert response["source"] == "store"
+    assert response["job_id"] is None and response["result"]["rows"]
+    assert after == before + 1
+
+
+def test_clean_shutdown_store_intact_no_debris(serve_env, tmp_path):
+    """Fresh daemon: serve, shut down; rc 0, fsck clean, no temp debris."""
+    store = tmp_path / "store"
+    process, endpoint = spawn_daemon(str(store))
+    with ServeClient(endpoint, client_id="smoke-shutdown") as client:
+        client.run(duplicate_spec())
+        client.shutdown()
+    assert process.wait(timeout=60.0) == 0
+    report = fsck_store(store)
+    assert report.clean, [finding.describe() for finding in report.findings]
+    assert report.intact_results >= 1
+    assert not list(store.rglob("*.tmp")), "daemon left temp debris behind"

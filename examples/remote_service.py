@@ -1,0 +1,77 @@
+"""Evaluation-service walkthrough: daemon, client proxy, dedup, store hits.
+
+Usage::
+
+    PYTHONPATH=src python examples/remote_service.py [store-dir]
+
+Demonstrates the PR-7 service workflow end to end, entirely through the
+public API (the CLI equivalents are shown as comments):
+
+1. start a `repro serve` daemon on an ephemeral port with a result store,
+2. run a spec remotely through the `ServeClient` proxy — the same call
+   shape as a local `Session.run`,
+3. re-submit the identical spec: answered from the store without queueing,
+4. submit asynchronously and poll/watch the job to completion,
+5. read the service counters and shut the daemon down cleanly.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.serve.client import ServeClient
+from repro.serve.loadtest import spawn_daemon
+
+SPEC = {
+    "kind": "simulate",
+    "name": "remote_service_example",
+    "workloads": ["403.gcc_proxy", "429.mcf_proxy"],
+    "scale": "quick",
+    "scale_overrides": {"workload_instructions": 5_000},
+}
+
+
+def main() -> int:
+    store = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="repro-serve-")
+    print(f"store: {store}")
+
+    # CLI: repro serve --store STORE   (prints "listening on HOST:PORT")
+    process, endpoint = spawn_daemon(store)
+    print(f"daemon: pid {process.pid} on {endpoint}")
+    try:
+        with ServeClient(endpoint, client_id="example") as client:
+            info = client.ping()
+            print(f"server: repro {info['server_version']} "
+                  f"(protocol v{info['protocol_version']})")
+
+            # CLI: repro run spec.json --remote HOST:PORT
+            result = client.run(SPEC)
+            print(f"remote run: {len(result.rows)} rows, digest {result.spec_digest[:12]}…")
+
+            # The same digest again: served from the store, never queued.
+            response = client.submit(SPEC)
+            assert response["source"] == "store" and response["job_id"] is None
+            print("duplicate submit: answered inline from the store")
+
+            # Async mirror of Session.run: submit, then watch to completion.
+            unique = dict(SPEC, name="remote_service_example/async")
+            submitted = client.submit(unique)
+            print(f"async submit: {submitted['job_id']} ({submitted['state']})")
+            result = client.wait(submitted["job_id"])
+            print(f"async result: {len(result.rows)} rows")
+
+            stats = client.stats()
+            counters = stats["counters"]
+            print(f"stats: submitted={counters['submitted']} "
+                  f"store_hits={counters['store_hits']} "
+                  f"completed={counters['completed']}")
+            client.shutdown()
+    finally:
+        return_code = process.wait(timeout=60.0)
+        print(f"daemon exited with code {return_code}")
+    return return_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

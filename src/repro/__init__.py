@@ -41,7 +41,23 @@ from repro.uarch import (
     unit_fault_rates,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+
+def package_version() -> str:
+    """The installed package version, falling back to the source tree's.
+
+    Prefers importlib metadata (what ``pip install`` recorded) so a stale
+    install is visible as a skew against a newer checkout; the daemon's
+    ``ping`` response and ``repro --version`` both report this value.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro-avf-stressmark")
+    except Exception:
+        # Uninstalled source-tree runs (PYTHONPATH=src) have no metadata.
+        return __version__
 
 from repro.api import (  # noqa: E402  (api imports repro submodules, keep last)
     BACKENDS,
@@ -70,6 +86,12 @@ from repro.vuln import (  # noqa: E402
     VulnerabilityLedger,
     VulnerableStructure,
     register_structure,
+)
+from repro.serve import (  # noqa: E402  (serve imports the api, keep last)
+    RemoteError,
+    RemoteRunError,
+    ReproServer,
+    ServeClient,
 )
 
 __all__ = [
@@ -104,5 +126,10 @@ __all__ = [
     "StoreError",
     "merge_stores",
     "open_store",
+    "ReproServer",
+    "ServeClient",
+    "RemoteError",
+    "RemoteRunError",
+    "package_version",
     "__version__",
 ]

@@ -124,6 +124,7 @@ class Session:
 
             self._owns_store = not isinstance(store, ResultStore)
             self._store = open_store(store)
+        self._closed = False
         self._contexts: dict[tuple, ExperimentContext] = {}
         self._owned: list[ExperimentContext] = []
         # One warm worker pool per jobs count, shared by every context the
@@ -144,6 +145,11 @@ class Session:
     def store(self) -> Optional["ResultStore"]:
         """The attached result store, if any."""
         return self._store
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (closed sessions refuse new work)."""
+        return self._closed
 
     # ------------------------------------------------------------ resolution
 
@@ -255,6 +261,8 @@ class Session:
         GA generations inside each) reuse warm workers instead of
         respawning them.
         """
+        if self._closed:
+            raise RuntimeError("session is closed — worker pools and stores are released")
         spec = self.coerce(spec)
         scale = self.resolve_scale(spec)
         jobs = self.resolve_jobs(spec)
@@ -330,6 +338,8 @@ class Session:
         each child of a sweep, as it completes — is persisted, so an
         interrupted sweep resumes from its last finished child.
         """
+        if self._closed:
+            raise RuntimeError("session is closed — worker pools and stores are released")
         spec = self.coerce(spec).validate()
         key = self._store_key(spec)
         if self._store is not None:
@@ -453,7 +463,16 @@ class Session:
     # -------------------------------------------------------------- lifetime
 
     def close(self) -> None:
-        """Release every context (and worker pool) this session created."""
+        """Release every context (and worker pool) this session created.
+
+        Idempotent: a second ``close`` (server shutdown racing a signal
+        handler, ``with`` block around an explicit ``close()``) is a no-op
+        instead of re-closing shared pools.  After closing, :meth:`run` and
+        :meth:`context_for` raise rather than silently respawning workers.
+        """
+        if self._closed:
+            return
+        self._closed = True
         for context in self._owned:
             context.close()
         self._owned.clear()

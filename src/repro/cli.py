@@ -17,6 +17,10 @@ Usage (after ``pip install -e .``)::
     repro merge results/ shard1/ shard2/ shard3/     # join shard stores
     repro fsck results/                              # audit a store directory
     repro fsck results/ --repair                     # also fix salvageable damage
+    repro serve --store results/ --jobs 4            # evaluation daemon
+    repro run spec.json --remote HOST:9474           # run against a daemon
+    repro loadtest --clients 3 --requests 8          # service benchmark
+    repro --version                                  # package version
 
 Every experiment routes through the declarative run API
 (:mod:`repro.api`): a figure/table command executes its canned
@@ -41,11 +45,17 @@ backend used for ``--jobs > 1``: each simulation/GA evaluation gets up to N
 attempts (with capped exponential backoff) and S seconds per attempt before
 its worker is declared hung and replaced.  Defaults come from the
 ``REPRO_RETRY_*`` environment, then the library (3 attempts, no deadline).
+
+``repro serve`` starts the evaluation daemon (one warm shared fabric, many
+clients — see EXPERIMENTS.md, "Evaluation service"); ``repro run SPEC
+--remote HOST:PORT`` executes a spec against it with byte-identical results;
+``repro loadtest`` benchmarks a daemon and records ``BENCH_serve.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Iterable
 
@@ -259,12 +269,19 @@ SPEC_COMMANDS = ("run", "sweep")
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import package_version
+    from repro.serve.server import DEFAULT_PORT, DEFAULT_QUEUE_LIMIT
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--version", action="version",
+                        version=f"repro {package_version()}")
     parser.add_argument("experiment",
-                        choices=sorted(COMMANDS) + ["list", "run", "sweep", "merge", "fsck"],
+                        choices=sorted(COMMANDS) + ["list", "run", "sweep", "merge", "fsck",
+                                                    "serve", "loadtest"],
                         help="experiment to regenerate, 'list', 'run'/'sweep' a spec "
-                             "file, 'merge' shard stores, or 'fsck' a store directory")
+                             "file, 'merge' shard stores, 'fsck' a store directory, "
+                             "'serve' the evaluation daemon, or 'loadtest' a daemon")
     parser.add_argument("spec", nargs="?", default=None, metavar="SPEC.json",
                         help="RunSpec JSON file (run/sweep), or the destination "
                              "store (merge), or the store to audit (fsck)")
@@ -306,6 +323,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fsck command only: repair salvageable damage in place "
                              "(truncate torn JSONL tails, drop unloadable checkpoints, "
                              "remove temp-file debris)")
+    parser.add_argument("--remote", default=None, metavar="HOST:PORT",
+                        help="run/loadtest: execute against a live 'repro serve' "
+                             "daemon instead of this process (results are "
+                             "byte-identical to a local run)")
+    parser.add_argument("--host", default="127.0.0.1", metavar="ADDR",
+                        help="serve command only: interface to listen on "
+                             "(default: 127.0.0.1; never expose the daemon to "
+                             "untrusted networks)")
+    parser.add_argument("--port", type=int, default=None, metavar="N",
+                        help=f"serve command only: TCP port (default: {DEFAULT_PORT}; "
+                             f"0 picks an ephemeral port, printed at startup)")
+    parser.add_argument("--queue-limit", type=int, default=None, metavar="N",
+                        help=f"serve command only: bound on queued jobs before "
+                             f"submits are rejected with retry_after "
+                             f"(default: {DEFAULT_QUEUE_LIMIT})")
+    parser.add_argument("--clients", type=int, default=3, metavar="N",
+                        help="loadtest command only: concurrent synthetic clients "
+                             "(default: 3)")
+    parser.add_argument("--requests", type=int, default=8, metavar="M",
+                        help="loadtest command only: requests per client, mixed "
+                             "duplicate/unique specs (default: 8)")
     return parser
 
 
@@ -317,6 +355,8 @@ def _cmd_list() -> None:
         print(f"  {name} <spec.json>")
     print("  merge <dest-store> <src-store>...")
     print("  fsck <store> [--repair]")
+    print("  serve [--host --port --store --jobs --queue-limit]")
+    print("  loadtest [--remote HOST:PORT --clients N --requests M]")
     print("\nregistered components (usable in RunSpec files):")
     labels = {
         "config": "machine configs",
@@ -416,6 +456,8 @@ def _cmd_run_spec(parser: argparse.ArgumentParser, args: argparse.Namespace) -> 
     if args.experiment == "sweep" and spec.kind != "sweep":
         parser.error(f"'repro sweep' expects a sweep spec, {args.spec} has kind={spec.kind!r} "
                      f"(use 'repro run' for single runs)")
+    if args.remote is not None:
+        return _run_remote(parser, args, spec)
     shard = None
     if args.shard is not None:
         if args.experiment != "sweep":
@@ -447,6 +489,81 @@ def _cmd_run_spec(parser: argparse.ArgumentParser, args: argparse.Namespace) -> 
     if args.out:
         result.save(args.out)
         print(f"result written to {args.out}")
+    return 0
+
+
+def _run_remote(parser: argparse.ArgumentParser, args: argparse.Namespace, spec: RunSpec) -> int:
+    """Execute a spec against a live daemon (``repro run SPEC --remote``)."""
+    for flag in ("store", "shard", "resume"):
+        if getattr(args, flag):
+            parser.error(f"--{flag} is handled by the daemon; it cannot be combined "
+                         f"with --remote (start 'repro serve --store ...' instead)")
+    from repro.serve.client import RemoteError, ServeClient
+    from repro.serve.protocol import ProtocolError
+
+    try:
+        with ServeClient(args.remote) as client:
+            info = client.ping()
+            result = client.run(spec)
+    except (OSError, ProtocolError, RemoteError, ValueError) as exc:
+        parser.error(f"remote run against {args.remote} failed: {exc}")
+    _print_result_rows(result)
+    print(f"\nspec digest: {result.spec_digest}")
+    print(f"served by {args.remote} (repro {info.get('server_version')}, "
+          f"protocol v{info.get('protocol_version')})")
+    if args.out:
+        result.save(args.out)
+        print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Run the evaluation daemon until interrupted or told to shut down."""
+    if args.spec or args.extra:
+        parser.error("'serve' takes no positional arguments")
+    import signal
+
+    from repro.serve.server import DEFAULT_PORT, DEFAULT_QUEUE_LIMIT, serve
+
+    try:
+        server = serve(
+            host=args.host,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            store=args.store,
+            jobs=args.jobs,
+            queue_limit=args.queue_limit if args.queue_limit is not None else DEFAULT_QUEUE_LIMIT,
+            retry=_retry_from_args(parser, args),
+        )
+    except (OSError, ValueError, StoreError) as exc:
+        parser.error(f"cannot start the daemon: {exc}")
+    signal.signal(signal.SIGTERM, lambda *_: server.stop())
+    # The "listening on" line is the startup handshake load/smoke harnesses
+    # parse for the ephemeral port — keep its shape stable.
+    print(f"repro serve: listening on {server.host}:{server.port} "
+          f"(pid {os.getpid()}, jobs={args.jobs or 'spec'}, "
+          f"store={args.store or 'none'})", flush=True)
+    server.serve_forever()
+    print("repro serve: stopped", flush=True)
+    return 0
+
+
+def _cmd_loadtest(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Benchmark a daemon (spawning one unless --remote targets a live one)."""
+    if args.spec or args.extra:
+        parser.error("'loadtest' takes no positional arguments")
+    from repro.serve.loadtest import SERVE_BENCH_FILE, run_loadtest
+
+    try:
+        run_loadtest(
+            endpoint=args.remote,
+            clients=args.clients,
+            requests=args.requests,
+            store=args.store,
+            jobs=args.jobs,
+            out=args.out or SERVE_BENCH_FILE,
+        )
+    except (OSError, RuntimeError, ValueError) as exc:
+        parser.error(f"loadtest failed: {exc}")
     return 0
 
 
@@ -496,6 +613,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_merge(parser, args)
     if args.experiment == "fsck":
         return _cmd_fsck(parser, args)
+    if args.experiment == "serve":
+        return _cmd_serve(parser, args)
+    if args.experiment == "loadtest":
+        return _cmd_loadtest(parser, args)
     if args.experiment in SPEC_COMMANDS:
         return _cmd_run_spec(parser, args)
     if args.spec or args.extra:

@@ -1,0 +1,48 @@
+"""Evaluation service: the ``repro serve`` daemon and its client proxy.
+
+The subsystem turns the local evaluation stack into a long-running service
+(see EXPERIMENTS.md, "Evaluation service", and the flow diagram in
+ARCHITECTURE.md):
+
+:mod:`repro.serve.protocol`
+    Length-prefixed JSON frames, verbs and error codes.
+:mod:`repro.serve.jobs`
+    Job states, the bounded queue, FIFO/per-client round-robin scheduling,
+    in-flight deduplication.
+:mod:`repro.serve.server`
+    :class:`ReproServer` — the threaded daemon with one evaluation thread
+    over one shared warm :class:`~repro.api.session.Session`.
+:mod:`repro.serve.client`
+    :class:`ServeClient` — the proxy mirroring ``Session.run`` so specs run
+    unchanged against a remote host.
+:mod:`repro.serve.loadtest`
+    The ``repro loadtest`` harness recording ``BENCH_serve.json``.
+"""
+
+from repro.serve.client import (
+    RemoteError,
+    RemoteRunError,
+    ServeBusyError,
+    ServeClient,
+    wait_until_ready,
+)
+from repro.serve.jobs import JobTable, QueueFullError
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError, parse_endpoint
+from repro.serve.server import DEFAULT_PORT, DEFAULT_QUEUE_LIMIT, ReproServer, serve
+
+__all__ = [
+    "DEFAULT_PORT",
+    "DEFAULT_QUEUE_LIMIT",
+    "JobTable",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueueFullError",
+    "RemoteError",
+    "RemoteRunError",
+    "ReproServer",
+    "ServeBusyError",
+    "ServeClient",
+    "parse_endpoint",
+    "serve",
+    "wait_until_ready",
+]

@@ -1,0 +1,279 @@
+"""Client proxy for the evaluation daemon — mirrors the Session surface.
+
+:class:`ServeClient` is the remote twin of
+:class:`~repro.api.session.Session`: it accepts the same spec shapes
+(:class:`RunSpec`, JSON mapping, or a path to a spec file), and its
+:meth:`ServeClient.run` blocks until the daemon returns the
+:class:`RunResult` — so ``examples/`` specs run unchanged against a remote
+host (``repro run spec.json --remote HOST:PORT``).  The async half of the
+surface (``submit`` / ``status`` / ``wait`` / ``cancel``) exposes the job
+table for callers that fan many specs out before collecting.
+
+One proxy holds one persistent TCP connection (lazily opened, re-opened
+after errors) and serializes its requests with a lock, so a proxy may be
+shared across threads; for *parallel* requests use one proxy per thread —
+they are cheap.
+
+Failure semantics map the server's error codes onto exceptions:
+``queue_full`` is retried internally by :meth:`run` (honouring the server's
+``retry_after`` backpressure hint, bounded by ``busy_deadline``), while
+failed / quarantined / cancelled jobs raise :class:`RemoteRunError` with
+the job's state on it.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.api.spec import RunResult, RunSpec
+from repro.serve import jobs as jobstates
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    parse_endpoint,
+    recv_frame,
+    send_frame,
+)
+
+SpecLike = Union[RunSpec, Mapping[str, object], str, Path]
+
+
+class RemoteError(RuntimeError):
+    """The daemon answered with an error frame (``code`` + message)."""
+
+    def __init__(self, message: str, code: str = "", payload: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.payload = payload or {}
+
+
+class RemoteRunError(RemoteError):
+    """A submitted job reached a non-``done`` terminal state."""
+
+    @property
+    def state(self) -> str:
+        return str(self.payload.get("state", ""))
+
+
+class ServeBusyError(RemoteError):
+    """The daemon's queue stayed full past the client's busy deadline."""
+
+    @property
+    def retry_after(self) -> float:
+        return float(self.payload.get("retry_after", 1.0))
+
+
+class ServeClient:
+    """Proxy object speaking the ``repro serve`` wire protocol.
+
+    ``endpoint`` is ``"HOST:PORT"`` (or pass ``host=``/``port=``).  The
+    ``client_id`` identifies this proxy in the server's per-client fair
+    scheduler; all proxies of one process share fairness unless given
+    distinct ids.
+    """
+
+    def __init__(
+        self,
+        endpoint: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        timeout: Optional[float] = 60.0,
+        client_id: Optional[str] = None,
+    ) -> None:
+        if endpoint is not None:
+            host, port = parse_endpoint(endpoint)
+        if not port:
+            raise ValueError("ServeClient needs a port (endpoint 'HOST:PORT' or port=...)")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.client_id = client_id or f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- transport
+
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self._sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _request(self, payload: dict) -> dict:
+        """One request/response round trip (reconnects once on a dead socket)."""
+        with self._lock:
+            for attempt in (1, 2):
+                try:
+                    sock = self._connection()
+                    send_frame(sock, payload)
+                    response = recv_frame(sock)
+                    break
+                except (OSError, ProtocolError):
+                    self._drop_connection()
+                    if attempt == 2:
+                        raise
+            if response is None:
+                self._drop_connection()
+                raise RemoteError("server closed the connection without answering")
+            return response
+
+    @staticmethod
+    def _checked(response: dict, tolerate: tuple[str, ...] = ()) -> dict:
+        if response.get("ok") or response.get("code") in tolerate:
+            return response
+        code = str(response.get("code", ""))
+        message = str(response.get("error", "remote error"))
+        if code in ("job_failed", "job_quarantined", "job_cancelled"):
+            raise RemoteRunError(message, code=code, payload=response)
+        if code == "queue_full":
+            raise ServeBusyError(message, code=code, payload=response)
+        raise RemoteError(message, code=code, payload=response)
+
+    # ------------------------------------------------------------ spec coerce
+
+    @staticmethod
+    def coerce(spec: SpecLike) -> RunSpec:
+        """Accept a RunSpec, a JSON mapping, or a path — like Session."""
+        if isinstance(spec, RunSpec):
+            return spec
+        if isinstance(spec, Mapping):
+            return RunSpec.from_json_dict(spec)
+        return RunSpec.load(spec)
+
+    # ----------------------------------------------------------------- verbs
+
+    def ping(self) -> dict:
+        """Server liveness + version/protocol info (skew diagnosis)."""
+        info = self._checked(self._request({"verb": "ping"}))
+        if info.get("protocol_version") != PROTOCOL_VERSION:
+            raise RemoteError(
+                f"protocol skew: server speaks v{info.get('protocol_version')}, "
+                f"this client v{PROTOCOL_VERSION} (server version "
+                f"{info.get('server_version')})", code="bad_frame", payload=info)
+        return info
+
+    def submit(self, spec: SpecLike) -> dict:
+        """Enqueue a spec; returns the raw submit response.
+
+        ``result`` is present (and ``job_id`` is ``None``) when the digest
+        was answered straight from the server's store; otherwise ``job_id``
+        names the queued/attached job.  Raises :class:`ServeBusyError` on
+        backpressure.
+        """
+        document = self.coerce(spec).validate().to_json_dict()
+        return self._checked(self._request({
+            "verb": "submit", "spec": document, "client": self.client_id,
+        }))
+
+    def status(self, job_id: str) -> dict:
+        return self._checked(self._request({"verb": "status", "job_id": job_id}))
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> dict:
+        """Poll (or wait up to ``timeout`` for) a job's result frame."""
+        request: dict[str, object] = {"verb": "result", "job_id": job_id}
+        if timeout is not None:
+            request["timeout"] = timeout
+        return self._checked(self._request(request))
+
+    def cancel(self, job_id: str) -> dict:
+        """Withdraw this client's interest in a job (cancels when queued
+        and no deduplicated submitter still wants it)."""
+        return self._checked(self._request({"verb": "cancel", "job_id": job_id}))
+
+    def stats(self) -> dict:
+        return self._checked(self._request({"verb": "stats"}))
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to stop (running job finishes, queue is cancelled)."""
+        return self._checked(self._request({"verb": "shutdown"}))
+
+    # ------------------------------------------------------------ run surface
+
+    def wait(self, job_id: str) -> RunResult:
+        """Block until a job is terminal; returns its RunResult or raises.
+
+        Uses the streaming ``watch`` verb: the server pushes a frame per
+        state change, so waiting costs no polling traffic.
+        """
+        with self._lock:
+            sock = self._connection()
+            try:
+                send_frame(sock, {"verb": "watch", "job_id": job_id})
+                while True:
+                    frame = recv_frame(sock)
+                    if frame is None:
+                        raise RemoteError("server closed the watch stream")
+                    if frame.get("final") or not frame.get("ok"):
+                        break
+            except (OSError, ProtocolError):
+                self._drop_connection()
+                raise
+        self._checked(frame)
+        return RunResult.from_json_dict(frame["result"])
+
+    def run(self, spec: SpecLike, busy_deadline: Optional[float] = 300.0) -> RunResult:
+        """Submit and wait — the remote mirror of ``Session.run``.
+
+        Store-hit answers return immediately; queued work is awaited via the
+        watch stream.  ``queue_full`` responses are retried (sleeping the
+        server's ``retry_after`` hint) until ``busy_deadline`` seconds pass.
+        """
+        deadline = None if busy_deadline is None else time.monotonic() + busy_deadline
+        while True:
+            try:
+                response = self.submit(spec)
+            except ServeBusyError as exc:
+                pause = min(5.0, max(0.05, exc.retry_after))
+                if deadline is not None and time.monotonic() + pause > deadline:
+                    raise
+                time.sleep(pause)
+                continue
+            break
+        if response.get("result") is not None:
+            return RunResult.from_json_dict(response["result"])
+        return self.wait(str(response["job_id"]))
+
+    # -------------------------------------------------------------- lifetime
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def wait_until_ready(endpoint: str, timeout: float = 30.0, interval: float = 0.1) -> dict:
+    """Poll ``ping`` until a freshly spawned daemon answers (or timeout)."""
+    host, port = parse_endpoint(endpoint)
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(host=host, port=port, timeout=min(5.0, timeout)) as client:
+                return client.ping()
+        except (OSError, RemoteError, ProtocolError) as exc:
+            last_error = exc
+            time.sleep(interval)
+    raise TimeoutError(f"no repro serve daemon answered at {endpoint} within {timeout}s: {last_error}")
+
+
+# Re-exported for callers that match on job states without importing jobs.
+TERMINAL_STATES = jobstates.TERMINAL_STATES

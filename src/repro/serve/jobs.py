@@ -1,0 +1,333 @@
+"""Job table of the evaluation service: states, queueing, fair scheduling.
+
+Every accepted ``submit`` becomes a :class:`Job` tracked here until a client
+has (or could have) read its terminal state.  The table owns three policies
+the server's verbs are built on:
+
+Scheduling — FIFO with per-client round-robin
+    Each client gets its own FIFO queue; :meth:`JobTable.next_job` deals one
+    job per client in client-arrival order before returning to the first
+    client.  A client that dumps 100 specs cannot starve one that submits a
+    single spec a moment later — the single spec runs after at most one job
+    per other client.
+
+In-flight deduplication
+    Two submissions with the same spec digest (content-addressed, see
+    ``RunSpec.digest``) attach to one pending job: the second submitter gets
+    the same ``job_id`` and both read one result.  A job only leaves the
+    in-flight index when it reaches a terminal state.
+
+Backpressure — bounded queue
+    At most ``queue_limit`` jobs may be queued (the running job does not
+    count).  Beyond that :meth:`JobTable.submit` raises
+    :class:`QueueFullError` carrying a ``retry_after`` hint derived from the
+    observed mean job duration, and the server answers ``queue_full``.
+
+States: ``queued -> running -> done | failed | quarantined``, with
+``queued -> cancelled`` when every submitter of a deduplicated job cancels
+before it starts.  Running jobs are never interrupted — the evaluation
+fabric underneath retries/quarantines on its own terms (see
+ARCHITECTURE.md, "Failure semantics").
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Job lifecycle states (wire values).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+QUARANTINED = "quarantined"
+CANCELLED = "cancelled"
+
+STATES = (QUEUED, RUNNING, DONE, FAILED, QUARANTINED, CANCELLED)
+TERMINAL_STATES = frozenset((DONE, FAILED, QUARANTINED, CANCELLED))
+
+
+class QueueFullError(RuntimeError):
+    """The bounded queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass
+class Job:
+    """One submitted evaluation tracked from queue to terminal state."""
+
+    job_id: str
+    digest: str
+    spec: dict
+    client: str
+    state: str = QUEUED
+    waiters: int = 1
+    result: Optional[dict] = None
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.monotonic)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def describe(self) -> dict:
+        """The wire-visible view of this job (no result payload)."""
+        info: dict[str, object] = {
+            "job_id": self.job_id,
+            "digest": self.digest,
+            "state": self.state,
+            "waiters": self.waiters,
+        }
+        if self.error is not None:
+            info["error"] = self.error
+        if self.started_at is not None and self.finished_at is not None:
+            info["run_seconds"] = round(self.finished_at - self.started_at, 6)
+        return info
+
+
+class JobTable:
+    """Thread-safe job registry + bounded fair scheduler (see module doc)."""
+
+    def __init__(self, queue_limit: int = 32) -> None:
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be at least 1")
+        self.queue_limit = int(queue_limit)
+        self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
+        self._jobs: dict[str, Job] = {}
+        self._inflight: dict[str, Job] = {}  # digest -> queued/running job
+        self._queues: dict[str, deque[Job]] = {}  # client -> FIFO
+        self._clients: list[str] = []  # client ids in first-seen order
+        self._rr = 0  # round-robin cursor into _clients
+        self._ids = itertools.count(1)
+        self._durations: deque[float] = deque(maxlen=64)
+        self.counters = {
+            "submitted": 0,
+            "dedup_hits": 0,
+            "rejected": 0,
+            "completed": 0,
+            "failed": 0,
+            "quarantined": 0,
+            "cancelled": 0,
+        }
+
+    # ------------------------------------------------------------- submission
+
+    def submit(self, spec: dict, digest: str, client: str) -> tuple[Job, bool]:
+        """Queue a spec (or attach to the identical in-flight job).
+
+        Returns ``(job, deduped)``.  Raises :class:`QueueFullError` when the
+        bounded queue is at ``queue_limit``.
+        """
+        with self._changed:
+            existing = self._inflight.get(digest)
+            if existing is not None:
+                existing.waiters += 1
+                self.counters["dedup_hits"] += 1
+                return existing, True
+            if self._queued_count() >= self.queue_limit:
+                self.counters["rejected"] += 1
+                raise QueueFullError(
+                    f"queue is full ({self.queue_limit} job(s) pending)",
+                    retry_after=self.retry_after(),
+                )
+            job = Job(
+                job_id=f"job-{next(self._ids)}",
+                digest=digest,
+                spec=spec,
+                client=client,
+            )
+            self._jobs[job.job_id] = job
+            self._inflight[digest] = job
+            if client not in self._queues:
+                self._queues[client] = deque()
+                self._clients.append(client)
+            self._queues[client].append(job)
+            self.counters["submitted"] += 1
+            self._changed.notify_all()
+            return job, False
+
+    def retry_after(self) -> float:
+        """Backpressure hint: roughly one mean job duration per queued job."""
+        with_durations = list(self._durations)
+        mean = sum(with_durations) / len(with_durations) if with_durations else 1.0
+        return round(max(0.1, mean * (self._queued_count() + 1)), 3)
+
+    # ------------------------------------------------------------- scheduling
+
+    def next_job(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop and mark running the next job (fair order); ``None`` on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._changed:
+            while True:
+                job = self._pop_fair()
+                if job is not None:
+                    job.state = RUNNING
+                    job.started_at = time.monotonic()
+                    self._changed.notify_all()
+                    return job
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._changed.wait(remaining)
+                else:
+                    self._changed.wait()
+
+    def _pop_fair(self) -> Optional[Job]:
+        """One round-robin step over the per-client queues (lock held)."""
+        if not self._clients:
+            return None
+        for offset in range(len(self._clients)):
+            index = (self._rr + offset) % len(self._clients)
+            queue = self._queues[self._clients[index]]
+            if queue:
+                self._rr = (index + 1) % len(self._clients)
+                return queue.popleft()
+        return None
+
+    def position(self, job: Job) -> Optional[int]:
+        """0-based dispatch position of a queued job (``None`` otherwise).
+
+        Computed by simulating the round-robin deal from the current cursor,
+        so it is exactly the number of queued jobs that will start first.
+        """
+        with self._lock:
+            if job.state != QUEUED:
+                return None
+            ahead = 0
+            for depth in itertools.count():
+                exhausted = True
+                for offset in range(len(self._clients)):
+                    index = (self._rr + offset) % len(self._clients)
+                    queue = self._queues[self._clients[index]]
+                    if depth < len(queue):
+                        exhausted = False
+                        if queue[depth] is job:
+                            return ahead
+                        ahead += 1
+                if exhausted:  # pragma: no cover - job must be in some queue
+                    return None
+
+    # ------------------------------------------------------------- completion
+
+    def finish(self, job: Job, result: dict) -> None:
+        """Record a successful evaluation."""
+        self._complete(job, DONE, result=result, counter="completed")
+
+    def fail(self, job: Job, error: str, quarantined: bool = False) -> None:
+        """Record a failed (or quarantined) evaluation."""
+        state = QUARANTINED if quarantined else FAILED
+        self._complete(job, state, error=error, counter=state)
+
+    def _complete(
+        self, job: Job, state: str, counter: str,
+        result: Optional[dict] = None, error: Optional[str] = None,
+    ) -> None:
+        with self._changed:
+            job.state = state
+            job.result = result
+            job.error = error
+            job.finished_at = time.monotonic()
+            if job.started_at is not None:
+                self._durations.append(job.finished_at - job.started_at)
+            if self._inflight.get(job.digest) is job:
+                del self._inflight[job.digest]
+            self.counters[counter] += 1
+            self._changed.notify_all()
+
+    # ------------------------------------------------------------ cancellation
+
+    def cancel(self, job_id: str) -> tuple[Optional[Job], bool]:
+        """Withdraw one submitter's interest in a job.
+
+        The job is actually cancelled only when it is still queued and this
+        was its last waiter (deduplicated submitters keep it alive).
+        Returns ``(job, cancelled)``; ``(None, False)`` for unknown ids.
+        """
+        with self._changed:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None, False
+            if job.terminal:
+                return job, False
+            job.waiters = max(0, job.waiters - 1)
+            if job.state != QUEUED or job.waiters > 0:
+                return job, False
+            self._queues[job.client].remove(job)
+            job.state = CANCELLED
+            job.finished_at = time.monotonic()
+            if self._inflight.get(job.digest) is job:
+                del self._inflight[job.digest]
+            self.counters["cancelled"] += 1
+            self._changed.notify_all()
+            return job, True
+
+    def cancel_all_queued(self) -> int:
+        """Cancel every queued job (server shutdown); returns the count."""
+        cancelled = 0
+        with self._changed:
+            for queue in self._queues.values():
+                while queue:
+                    job = queue.popleft()
+                    job.state = CANCELLED
+                    job.finished_at = time.monotonic()
+                    if self._inflight.get(job.digest) is job:
+                        del self._inflight[job.digest]
+                    self.counters["cancelled"] += 1
+                    cancelled += 1
+            self._changed.notify_all()
+        return cancelled
+
+    # ---------------------------------------------------------------- queries
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def wait(self, job: Job, timeout: Optional[float] = None,
+             known_state: Optional[str] = None) -> str:
+        """Block until the job's state differs from ``known_state`` (or is
+        terminal when ``known_state`` is ``None``); returns the new state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._changed:
+            while True:
+                if known_state is None:
+                    if job.terminal:
+                        return job.state
+                elif job.state != known_state:
+                    return job.state
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return job.state
+                    self._changed.wait(remaining)
+                else:
+                    self._changed.wait()
+
+    def _queued_count(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def stats(self) -> dict:
+        """Point-in-time state counts + lifetime counters (wire view)."""
+        with self._lock:
+            states = {state: 0 for state in STATES}
+            for job in self._jobs.values():
+                states[job.state] += 1
+            return {
+                "queue_depth": self._queued_count(),
+                "queue_limit": self.queue_limit,
+                "inflight_digests": len(self._inflight),
+                "clients": len(self._clients),
+                "states": states,
+                "counters": dict(self.counters),
+            }

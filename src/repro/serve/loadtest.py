@@ -1,0 +1,234 @@
+"""Load-test harness for the evaluation daemon (``repro loadtest``).
+
+Spins a ``repro serve`` daemon in a subprocess (or targets a live one via
+``endpoint``), fires N synthetic clients at it concurrently — each client
+alternating between one shared *duplicate* spec (exercising the store-hit
+fast path after its first evaluation) and *unique* specs rotating over the
+workload-proxy suite (exercising the warm fabric) — and records the service
+metrics the ROADMAP's "heavy traffic" story is judged by:
+
+* ``p50_ms`` / ``p99_ms`` — per-request submit-to-result latency
+* ``throughput_rps`` — completed requests per wall-clock second
+* ``store_hit_ratio`` — fraction of requests answered from the ResultStore
+  without queueing (duplicates after the first evaluation)
+* ``dedup_hits`` — concurrent identical submissions folded onto one job
+
+Each run appends a provenance-stamped entry (server + client version,
+protocol version, python/platform) to ``BENCH_serve.json``, the same
+trajectory format as ``BENCH_pipeline.json`` / ``BENCH_ga.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.bench import append_entry
+from repro.serve.client import ServeClient, wait_until_ready
+from repro.serve.protocol import PROTOCOL_VERSION
+
+#: Default trajectory file (written to the current working directory).
+SERVE_BENCH_FILE = "BENCH_serve.json"
+
+#: Workload proxies the unique-spec stream rotates over (cheap but real).
+_UNIQUE_WORKLOADS = (
+    "400.perlbench_proxy",
+    "401.bzip2_proxy",
+    "429.mcf_proxy",
+    "458.sjeng_proxy",
+    "462.libquantum_proxy",
+)
+
+_LISTENING = re.compile(r"listening on ([0-9.]+):(\d+)")
+
+
+def duplicate_spec() -> dict:
+    """The shared spec every client re-submits (the store-hit workload)."""
+    return {
+        "kind": "simulate",
+        "name": "loadtest-duplicate",
+        "workloads": ["403.gcc_proxy"],
+        "scale": "quick",
+        "scale_overrides": {"workload_instructions": 2000},
+    }
+
+
+def unique_spec(index: int) -> dict:
+    """The ``index``-th unique spec (distinct digest, rotating workload)."""
+    return {
+        "kind": "simulate",
+        "name": f"loadtest-unique-{index}",
+        "workloads": [_UNIQUE_WORKLOADS[index % len(_UNIQUE_WORKLOADS)]],
+        "scale": "quick",
+        "scale_overrides": {"workload_instructions": 2000},
+    }
+
+
+def spawn_daemon(
+    store: str,
+    host: str = "127.0.0.1",
+    jobs: Optional[int] = None,
+    queue_limit: Optional[int] = None,
+    extra_env: Optional[dict] = None,
+) -> tuple[subprocess.Popen, str]:
+    """Start ``repro serve`` on an ephemeral port; returns (process, endpoint).
+
+    The endpoint is parsed from the daemon's "listening on HOST:PORT" line,
+    so no port is hardwired and parallel harnesses never collide.
+    """
+    command = [sys.executable, "-m", "repro", "serve",
+               "--host", host, "--port", "0", "--store", store]
+    if jobs is not None:
+        command += ["--jobs", str(jobs)]
+    if queue_limit is not None:
+        command += ["--queue-limit", str(queue_limit)]
+    env = dict(os.environ)
+    # Run from a source checkout without installation: put the package's
+    # parent (src/) on the child's path.
+    src_dir = str(Path(__file__).resolve().parent.parent.parent)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra_env or {})
+    process = subprocess.Popen(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.monotonic() + 60.0
+    assert process.stdout is not None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"repro serve exited before listening (rc={process.poll()})")
+        match = _LISTENING.search(line)
+        if match:
+            endpoint = f"{match.group(1)}:{match.group(2)}"
+            wait_until_ready(endpoint, timeout=30.0)
+            return process, endpoint
+    process.kill()
+    raise RuntimeError("repro serve never printed its listening address")
+
+
+def _percentile(sorted_values: list[float], quantile: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = round(quantile * (len(sorted_values) - 1))
+    return sorted_values[min(len(sorted_values) - 1, max(0, index))]
+
+
+def run_loadtest(
+    endpoint: Optional[str] = None,
+    clients: int = 3,
+    requests: int = 8,
+    store: Optional[str] = None,
+    jobs: Optional[int] = None,
+    out: Optional[str | Path] = SERVE_BENCH_FILE,
+    quiet: bool = False,
+) -> dict:
+    """Fire ``clients`` concurrent clients x ``requests`` each; return metrics.
+
+    Without ``endpoint`` a daemon is spawned (and shut down) around the run,
+    persisting into ``store`` (a temporary directory by default).  Request
+    index 0 and every odd index submit the shared duplicate spec; even
+    indexes submit unique specs — so >= half the workload exercises the
+    dedup/store path and the rest the warm fabric.
+    """
+    if clients < 1 or requests < 1:
+        raise ValueError("loadtest needs at least 1 client and 1 request")
+    process = None
+    tmp = None
+    if endpoint is None:
+        if store is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
+            store = tmp.name
+        process, endpoint = spawn_daemon(store, jobs=jobs)
+    try:
+        ping = wait_until_ready(endpoint, timeout=30.0)
+        latencies: list[float] = []
+        failures: list[str] = []
+        lock = threading.Lock()
+
+        def client_worker(client_index: int) -> None:
+            with ServeClient(endpoint, client_id=f"loadtest-{client_index}") as client:
+                for request_index in range(requests):
+                    spec = (
+                        duplicate_spec() if request_index % 2 else
+                        unique_spec(client_index * requests + request_index)
+                    )
+                    start = time.perf_counter()
+                    try:
+                        client.run(spec)
+                    except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                        with lock:
+                            failures.append(f"client {client_index}: {exc}")
+                        continue
+                    elapsed = time.perf_counter() - start
+                    with lock:
+                        latencies.append(elapsed)
+
+        threads = [threading.Thread(target=client_worker, args=(i,), daemon=True)
+                   for i in range(clients)]
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - wall_start
+
+        with ServeClient(endpoint, client_id="loadtest-stats") as client:
+            stats = client.stats()
+            if process is not None:
+                client.shutdown()
+    finally:
+        if process is not None:
+            try:
+                process.wait(timeout=60.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        if tmp is not None:
+            tmp.cleanup()
+
+    total = clients * requests
+    ordered = sorted(latencies)
+    counters = stats.get("counters", {})
+    store_hits = int(counters.get("store_hits", 0))
+    metrics = {
+        "serve": {
+            "clients": clients,
+            "requests_per_client": requests,
+            "total_requests": total,
+            "completed": len(latencies),
+            "failures": len(failures),
+            "wall_seconds": round(wall_seconds, 6),
+            "throughput_rps": round(len(latencies) / wall_seconds, 3) if wall_seconds else 0.0,
+            "p50_ms": round(_percentile(ordered, 0.50) * 1000, 3),
+            "p99_ms": round(_percentile(ordered, 0.99) * 1000, 3),
+            "store_hits": store_hits,
+            "store_hit_ratio": round(store_hits / total, 4) if total else 0.0,
+            "dedup_hits": int(counters.get("dedup_hits", 0)),
+            "rejected": int(counters.get("rejected", 0)),
+            "server_version": ping.get("server_version"),
+            "protocol_version": PROTOCOL_VERSION,
+        },
+    }
+    if failures:
+        metrics["serve"]["failure_samples"] = failures[:5]
+    if out:
+        append_entry(out, metrics)
+    if not quiet:
+        serve = metrics["serve"]
+        print(f"loadtest: {serve['completed']}/{total} requests over {clients} clients "
+              f"in {serve['wall_seconds']:.2f}s ({serve['throughput_rps']} req/s)")
+        print(f"latency p50 {serve['p50_ms']} ms / p99 {serve['p99_ms']} ms; "
+              f"store hits {store_hits} ({serve['store_hit_ratio']:.0%}), "
+              f"dedup {serve['dedup_hits']}, rejected {serve['rejected']}")
+        if out:
+            print(f"entry appended to {out}")
+    return metrics

@@ -1,0 +1,120 @@
+"""Wire protocol of the evaluation service (``repro serve``).
+
+The server and the :class:`~repro.serve.client.ServeClient` proxy exchange
+*frames*: a 4-byte big-endian unsigned length followed by that many bytes of
+UTF-8 JSON.  One frame carries one JSON object.  Requests name a ``verb``
+(:data:`VERBS`); responses always carry ``ok`` (``true``/``false``) and, on
+failure, ``error`` (human-readable message) plus ``code`` (stable
+machine-readable identifier, :data:`ERROR_CODES`).
+
+The protocol is deliberately dumb — length-prefixed JSON over a plain TCP
+socket, no TLS, no pickling — so any language (or ``netcat`` plus a JSON
+encoder) can drive the daemon, and a malicious peer can at worst submit a
+spec.  ``PROTOCOL_VERSION`` is echoed in every ``ping`` response together
+with the server's package version, so client/server skew is diagnosable
+before it turns into a confusing error.
+
+Frame layout::
+
+    +----------------+---------------------------+
+    | length (4B BE) | UTF-8 JSON object (length)|
+    +----------------+---------------------------+
+
+A frame longer than :data:`MAX_FRAME_BYTES` is refused on both sides — it
+indicates a corrupt stream (or a port-scanner speaking another protocol),
+not a legitimate result.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Optional
+
+#: Bumped on incompatible wire-format changes; echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Frames above this size are refused (corrupt stream / foreign protocol).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: The request verbs the server understands.
+VERBS = ("ping", "submit", "status", "result", "watch", "cancel", "stats", "shutdown")
+
+#: Stable error codes carried in failing responses.
+ERROR_CODES = (
+    "bad_frame",       # not JSON, no verb, or an unknown verb
+    "invalid_spec",    # the submitted payload failed RunSpec validation
+    "queue_full",      # backpressure: resubmit after ``retry_after`` seconds
+    "unknown_job",     # no job with that id (expired or never existed)
+    "job_failed",      # the evaluation raised; ``error`` has the message
+    "job_quarantined", # every retry failed; the job's spec is quarantined
+    "job_cancelled",   # the job was cancelled before it ran
+    "shutting_down",   # the server is stopping and accepts no new work
+)
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violated the framing rules (truncated / oversized)."""
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Serialize ``payload`` as one length-prefixed JSON frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"refusing to send {len(body)}-byte frame (max {MAX_FRAME_BYTES})")
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF (peer closed between frames)."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"refusing {length}-byte frame (max {MAX_FRAME_BYTES})")
+    body = _recv_exact(sock, length, eof_ok=False)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+def _recv_exact(sock: socket.socket, length: int, eof_ok: bool) -> Optional[bytes]:
+    """Read exactly ``length`` bytes; EOF mid-read always raises."""
+    chunks: list[bytes] = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if eof_ok and remaining == length:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({length - remaining}/{length} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
+
+
+def error_response(code: str, message: str, **extra: object) -> dict:
+    """A failing response frame (``ok`` false, stable ``code``)."""
+    assert code in ERROR_CODES, f"unknown error code {code!r}"
+    return {"ok": False, "code": code, "error": message, **extra}
+
+
+def parse_endpoint(endpoint: str, default_port: int = 0) -> tuple[str, int]:
+    """Split ``HOST:PORT`` (or bare ``HOST``) into an address pair."""
+    host, sep, port_text = endpoint.rpartition(":")
+    if not sep:
+        return endpoint, default_port
+    try:
+        return host or "127.0.0.1", int(port_text)
+    except ValueError as exc:
+        raise ValueError(f"invalid endpoint {endpoint!r} (expected HOST:PORT)") from exc

@@ -1,0 +1,386 @@
+"""The evaluation daemon: a threaded JSON-over-TCP front of one warm Session.
+
+``repro serve`` turns the whole evaluation stack — declarative RunSpecs,
+digest-keyed ResultStore, warm never-recycled worker pools, the resilient
+backend — into a long-running service.  The process model mirrors the
+instamatic ``tem_server.py`` split the ROADMAP cites: *many* connection
+handler threads parse frames and answer cheap verbs, but exactly **one
+evaluation thread** drains the job queue onto one shared
+:class:`~repro.api.session.Session`, so every client's work lands on the
+same warm fabric and pays no cold-start.
+
+Request flow for ``submit``::
+
+    validate spec -> content digest
+        digest in ResultStore?       -> answer immediately (never queued)
+        digest already in flight?    -> attach to that job (one evaluation)
+        queue below the bound?       -> enqueue FIFO / per-client round-robin
+        otherwise                    -> queue_full + retry_after hint
+
+Results returned over the wire are byte-identical to a local
+``Session.run`` of the same spec (volatile ``timing`` and
+``provenance.resilience`` aside) because they *are* ``Session.run`` outputs
+— the server adds nothing but transport.  See EXPERIMENTS.md ("Evaluation
+service") for the verb and failure semantics and ARCHITECTURE.md for the
+client -> queue -> fabric -> store diagram.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket
+import threading
+import time
+from typing import Optional
+
+from repro.api.registry import RegistryError
+from repro.api.spec import RunSpec, SpecError
+from repro.parallel.resilience import TaskFailedError
+from repro.serve import jobs as jobstates
+from repro.serve.jobs import JobTable, QueueFullError
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    recv_frame,
+    send_frame,
+)
+
+logger = logging.getLogger("repro.serve")
+
+#: Default TCP port (unassigned by IANA; override with ``--port``).
+DEFAULT_PORT = 9474
+
+#: Default bound on queued jobs (see JobTable backpressure).
+DEFAULT_QUEUE_LIMIT = 32
+
+
+class ReproServer:
+    """Threaded evaluation daemon around one shared Session.
+
+    ``session`` only needs the Session surface the server uses: ``.store``
+    (may be ``None``) and ``.run(RunSpec) -> RunResult`` — tests substitute
+    a controllable fake.  With ``owns_session`` (the default) the server
+    closes the session — and thereby the warm worker pools — on ``stop``.
+    """
+
+    def __init__(
+        self,
+        session,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        owns_session: bool = True,
+    ) -> None:
+        self._session = session
+        self._owns_session = owns_session
+        self.host = host
+        self.table = JobTable(queue_limit=queue_limit)
+        self.store_hits = 0
+        self.started_at = time.monotonic()
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+
+    # -------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Spawn the accept loop and the single evaluation thread."""
+        for name, target in (("serve-accept", self._accept_loop),
+                             ("serve-eval", self._eval_loop)):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        logger.info("repro serve: listening on %s:%d (pid %d)", self.host, self.port, os.getpid())
+
+    def stop(self) -> None:
+        """Graceful shutdown: no new work, running job finishes, pools close."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        cancelled = self.table.cancel_all_queued()
+        if cancelled:
+            logger.info("repro serve: cancelled %d queued job(s) on shutdown", cancelled)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the server threads to exit and release the session."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        if self._threads:
+            return  # timed out; caller may retry
+        if not self._stopped.is_set():
+            self._stopped.set()
+            self._listener.close()
+            if self._owns_session:
+                self._session.close()
+
+    def serve_forever(self) -> None:
+        """Run until :meth:`stop` (for the CLI; tests use start/stop/join)."""
+        self.start()
+        try:
+            while not self._stopping.is_set():
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            logger.info("repro serve: interrupted, shutting down")
+            self.stop()
+        finally:
+            self.stop()
+            self.join()
+
+    def __enter__(self) -> "ReproServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+        self.join()
+
+    # ---------------------------------------------------------------- accept
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                connection, address = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            handler = threading.Thread(
+                target=self._handle_connection,
+                args=(connection, f"{address[0]}:{address[1]}"),
+                name=f"serve-conn-{address[1]}",
+                daemon=True,
+            )
+            handler.start()
+
+    def _handle_connection(self, connection: socket.socket, peer: str) -> None:
+        with connection:
+            connection.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            while True:
+                try:
+                    request = recv_frame(connection)
+                except (ProtocolError, OSError) as exc:
+                    logger.debug("repro serve: dropping %s: %s", peer, exc)
+                    return
+                if request is None:
+                    return
+                try:
+                    self._dispatch(connection, peer, request)
+                except (ProtocolError, OSError) as exc:
+                    logger.debug("repro serve: lost %s mid-response: %s", peer, exc)
+                    return
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, connection: socket.socket, peer: str, request: dict) -> None:
+        verb = request.get("verb")
+        handler = getattr(self, f"_verb_{verb}", None) if isinstance(verb, str) else None
+        if handler is None:
+            send_frame(connection, error_response("bad_frame", f"unknown verb {verb!r}"))
+            return
+        handler(connection, peer, request)
+
+    def _verb_ping(self, connection: socket.socket, peer: str, request: dict) -> None:
+        from repro import package_version
+
+        store = getattr(self._session, "store", None)
+        send_frame(connection, {
+            "ok": True,
+            "server_version": package_version(),
+            "protocol_version": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "store_attached": store is not None,
+            "store_results": len(store) if store is not None else None,
+        })
+
+    def _verb_submit(self, connection: socket.socket, peer: str, request: dict) -> None:
+        if self._stopping.is_set():
+            send_frame(connection, error_response("shutting_down", "server is shutting down"))
+            return
+        payload = request.get("spec")
+        try:
+            if not isinstance(payload, dict):
+                raise SpecError(f"submit needs a 'spec' object, got {type(payload).__name__}")
+            spec = RunSpec.from_json_dict(payload).validate()
+        except (SpecError, RegistryError) as exc:
+            send_frame(connection, error_response("invalid_spec", str(exc)))
+            return
+        digest = spec.digest
+        client = str(request.get("client") or peer)
+        # Duplicate of a finished run: answer straight from the store, the
+        # job queue never sees it.
+        store = getattr(self._session, "store", None)
+        if store is not None:
+            stored = store.get(digest)
+            if stored is not None:
+                with self._lock:
+                    self.store_hits += 1
+                send_frame(connection, {
+                    "ok": True,
+                    "job_id": None,
+                    "digest": digest,
+                    "state": jobstates.DONE,
+                    "source": "store",
+                    "result": stored.to_json_dict(),
+                })
+                return
+        try:
+            job, deduped = self.table.submit(spec.to_json_dict(), digest, client)
+        except QueueFullError as exc:
+            send_frame(connection, error_response(
+                "queue_full", str(exc), retry_after=exc.retry_after))
+            return
+        response: dict[str, object] = {
+            "ok": True,
+            "job_id": job.job_id,
+            "digest": digest,
+            "state": job.state,
+            "source": "inflight" if deduped else "queue",
+        }
+        position = self.table.position(job)
+        if position is not None:
+            response["position"] = position
+        send_frame(connection, response)
+
+    def _verb_status(self, connection: socket.socket, peer: str, request: dict) -> None:
+        job = self._lookup(connection, request)
+        if job is None:
+            return
+        info = job.describe()
+        position = self.table.position(job)
+        if position is not None:
+            info["position"] = position
+        send_frame(connection, {"ok": True, **info})
+
+    def _verb_result(self, connection: socket.socket, peer: str, request: dict) -> None:
+        job = self._lookup(connection, request)
+        if job is None:
+            return
+        timeout = request.get("timeout")
+        if timeout is not None:
+            self.table.wait(job, timeout=float(timeout))
+        send_frame(connection, self._result_frame(job))
+
+    def _verb_watch(self, connection: socket.socket, peer: str, request: dict) -> None:
+        """Stream one frame per observed state change until terminal."""
+        job = self._lookup(connection, request)
+        if job is None:
+            return
+        state = None
+        while True:
+            if job.terminal:
+                send_frame(connection, self._result_frame(job))
+                return
+            if state is not None and self._stopping.is_set():
+                send_frame(connection, error_response(
+                    "shutting_down", "server stopped while the job was pending",
+                    job_id=job.job_id, state=job.state))
+                return
+            if job.state != state:
+                state = job.state
+                info = job.describe()
+                position = self.table.position(job)
+                if position is not None:
+                    info["position"] = position
+                send_frame(connection, {"ok": True, "final": False, **info})
+            self.table.wait(job, timeout=0.5, known_state=state)
+
+    def _result_frame(self, job) -> dict:
+        if job.state == jobstates.DONE:
+            return {"ok": True, "final": True, "job_id": job.job_id,
+                    "digest": job.digest, "state": job.state, "result": job.result}
+        if job.terminal:
+            code = {
+                jobstates.FAILED: "job_failed",
+                jobstates.QUARANTINED: "job_quarantined",
+                jobstates.CANCELLED: "job_cancelled",
+            }[job.state]
+            return error_response(code, job.error or f"job is {job.state}",
+                                  final=True, job_id=job.job_id, state=job.state)
+        return {"ok": True, "final": False, "job_id": job.job_id, "state": job.state}
+
+    def _verb_cancel(self, connection: socket.socket, peer: str, request: dict) -> None:
+        job_id = request.get("job_id")
+        job, cancelled = self.table.cancel(str(job_id))
+        if job is None:
+            send_frame(connection, error_response("unknown_job", f"no job {job_id!r}"))
+            return
+        send_frame(connection, {
+            "ok": True, "job_id": job.job_id, "state": job.state, "cancelled": cancelled,
+        })
+
+    def _verb_stats(self, connection: socket.socket, peer: str, request: dict) -> None:
+        from repro import package_version
+
+        stats = self.table.stats()
+        stats["counters"]["store_hits"] = self.store_hits
+        store = getattr(self._session, "store", None)
+        send_frame(connection, {
+            "ok": True,
+            "server_version": package_version(),
+            "protocol_version": PROTOCOL_VERSION,
+            "uptime_seconds": round(time.monotonic() - self.started_at, 3),
+            "store_results": len(store) if store is not None else None,
+            **stats,
+        })
+
+    def _verb_shutdown(self, connection: socket.socket, peer: str, request: dict) -> None:
+        logger.info("repro serve: shutdown requested by %s", peer)
+        send_frame(connection, {"ok": True, "stopping": True})
+        self.stop()
+
+    def _lookup(self, connection: socket.socket, request: dict):
+        job_id = request.get("job_id")
+        job = self.table.get(str(job_id))
+        if job is None:
+            send_frame(connection, error_response("unknown_job", f"no job {job_id!r}"))
+        return job
+
+    # ------------------------------------------------------------- evaluation
+
+    def _eval_loop(self) -> None:
+        """The single evaluation thread: queue -> shared warm Session."""
+        while True:
+            job = self.table.next_job(timeout=0.2)
+            if job is None:
+                if self._stopping.is_set():
+                    return
+                continue
+            try:
+                spec = RunSpec.from_json_dict(job.spec)
+                result = self._session.run(spec)
+            except TaskFailedError as exc:
+                logger.warning("repro serve: job %s quarantined: %s", job.job_id, exc)
+                self.table.fail(job, str(exc), quarantined=True)
+            except Exception as exc:  # noqa: BLE001 - one job must not kill the daemon
+                logger.warning("repro serve: job %s failed: %s", job.job_id, exc)
+                self.table.fail(job, f"{type(exc).__name__}: {exc}")
+            else:
+                self.table.finish(job, result.to_json_dict())
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    store: Optional[str] = None,
+    jobs: Optional[int] = None,
+    queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    retry=None,
+) -> ReproServer:
+    """Build a ready-to-start server around a fresh shared Session."""
+    from repro.api.session import Session
+
+    session = Session(jobs=jobs, store=store, retry=retry)
+    return ReproServer(session, host=host, port=port, queue_limit=queue_limit)

@@ -44,9 +44,11 @@ execution stack (see :mod:`repro.store.artifacts`,
 
 from __future__ import annotations
 
+import contextlib
 import json
 import logging
 import os
+import tempfile
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
@@ -71,27 +73,63 @@ class StoreError(RuntimeError):
     """A result store is corrupt, incompatible or used inconsistently."""
 
 
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+
+@contextlib.contextmanager
+def _exclusive_lock(handle):
+    """Advisory exclusive lock on an open file (no-op where unsupported)."""
+    if fcntl is None:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+    try:
+        yield
+    finally:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
 def atomic_write_text(path: Union[str, Path], text: str) -> None:
-    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    The temp name is unique per writer: several processes opening one store
+    concurrently (serve daemon + offline runs) each write ``meta.json``
+    through here, and a shared ``.tmp`` name would let one writer truncate
+    the file another is about to rename into place.
+    """
     path = Path(path)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text)
-    os.replace(tmp, path)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=f"{path.name}.{os.getpid()}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
 
 
 def _strip_volatile(document: dict) -> dict:
     """A copy of a RunResult JSON dict without run-dependent blocks.
 
-    ``timing`` and ``provenance.resilience`` describe *how* a run executed
-    (wall clock, fault/retry counters), not *what* it computed, so two
-    results differing only there are still the same result for conflict
-    detection.
+    ``timing``, ``provenance.resilience`` and ``ga.evaluation_seconds``
+    describe *how* a run executed (wall clock, fault/retry counters), not
+    *what* it computed, so two results differing only there are still the
+    same result for conflict detection.
     """
     stripped = {key: value for key, value in document.items() if key != "timing"}
     provenance = stripped.get("provenance")
     if isinstance(provenance, dict) and "resilience" in provenance:
         stripped["provenance"] = {
             key: value for key, value in provenance.items() if key != "resilience"
+        }
+    ga = stripped.get("ga")
+    if isinstance(ga, dict) and "evaluation_seconds" in ga:
+        stripped["ga"] = {
+            key: value for key, value in ga.items() if key != "evaluation_seconds"
         }
     if stripped.get("children"):
         stripped["children"] = [_strip_volatile(child) for child in stripped["children"]]
@@ -164,15 +202,16 @@ class _JsonlBackend:
         # half, exactly like a crash mid-append (no-op outside chaos tests).
         line = chaos_mangle("result-store", line)
         # A single buffered write + flush keeps the line contiguous; the
-        # loader above recovers from a torn final line either way.
-        if self.path.exists():
-            with open(self.path, "r+b") as handle:
+        # loader above recovers from a torn final line either way.  The
+        # advisory flock serializes concurrent writers — a serve daemon and
+        # an offline `repro run --store` sharing one directory must not
+        # interleave appends or stomp each other's tail-salvage truncation.
+        # O_CREAT without O_TRUNC: two processes racing to create the file
+        # must not wipe each other's first record the way open("wb") would.
+        fd = os.open(self.path, os.O_CREAT | os.O_RDWR, 0o644)
+        with os.fdopen(fd, "r+b") as handle:
+            with _exclusive_lock(handle):
                 self._truncate_torn_tail(handle)
-                handle.write(line)
-                handle.flush()
-                os.fsync(handle.fileno())
-        else:
-            with open(self.path, "wb") as handle:
                 handle.write(line)
                 handle.flush()
                 os.fsync(handle.fileno())

@@ -59,7 +59,13 @@ def connect_with_retry(path: Union[str, Path]) -> sqlite3.Connection:
     """Open a sqlite database, retrying while another process holds the lock."""
 
     def _open() -> sqlite3.Connection:
-        connection = sqlite3.connect(str(path), timeout=BUSY_TIMEOUT_SECONDS)
+        # check_same_thread=False: the serve daemon opens stores on its
+        # evaluation thread and releases them from the shutdown path; the
+        # callers serialize access (one evaluation thread, close-after-join),
+        # sqlite's own locking covers cross-process writers.
+        connection = sqlite3.connect(
+            str(path), timeout=BUSY_TIMEOUT_SECONDS, check_same_thread=False
+        )
         connection.execute(f"PRAGMA busy_timeout = {int(BUSY_TIMEOUT_SECONDS * 1000)}")
         return connection
 

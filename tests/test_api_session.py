@@ -180,6 +180,28 @@ class TestSessionPinning:
         session.close()
         assert session._contexts == {}
 
+    def test_close_is_idempotent(self):
+        session = Session()
+        session.context_for(RunSpec(kind="simulate"))
+        assert not session.closed
+        session.close()
+        assert session.closed
+        session.close()  # second close (shutdown racing a signal handler) is a no-op
+
+    def test_closed_session_refuses_new_work(self):
+        session = Session()
+        session.close()
+        with pytest.raises(RuntimeError, match="session is closed"):
+            session.run(RunSpec(kind="simulate", scale_overrides={"workload_instructions": 1500}))
+        with pytest.raises(RuntimeError, match="session is closed"):
+            session.context_for(RunSpec(kind="simulate"))
+
+    def test_context_manager_closes_once(self):
+        with Session() as session:
+            session.context_for(RunSpec(kind="simulate"))
+            session.close()  # explicit close inside the with block
+        assert session.closed
+
     def test_backend_participates_in_context_cache_key(self):
         with Session(jobs=1) as session:
             default = session.context_for(RunSpec(kind="simulate"))

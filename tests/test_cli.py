@@ -28,6 +28,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["figure42"])
 
+    def test_version_flag(self, capsys):
+        from repro import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {package_version()}"
+
     def test_parser_accepts_jobs(self):
         args = build_parser().parse_args(["figure6", "--jobs", "4"])
         assert args.jobs == 4

@@ -1,0 +1,212 @@
+"""Job-table unit tests: fair scheduling, dedup, backpressure, cancellation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUARANTINED,
+    QUEUED,
+    RUNNING,
+    JobTable,
+    QueueFullError,
+)
+
+
+def _spec(name: str) -> dict:
+    return {"kind": "simulate", "name": name}
+
+
+def _submit(table: JobTable, name: str, client: str = "a"):
+    job, deduped = table.submit(_spec(name), digest=f"digest-{name}", client=client)
+    return job, deduped
+
+
+def test_submit_assigns_ids_and_queues():
+    table = JobTable()
+    job, deduped = _submit(table, "one")
+    assert not deduped
+    assert job.state == QUEUED
+    assert job.job_id == "job-1"
+    assert table.get("job-1") is job
+    assert table.stats()["queue_depth"] == 1
+
+
+def test_next_job_marks_running_and_fifo_within_client():
+    table = JobTable()
+    first, _ = _submit(table, "one")
+    second, _ = _submit(table, "two")
+    assert table.next_job(timeout=0.1) is first
+    assert first.state == RUNNING
+    assert table.next_job(timeout=0.1) is second
+
+
+def test_round_robin_across_clients():
+    """A burst from one client cannot starve later-arriving clients."""
+    table = JobTable()
+    a1, _ = _submit(table, "a1", client="a")
+    a2, _ = _submit(table, "a2", client="a")
+    a3, _ = _submit(table, "a3", client="a")
+    b1, _ = _submit(table, "b1", client="b")
+    c1, _ = _submit(table, "c1", client="c")
+    order = [table.next_job(timeout=0.1) for _ in range(5)]
+    assert order == [a1, b1, c1, a2, a3]
+
+
+def test_position_follows_round_robin_deal():
+    table = JobTable()
+    a1, _ = _submit(table, "a1", client="a")
+    a2, _ = _submit(table, "a2", client="a")
+    b1, _ = _submit(table, "b1", client="b")
+    assert table.position(a1) == 0
+    assert table.position(b1) == 1
+    assert table.position(a2) == 2
+    table.next_job(timeout=0.1)
+    assert table.position(a1) is None  # running jobs have no queue position
+
+
+def test_dedup_attaches_to_inflight_job():
+    table = JobTable()
+    job, _ = _submit(table, "same")
+    again, deduped = table.submit(_spec("same"), digest="digest-same", client="b")
+    assert deduped and again is job
+    assert job.waiters == 2
+    assert table.counters["dedup_hits"] == 1
+    # Dedup also works while the job is running.
+    table.next_job(timeout=0.1)
+    third, deduped = table.submit(_spec("same"), digest="digest-same", client="c")
+    assert deduped and third is job
+
+
+def test_finished_digest_leaves_inflight_index():
+    table = JobTable()
+    job, _ = _submit(table, "same")
+    table.next_job(timeout=0.1)
+    table.finish(job, {"rows": []})
+    assert job.state == DONE and job.result == {"rows": []}
+    fresh, deduped = table.submit(_spec("same"), digest="digest-same", client="b")
+    assert not deduped and fresh is not job
+
+
+def test_queue_limit_rejects_with_retry_after():
+    table = JobTable(queue_limit=2)
+    _submit(table, "one")
+    _submit(table, "two")
+    with pytest.raises(QueueFullError) as excinfo:
+        _submit(table, "three")
+    assert excinfo.value.retry_after > 0
+    assert table.counters["rejected"] == 1
+    # The running job does not count against the bound.
+    table.next_job(timeout=0.1)
+    _submit(table, "three")
+
+
+def test_cancel_queued_job():
+    table = JobTable()
+    job, _ = _submit(table, "one")
+    returned, cancelled = table.cancel(job.job_id)
+    assert cancelled and returned is job
+    assert job.state == CANCELLED
+    assert table.next_job(timeout=0.05) is None
+    assert table.counters["cancelled"] == 1
+
+
+def test_cancel_needs_every_waiter():
+    """A deduplicated job survives until its last submitter cancels."""
+    table = JobTable()
+    job, _ = _submit(table, "same")
+    table.submit(_spec("same"), digest="digest-same", client="b")
+    _, cancelled = table.cancel(job.job_id)
+    assert not cancelled and job.state == QUEUED
+    _, cancelled = table.cancel(job.job_id)
+    assert cancelled and job.state == CANCELLED
+
+
+def test_cancel_running_job_is_refused():
+    table = JobTable()
+    job, _ = _submit(table, "one")
+    table.next_job(timeout=0.1)
+    returned, cancelled = table.cancel(job.job_id)
+    assert returned is job and not cancelled
+    assert job.state == RUNNING
+
+
+def test_cancel_unknown_job():
+    table = JobTable()
+    assert table.cancel("job-99") == (None, False)
+
+
+def test_fail_and_quarantine_states():
+    table = JobTable()
+    one, _ = _submit(table, "one")
+    two, _ = _submit(table, "two")
+    table.next_job(timeout=0.1)
+    table.fail(one, "boom")
+    assert one.state == FAILED and one.error == "boom"
+    table.next_job(timeout=0.1)
+    table.fail(two, "gone", quarantined=True)
+    assert two.state == QUARANTINED
+    counters = table.stats()["counters"]
+    assert counters["failed"] == 1 and counters["quarantined"] == 1
+
+
+def test_cancel_all_queued_on_shutdown():
+    table = JobTable()
+    running, _ = _submit(table, "running")
+    table.next_job(timeout=0.1)
+    _submit(table, "q1")
+    _submit(table, "q2", client="b")
+    assert table.cancel_all_queued() == 2
+    assert running.state == RUNNING  # the in-flight job is left to finish
+    assert table.stats()["queue_depth"] == 0
+
+
+def test_wait_returns_on_state_change():
+    table = JobTable()
+    job, _ = _submit(table, "one")
+
+    def complete():
+        picked = table.next_job(timeout=1.0)
+        table.finish(picked, {"rows": [1]})
+
+    thread = threading.Thread(target=complete)
+    thread.start()
+    state = table.wait(job, timeout=5.0)
+    thread.join()
+    assert state == DONE
+
+
+def test_wait_timeout_returns_current_state():
+    table = JobTable()
+    job, _ = _submit(table, "one")
+    assert table.wait(job, timeout=0.05) == QUEUED
+
+
+def test_stats_shape():
+    table = JobTable(queue_limit=7)
+    _submit(table, "one")
+    stats = table.stats()
+    assert stats["queue_limit"] == 7
+    assert stats["states"][QUEUED] == 1
+    assert stats["counters"]["submitted"] == 1
+    assert stats["clients"] == 1
+
+
+def test_describe_includes_error_and_duration():
+    table = JobTable()
+    job, _ = _submit(table, "one")
+    table.next_job(timeout=0.1)
+    table.fail(job, "exploded")
+    info = job.describe()
+    assert info["error"] == "exploded"
+    assert info["run_seconds"] >= 0
+
+
+def test_queue_limit_validation():
+    with pytest.raises(ValueError):
+        JobTable(queue_limit=0)

@@ -1,0 +1,130 @@
+"""Wire-protocol unit tests: framing, limits, endpoint parsing."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    error_response,
+    parse_endpoint,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+def test_frame_round_trip(pair):
+    left, right = pair
+    payload = {"verb": "submit", "spec": {"kind": "simulate"}, "n": 3, "pi": 3.25}
+    send_frame(left, payload)
+    assert recv_frame(right) == payload
+
+
+def test_multiple_frames_in_sequence(pair):
+    left, right = pair
+    for index in range(5):
+        send_frame(left, {"index": index})
+    for index in range(5):
+        assert recv_frame(right) == {"index": index}
+
+
+def test_unicode_survives_the_wire(pair):
+    left, right = pair
+    payload = {"name": "naïve-stressmark-μarch"}
+    send_frame(left, payload)
+    assert recv_frame(right) == payload
+
+
+def test_clean_eof_returns_none(pair):
+    left, right = pair
+    left.close()
+    assert recv_frame(right) is None
+
+
+def test_eof_mid_frame_raises(pair):
+    left, right = pair
+    left.sendall(struct.pack(">I", 100) + b"short")
+    left.close()
+    with pytest.raises(ProtocolError, match="mid-frame"):
+        recv_frame(right)
+
+
+def test_oversized_header_refused(pair):
+    left, right = pair
+    left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(ProtocolError, match="refusing"):
+        recv_frame(right)
+
+
+def test_non_json_frame_raises(pair):
+    left, right = pair
+    body = b"\xff\xfenot json"
+    left.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ProtocolError, match="not valid JSON"):
+        recv_frame(right)
+
+
+def test_non_object_frame_raises(pair):
+    left, right = pair
+    body = b"[1, 2, 3]"
+    left.sendall(struct.pack(">I", len(body)) + body)
+    with pytest.raises(ProtocolError, match="JSON object"):
+        recv_frame(right)
+
+
+def test_large_frame_round_trip(pair):
+    left, right = pair
+    payload = {"rows": [{"value": i / 7} for i in range(5000)]}
+    received: dict = {}
+    # Socketpair buffers are small: sender and receiver must run concurrently.
+    thread = threading.Thread(target=lambda: received.update(recv_frame(right)))
+    thread.start()
+    send_frame(left, payload)
+    thread.join(timeout=10)
+    assert received == payload
+
+
+def test_error_response_shape():
+    frame = error_response("queue_full", "full up", retry_after=2.5)
+    assert frame == {"ok": False, "code": "queue_full", "error": "full up", "retry_after": 2.5}
+
+
+def test_error_response_rejects_unknown_code():
+    with pytest.raises(AssertionError):
+        error_response("not_a_code", "nope")
+
+
+def test_error_codes_are_unique():
+    assert len(set(ERROR_CODES)) == len(ERROR_CODES)
+
+
+@pytest.mark.parametrize(
+    ("endpoint", "expected"),
+    [
+        ("localhost:9474", ("localhost", 9474)),
+        ("10.1.2.3:80", ("10.1.2.3", 80)),
+        (":8080", ("127.0.0.1", 8080)),
+        ("justahost", ("justahost", 0)),
+    ],
+)
+def test_parse_endpoint(endpoint, expected):
+    assert parse_endpoint(endpoint) == expected
+
+
+def test_parse_endpoint_rejects_bad_port():
+    with pytest.raises(ValueError, match="invalid endpoint"):
+        parse_endpoint("host:notaport")

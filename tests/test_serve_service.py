@@ -1,0 +1,350 @@
+"""Service-level tests: ReproServer + ServeClient over a real TCP socket.
+
+Most tests drive the daemon against a *fake* session whose ``run`` blocks
+on an event the test controls, so queueing, deduplication, backpressure and
+cancellation are exercised deterministically.  The final tests use a real
+:class:`~repro.api.session.Session` at tiny scale to prove the remote
+result is byte-identical to a local run.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api.session import Session
+from repro.api.spec import RunResult, RunSpec
+from repro.parallel.resilience import TaskFailedError
+from repro.serve.client import (
+    RemoteError,
+    RemoteRunError,
+    ServeBusyError,
+    ServeClient,
+    wait_until_ready,
+)
+from repro.serve.server import ReproServer
+from repro.store.result_store import _strip_volatile
+
+
+def _spec(name: str) -> dict:
+    return {"kind": "simulate", "name": name}
+
+
+class FakeSession:
+    """Session stand-in with a controllable, observable ``run``."""
+
+    def __init__(self, gate: threading.Event | None = None) -> None:
+        self.gate = gate  # run() blocks here when set
+        self.ran: list[str] = []
+        self.fail_names: dict[str, Exception] = {}
+        self.closed = 0
+        self.store = None
+
+    def run(self, spec: RunSpec) -> RunResult:
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30.0), "test gate never opened"
+        self.ran.append(spec.name)
+        error = self.fail_names.get(spec.name)
+        if error is not None:
+            raise error
+        return RunResult(spec=spec, rows=[{"name": spec.name, "value": 1.5}])
+
+    def close(self) -> None:
+        self.closed += 1
+
+
+@pytest.fixture()
+def gated():
+    """A started server whose evaluation thread blocks until gate.set()."""
+    gate = threading.Event()
+    session = FakeSession(gate=gate)
+    server = ReproServer(session, port=0, queue_limit=4)
+    server.start()
+    try:
+        yield server, session, gate
+    finally:
+        gate.set()
+        server.stop()
+        server.join(timeout=30.0)
+
+
+def _client(server: ReproServer, client_id: str = "test") -> ServeClient:
+    return ServeClient(host="127.0.0.1", port=server.port, timeout=30.0, client_id=client_id)
+
+
+def _wait_state(client: ServeClient, job_id: str, state: str, timeout: float = 10.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = client.status(job_id)
+        if status["state"] == state:
+            return status
+        time.sleep(0.01)
+    raise AssertionError(f"job {job_id} never reached {state!r} (last: {status})")
+
+
+# ---------------------------------------------------------------- liveness
+
+
+def test_ping_reports_versions(gated):
+    server, _, _ = gated
+    from repro import package_version
+    from repro.serve.protocol import PROTOCOL_VERSION
+
+    with _client(server) as client:
+        info = client.ping()
+    assert info["server_version"] == package_version()
+    assert info["protocol_version"] == PROTOCOL_VERSION
+    assert info["uptime_seconds"] >= 0
+    assert info["store_attached"] is False
+
+
+def test_wait_until_ready_and_timeout(gated):
+    server, _, _ = gated
+    assert wait_until_ready(f"127.0.0.1:{server.port}", timeout=10.0)["ok"]
+    with pytest.raises(TimeoutError):
+        wait_until_ready("127.0.0.1:1", timeout=0.3)
+
+
+def test_unknown_verb_is_rejected(gated):
+    server, _, _ = gated
+    with _client(server) as client:
+        with pytest.raises(RemoteError) as excinfo:
+            client._checked(client._request({"verb": "frobnicate"}))
+    assert excinfo.value.code == "bad_frame"
+
+
+# ------------------------------------------------------------- submit/queue
+
+
+def test_submit_queue_run_result_cycle(gated):
+    server, session, gate = gated
+    with _client(server) as client:
+        response = client.submit(_spec("cycle"))
+        assert response["state"] == "queued" and response["source"] == "queue"
+        job_id = response["job_id"]
+        _wait_state(client, job_id, "running")
+        gate.set()
+        result = client.wait(job_id)
+    assert isinstance(result, RunResult)
+    assert result.rows == [{"name": "cycle", "value": 1.5}]
+    assert session.ran == ["cycle"]
+
+
+def test_run_blocking_mirror(gated):
+    server, _, gate = gated
+    gate.set()
+    with _client(server) as client:
+        result = client.run(_spec("mirror"))
+    assert result.spec.name == "mirror"
+
+
+def test_invalid_spec_rejected_without_queueing(gated):
+    server, session, _ = gated
+    with _client(server) as client:
+        with pytest.raises(RemoteError) as excinfo:
+            client._checked(client._request({
+                "verb": "submit", "spec": {"kind": "simulate", "config": "no_such_config"},
+            }))
+        assert excinfo.value.code == "invalid_spec"
+        with pytest.raises(RemoteError) as excinfo:
+            client._checked(client._request({"verb": "submit", "spec": "not a dict"}))
+        assert excinfo.value.code == "invalid_spec"
+    assert session.ran == []
+
+
+def test_inflight_dedup_one_evaluation(gated):
+    server, session, gate = gated
+    with _client(server, "one") as first, _client(server, "two") as second:
+        blocker = first.submit(_spec("blocker"))
+        _wait_state(first, blocker["job_id"], "running")
+        response_a = first.submit(_spec("same"))
+        response_b = second.submit(_spec("same"))
+        assert response_a["job_id"] == response_b["job_id"]
+        assert response_b["source"] == "inflight"
+        gate.set()
+        result_a = first.wait(response_a["job_id"])
+        result_b = second.wait(response_b["job_id"])
+    assert result_a.to_json_dict() == result_b.to_json_dict()
+    assert session.ran.count("same") == 1
+    with _client(server) as client:
+        assert client.stats()["counters"]["dedup_hits"] == 1
+
+
+def test_backpressure_queue_full_retry_after(gated):
+    server, _, gate = gated  # queue_limit=4
+    with _client(server) as client:
+        blocker = client.submit(_spec("blocker"))
+        _wait_state(client, blocker["job_id"], "running")
+        for index in range(4):
+            client.submit(_spec(f"fill-{index}"))
+        with pytest.raises(ServeBusyError) as excinfo:
+            client.submit(_spec("overflow"))
+        assert excinfo.value.retry_after > 0
+        gate.set()
+        # run() retries through the backpressure window and completes.
+        result = client.run(_spec("overflow"), busy_deadline=30.0)
+    assert result.spec.name == "overflow"
+
+
+def test_cancel_queued_job_and_result_error(gated):
+    server, session, gate = gated
+    with _client(server) as client:
+        blocker = client.submit(_spec("blocker"))
+        _wait_state(client, blocker["job_id"], "running")
+        queued = client.submit(_spec("victim"))
+        response = client.cancel(queued["job_id"])
+        assert response["cancelled"] and response["state"] == "cancelled"
+        with pytest.raises(RemoteRunError) as excinfo:
+            client.result(queued["job_id"])
+        assert excinfo.value.code == "job_cancelled"
+        gate.set()
+        client.wait(blocker["job_id"])
+    assert "victim" not in session.ran
+
+
+def test_cancel_deduplicated_job_keeps_other_waiter(gated):
+    server, session, gate = gated
+    with _client(server, "one") as first, _client(server, "two") as second:
+        blocker = first.submit(_spec("blocker"))
+        _wait_state(first, blocker["job_id"], "running")
+        shared_a = first.submit(_spec("shared"))
+        second.submit(_spec("shared"))
+        response = first.cancel(shared_a["job_id"])
+        assert not response["cancelled"]
+        gate.set()
+        result = second.wait(shared_a["job_id"])
+    assert result.spec.name == "shared"
+    assert session.ran.count("shared") == 1
+
+
+def test_round_robin_fairness_across_clients(gated):
+    server, session, gate = gated
+    with _client(server, "hog") as hog, _client(server, "small") as small:
+        blocker = hog.submit(_spec("blocker"))
+        _wait_state(hog, blocker["job_id"], "running")
+        hog_jobs = [hog.submit(_spec(f"hog-{i}")) for i in range(3)]
+        small_job = small.submit(_spec("small-1"))
+        # The small client's single job runs right after the hog's first:
+        # live positions (via status) reflect the round-robin deal.
+        assert small.status(small_job["job_id"])["position"] == 1
+        assert [hog.status(j["job_id"])["position"] for j in hog_jobs] == [0, 2, 3]
+        gate.set()
+        small.wait(small_job["job_id"])
+    assert session.ran.index("small-1") < session.ran.index("hog-1")
+
+
+# --------------------------------------------------------------- failures
+
+
+def test_failed_job_raises_remote_run_error(gated):
+    server, session, gate = gated
+    session.fail_names["doomed"] = ValueError("synthetic failure")
+    gate.set()
+    with _client(server) as client:
+        with pytest.raises(RemoteRunError) as excinfo:
+            client.run(_spec("doomed"))
+        assert excinfo.value.code == "job_failed"
+        assert "synthetic failure" in str(excinfo.value)
+        assert client.stats()["counters"]["failed"] == 1
+    # The daemon survives the failure and keeps serving.
+    with _client(server) as client:
+        assert client.run(_spec("after")).spec.name == "after"
+
+
+def test_quarantined_job_maps_to_its_own_code(gated):
+    server, session, gate = gated
+    session.fail_names["toxic"] = TaskFailedError("every retry failed")
+    gate.set()
+    with _client(server) as client:
+        with pytest.raises(RemoteRunError) as excinfo:
+            client.run(_spec("toxic"))
+        assert excinfo.value.code == "job_quarantined"
+        assert excinfo.value.state == "quarantined"
+
+
+def test_unknown_job_code(gated):
+    server, _, _ = gated
+    with _client(server) as client:
+        with pytest.raises(RemoteError) as excinfo:
+            client.status("job-404")
+        assert excinfo.value.code == "unknown_job"
+
+
+# --------------------------------------------------------------- shutdown
+
+
+def test_shutdown_cancels_queue_and_closes_session():
+    gate = threading.Event()
+    session = FakeSession(gate=gate)
+    server = ReproServer(session, port=0)
+    server.start()
+    with _client(server) as client:
+        blocker = client.submit(_spec("blocker"))
+        _wait_state(client, blocker["job_id"], "running")
+        queued = client.submit(_spec("queued"))
+        assert client.shutdown()["stopping"]
+        # New work is refused while stopping.
+        with pytest.raises(RemoteError) as excinfo:
+            client.submit(_spec("late"))
+        assert excinfo.value.code == "shutting_down"
+    gate.set()
+    server.join(timeout=30.0)
+    assert session.closed == 1  # idempotent close ran exactly once
+    table_job = server.table.get(queued["job_id"])
+    assert table_job.state == "cancelled"
+    assert session.ran == ["blocker"]  # the running job finished cleanly
+
+
+def test_stats_includes_store_hits_counter(gated):
+    server, _, gate = gated
+    gate.set()
+    with _client(server) as client:
+        client.run(_spec("one"))
+        stats = client.stats()
+    assert stats["counters"]["store_hits"] == 0
+    assert stats["counters"]["completed"] == 1
+    assert stats["queue_limit"] == 4
+
+
+# ------------------------------------------------- real session, real store
+
+
+@pytest.fixture(scope="module")
+def tiny_spec() -> dict:
+    return {
+        "kind": "simulate",
+        "name": "serve-tiny",
+        "workloads": ["403.gcc_proxy"],
+        "scale": "quick",
+        "scale_overrides": {"workload_instructions": 1500},
+    }
+
+
+def test_remote_result_byte_identical_to_local(tmp_path, tiny_spec):
+    server = ReproServer(Session(store=tmp_path / "store"), port=0)
+    with server:
+        with _client(server) as client:
+            remote_first = client.run(tiny_spec)
+            remote_again = client.run(tiny_spec)  # served from the store
+            stats = client.stats()
+    assert stats["counters"]["store_hits"] == 1
+    assert stats["counters"]["submitted"] == 1  # the duplicate never queued
+    with Session() as session:
+        local = session.run(dict(tiny_spec))
+    stripped = _strip_volatile(local.to_json_dict())
+    assert _strip_volatile(remote_first.to_json_dict()) == stripped
+    # Store answers are the *original* result verbatim, timing included.
+    assert remote_again.to_json_dict() == remote_first.to_json_dict()
+
+
+def test_store_hit_submit_returns_result_inline(tmp_path, tiny_spec):
+    server = ReproServer(Session(store=tmp_path / "store"), port=0)
+    with server:
+        with _client(server) as client:
+            client.run(tiny_spec)
+            response = client.submit(tiny_spec)
+    assert response["source"] == "store"
+    assert response["job_id"] is None
+    assert response["result"]["rows"]
