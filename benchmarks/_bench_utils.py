@@ -40,6 +40,16 @@ def pipeline_bench_path():
     return here if here.exists() else Path(PIPELINE_BENCH_FILE)
 
 
+def ga_bench_path():
+    """BENCH_ga.json at the repository root (works from any cwd)."""
+    from pathlib import Path
+
+    from repro.experiments.bench import GA_BENCH_FILE
+
+    here = Path(__file__).resolve().parent.parent / GA_BENCH_FILE
+    return here if here.exists() else Path(GA_BENCH_FILE)
+
+
 def kernel_baseline():
     """First trajectory entry recorded with the kernel path active."""
     from repro.experiments.bench import baseline_entry

@@ -63,6 +63,13 @@ def pytest_configure(config: pytest.Config) -> None:
     )
     config.addinivalue_line(
         "markers",
+        "batch_smoke: batch evaluation-plane gate — population AVF/SER "
+        "byte-compared between the batch kernel backend and the interpreter, "
+        "plus a batch-vs-per-genome speedup floor (run via `make batch-smoke` "
+        "or REPRO_BATCH_SMOKE=1; see PERFORMANCE.md)",
+    )
+    config.addinivalue_line(
+        "markers",
         "chaos_smoke: fault-tolerance gate — GA under injected worker kills "
         "and torn store writes byte-compared against a clean serial run (run "
         "via `make chaos-smoke` or REPRO_CHAOS_SMOKE=1; see ARCHITECTURE.md)",

@@ -1,0 +1,118 @@
+"""Batch evaluation-plane gate (tier-2 ``batch_smoke``).
+
+Two checks on the population-at-once batch kernels (ARCHITECTURE.md,
+"Batch evaluation plane"):
+
+* **Parity** — one GA-generation-shaped population of derived stressmarks
+  per config is simulated twice, once through the ``batch`` kernel backend
+  (one config-specialized kernel, shared warm state, operand plans) and
+  once through the interpreted reference loop, and the canonical
+  per-structure AVF / group SER payloads are compared byte for byte at
+  full ``repr`` precision — the same discipline as the AVF golden gate.
+* **Throughput floor** — the batch-vs-per-genome microbenchmark
+  (:func:`repro.experiments.bench.bench_batch_speedup`) is rerun and its
+  ``speedup`` held to the first ``kernel_batch`` baseline recorded in
+  ``BENCH_ga.json`` minus the shared 30% regression allowance; the batch
+  plane must also never be slower than the per-genome path it replaces.
+
+Run via ``make batch-smoke`` or ``REPRO_BATCH_SMOKE=1``; skipped in plain
+test runs (the parity matrix takes tens of seconds).
+"""
+
+from __future__ import annotations
+
+import difflib
+import json
+import os
+
+import pytest
+
+from _bench_utils import MAX_REGRESSION, ga_bench_path
+from repro.api.registry import CONFIGS
+from repro.avf.analysis import StructureGroup
+from repro.avf.report import build_report
+from repro.experiments.bench import baseline_entry, bench_batch_speedup
+from repro.stressmark.generator import StressmarkGenerator, reference_knobs
+from repro.uarch import kernel_batch
+from repro.uarch.kernel_backends import BATCH, INTERPRETED
+from repro.uarch.pipeline import OutOfOrderCore
+
+pytestmark = [pytest.mark.batch_smoke]
+if not os.environ.get("REPRO_BATCH_SMOKE"):
+    pytestmark.append(
+        pytest.mark.skip(
+            reason="batch smoke disabled (set REPRO_BATCH_SMOKE=1 or run `make batch-smoke`)"
+        )
+    )
+
+#: The parity matrix: both the paper baseline and the flag-gated extensions.
+SMOKE_CONFIGS = ("baseline", "extended")
+POPULATION = 6
+INSTRUCTIONS = 4_000
+
+
+def _population_payload(config_name: str, backend) -> str:
+    """Canonical AVF/SER JSON of one simulated population (byte-comparable)."""
+    config = CONFIGS.create(config_name)
+    generator = StressmarkGenerator(config=config, max_instructions=INSTRUCTIONS)
+    knobs = reference_knobs(config)
+    programs = [
+        generator.codegen.generate(knobs.derive(random_seed=seed))
+        for seed in range(1, POPULATION + 1)
+    ]
+    core = OutOfOrderCore(config, seed=generator.simulation_seed)
+    results = backend.run_many(core, programs, INSTRUCTIONS)
+    payload: dict[str, object] = {}
+    for index, result in enumerate(results):
+        report = build_report(result, generator.fault_rates)
+        payload[f"{config_name}/genome-{index}"] = {
+            "cycles": report.total_cycles,
+            "instructions": report.committed_instructions,
+            "avf": {s.value: repr(v) for s, v in report.structure_avf.items()},
+            "ser": {g.value: repr(report.ser(g)) for g in StructureGroup},
+        }
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+class TestBatchParity:
+    @pytest.mark.parametrize("config_name", SMOKE_CONFIGS)
+    def test_population_identical_under_batch_plane(self, config_name):
+        kernel_batch.clear_batch_caches()
+        batch_payload = _population_payload(config_name, BATCH)
+        assert kernel_batch.STATS.batch_runs >= POPULATION, (
+            "batch kernel never engaged — the gate compared nothing"
+        )
+        interpreted_payload = _population_payload(config_name, INTERPRETED)
+        if batch_payload != interpreted_payload:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    interpreted_payload.splitlines(), batch_payload.splitlines(),
+                    fromfile="interpreted", tofile="batch", lineterm="", n=2,
+                )
+            )
+            pytest.fail(f"batch plane diverged from the interpreter:\n{diff[:4000]}")
+
+
+class TestBatchThroughput:
+    def test_batch_speedup_floor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        metrics = bench_batch_speedup()
+        assert metrics["kernel"], "kernel path inactive despite REPRO_KERNEL being unset"
+        assert metrics["deterministic"], "batch and per-genome paths disagreed"
+        assert metrics["speedup"] >= 1.0, (
+            f"batch plane ({metrics['batch_seconds']:.3f}s) slower than the "
+            f"per-genome path ({metrics['source_seconds']:.3f}s) it replaces"
+        )
+        recorded = baseline_entry(
+            ga_bench_path(),
+            lambda entry: isinstance(entry.get("kernel_batch"), dict)
+            and entry["kernel_batch"].get("kernel"),
+        )
+        if recorded is None:
+            pytest.skip("no recorded batch baseline (run `python -m repro bench` first)")
+        baseline = recorded["kernel_batch"]["speedup"]
+        floor = baseline * (1.0 - MAX_REGRESSION)
+        assert metrics["speedup"] >= floor, (
+            f"batch speedup {metrics['speedup']:.2f}x fell below recorded "
+            f"baseline {baseline:.2f}x (-{MAX_REGRESSION:.0%} floor {floor:.2f}x)"
+        )

@@ -54,6 +54,7 @@ from repro.api.registry import (
     CONFIGS,
     FAULT_RATES,
     FITNESS_OBJECTIVES,
+    KERNEL_BACKENDS,
     SCALES,
     WORKLOAD_SUITES,
     suggest,
@@ -86,6 +87,7 @@ class ResolvedRun:
     scale: ExperimentScale
     jobs: int
     retry: RetryPolicy
+    kernel_backend: str = ""
 
 
 class Session:
@@ -106,9 +108,12 @@ class Session:
         store: Optional[Union["ResultStore", str, Path]] = None,
         resume: bool = False,
         retry: Optional[RetryPolicy] = None,
+        kernel_backend: Optional[str] = None,
     ) -> None:
         if isinstance(scale, str):
             scale = SCALES.create(scale)
+        if kernel_backend:
+            KERNEL_BACKENDS.get(kernel_backend)  # validate the pin eagerly
         self._pinned_scale: Optional[ExperimentScale] = scale or (context.scale if context else None)
         self._pinned_jobs: Optional[int] = jobs if jobs is not None else (
             context.jobs if context is not None else None
@@ -116,6 +121,9 @@ class Session:
         # Retry precedence: pinned (CLI --retries/--task-timeout) > spec
         # fields > REPRO_RETRY_* environment > library defaults.
         self._pinned_retry: Optional[RetryPolicy] = retry
+        # Kernel-backend precedence: pinned (CLI --kernel-backend) > spec >
+        # REPRO_KERNEL_BACKEND environment > the registry default (batch).
+        self._pinned_kernel_backend: Optional[str] = kernel_backend
         self._resume = bool(resume)
         self._store: Optional["ResultStore"] = None
         self._owns_store = False
@@ -137,7 +145,7 @@ class Session:
             # (scale, jobs) pair — it already owns a live backend.  The
             # wrapped context's own store configuration is left untouched.
             self._wrapped = context
-            self._contexts[(context.scale, context.jobs, "", None)] = context
+            self._contexts[(context.scale, context.jobs, "", None, "")] = context
         else:
             self._wrapped = None
 
@@ -173,6 +181,7 @@ class Session:
             scale=self.resolve_scale(spec),
             jobs=self.resolve_jobs(spec),
             retry=self.resolve_retry(spec),
+            kernel_backend=self.resolve_kernel_backend(spec),
         )
 
     def resolve_config(self, spec: RunSpec) -> MachineConfig:
@@ -223,6 +232,18 @@ class Session:
             overrides["timeout"] = float(spec.task_timeout)
         return policy.derive(**overrides) if overrides else policy
 
+    def resolve_kernel_backend(self, spec: RunSpec) -> str:
+        """The kernel-backend name a spec runs under (pinned > spec).
+
+        Empty string means "no pin": the registry's own resolution
+        (``REPRO_KERNEL_BACKEND`` environment, then the ``batch`` default)
+        applies at simulation time.  Purely an execution choice — every
+        backend is bit-identical — so it never enters store keys.
+        """
+        if self._pinned_kernel_backend:
+            return self._pinned_kernel_backend
+        return spec.kernel_backend
+
     def resolve_profiles(self, spec: RunSpec) -> tuple[WorkloadProfile, ...]:
         """Workload profiles of a simulate spec, in deterministic order."""
         if spec.workloads:
@@ -269,7 +290,8 @@ class Session:
         if self._wrapped is not None and (scale, jobs) == (self._wrapped.scale, self._wrapped.jobs):
             return self._wrapped
         policy = FailurePolicy(retry=self.resolve_retry(spec))
-        key = (scale, jobs, spec.backend, policy)
+        kernel_backend = self.resolve_kernel_backend(spec)
+        key = (scale, jobs, spec.backend, policy, kernel_backend)
         context = self._contexts.get(key)
         if context is None:
             if spec.backend:
@@ -281,7 +303,7 @@ class Session:
             context = ExperimentContext(
                 scale, jobs=jobs, backend=backend, store=self._store,
                 resume=self._resume, owns_backend=owns_backend,
-                failure_policy=policy,
+                failure_policy=policy, kernel_backend=kernel_backend,
             )
             self._contexts[key] = context
             self._owned.append(context)

@@ -62,6 +62,7 @@ from typing import Callable, Iterable
 from repro.api import (
     CONFIGS,
     FAULT_RATES,
+    KERNEL_BACKENDS,
     SCALES,
     RunSpec,
     Session,
@@ -201,6 +202,7 @@ def _cmd_bench(session: Session, args: argparse.Namespace) -> None:
     ledger = metrics["ledger"]
     ga = metrics["ga"]
     parallel = metrics["parallel"]
+    kernel_batch = metrics["kernel_batch"]
     _print_rows(
         "Benchmark: single detailed simulation (BENCH_pipeline.json)",
         [{
@@ -234,6 +236,16 @@ def _cmd_bench(session: Session, args: argparse.Namespace) -> None:
             "steady_s": parallel["steady_seconds"],
             "steady_speedup": parallel["speedup"],
             "deterministic": str(parallel["deterministic"]),
+        }],
+    )
+    _print_rows(
+        "Benchmark: batch kernel plane vs per-genome kernels (BENCH_ga.json)",
+        [{
+            "batch": kernel_batch["batch"],
+            "batch_ms_per_genome": kernel_batch["batch_ms_per_genome"],
+            "source_ms_per_genome": kernel_batch["source_ms_per_genome"],
+            "batch_speedup": kernel_batch["speedup"],
+            "deterministic": str(kernel_batch["deterministic"]),
         }],
     )
 
@@ -319,6 +331,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="per-attempt deadline before a worker is declared hung "
                              "and replaced (resilient backend, --jobs > 1; "
                              "default: $REPRO_RETRY_TIMEOUT, then unlimited)")
+    parser.add_argument("--kernel-backend", choices=KERNEL_BACKENDS.names(), default=None,
+                        help="how simulations execute: 'batch' (population-at-once "
+                             "compiled kernels, the default), 'source' (per-program "
+                             "kernels) or 'interpreted' (reference loop); all are "
+                             "bit-identical (default: $REPRO_KERNEL_BACKEND, then batch)")
     parser.add_argument("--repair", action="store_true",
                         help="fsck command only: repair salvageable damage in place "
                              "(truncate torn JSONL tails, drop unloadable checkpoints, "
@@ -365,6 +382,7 @@ def _cmd_list() -> None:
         "fitness": "fitness objectives",
         "scale": "experiment scales",
         "backend": "evaluation backends",
+        "kernel_backends": "kernel backends",
         "structures": "tracked structures",
     }
     for key, registry in registries().items():
@@ -469,7 +487,8 @@ def _cmd_run_spec(parser: argparse.ArgumentParser, args: argparse.Namespace) -> 
         parser.error("--resume needs --store (checkpoints live in the store)")
     try:
         with Session(jobs=args.jobs, store=args.store, resume=args.resume,
-                     retry=_retry_from_args(parser, args)) as session:
+                     retry=_retry_from_args(parser, args),
+                     kernel_backend=args.kernel_backend) as session:
             if shard is not None:
                 result = session.run_shard(spec, *shard)
             else:
@@ -628,7 +647,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--resume needs --store (checkpoints live in the store)")
     try:
         session = Session(scale=args.scale, jobs=args.jobs, store=args.store, resume=args.resume,
-                          retry=_retry_from_args(parser, args))
+                          retry=_retry_from_args(parser, args),
+                          kernel_backend=args.kernel_backend)
     except (ValueError, RegistryError, StoreError) as exc:
         parser.error(str(exc))
     try:

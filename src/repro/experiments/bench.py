@@ -10,7 +10,9 @@ the recorded baselines:
 * ``BENCH_ga.json`` — one full quick-scale GA stressmark search (a small
   number of generations, the shape of every figure-5/7/8 experiment), plus
   the wall-clock speedup of the process-pool backend over the serial backend
-  on one batch of independent evaluations.
+  on one batch of independent evaluations, plus the batch kernel plane's
+  speedup over the per-genome source-kernel path on one GA-shaped batch of
+  fresh genomes (``kernel_batch``).
 
 Each ``repro bench`` run appends an entry to the files' ``entries`` list;
 the first entry is the recorded baseline that ``benchmarks/
@@ -303,6 +305,96 @@ def bench_parallel_speedup(jobs: Optional[int] = None, batch: int = 8) -> dict:
     }
 
 
+def bench_batch_speedup(batch: int = 8, instructions: int = 6_000) -> dict:
+    """Population-at-once batch kernels vs the per-genome source-kernel path.
+
+    Times the comparison the batch evaluation plane exists for: one
+    GA-generation-shaped batch of ``batch`` *fresh* genomes (never seen by
+    any kernel memo), run once through the ``batch`` backend's ``run_many``
+    — one config-specialized kernel, shared functional warm state, one
+    operand plan per batch — and once through the ``source`` backend's
+    per-genome ``run_one`` loop, which pays codegen + compile + functional
+    warm-up for every genome, exactly what GA generations cost before the
+    batch plane.  An untimed warm-up batch first compiles the config batch
+    kernel and builds the shared warm state, so ``batch_seconds`` measures
+    the steady state a GA search lives in; fresh batches still pay their
+    own operand plans inside the timed region (so does every real
+    generation).  The source side has no cross-genome state to warm — that
+    asymmetry *is* the measurement.  The two backends touch disjoint memo
+    caches, and the probe clears every in-process kernel memo first (other
+    benchmarks in the same process touch overlapping programs), so both
+    sides meet the same fresh programs cold; each side is best-of-two over
+    two distinct fresh batches, and both must produce bit-identical
+    simulation results (``deterministic``).  The recorded ``speedup`` is
+    the number the ``batch-smoke`` tier-2 gate holds future changes to.
+    """
+    from repro.uarch import kernel as kernel_cache
+    from repro.uarch.kernel_backends import BATCH, SOURCE
+
+    config = baseline_config()
+    generator = StressmarkGenerator(config=config, max_instructions=instructions)
+    reference = reference_knobs(config)
+    codegen = generator.codegen
+
+    def programs(first_seed: int) -> list:
+        return [
+            codegen.generate(reference.derive(random_seed=seed))
+            for seed in range(first_seed, first_seed + batch)
+        ]
+
+    from repro.uarch import kernel_batch
+
+    kernel_cache.clear_kernels()
+    kernel_batch.clear_batch_caches()
+    core = OutOfOrderCore(config, seed=generator.simulation_seed)
+    kernel_active = kernel_cache.kernel_enabled()
+    BATCH.run_many(core, programs(0), instructions)  # untimed warm-up batch
+
+    fresh_batches = [programs(batch), programs(2 * batch)]
+
+    batch_results = []
+    batch_timings = []
+    for fresh in fresh_batches:
+        start = time.perf_counter()
+        batch_results.append(BATCH.run_many(core, fresh, instructions))
+        batch_timings.append(time.perf_counter() - start)
+    batch_seconds = min(batch_timings)
+
+    source_results = []
+    source_timings = []
+    for fresh in fresh_batches:
+        start = time.perf_counter()
+        source_results.append(
+            [SOURCE.run_one(core, program, instructions) for program in fresh]
+        )
+        source_timings.append(time.perf_counter() - start)
+    source_seconds = min(source_timings)
+
+    def signature(result) -> tuple:
+        return (
+            result.stats,
+            {n: (a.occupied_entry_cycles, a.ace_bit_cycles)
+             for n, a in result.accumulators.items()},
+        )
+
+    deterministic = all(
+        signature(via_batch) == signature(via_source)
+        for batch_run, source_run in zip(batch_results, source_results)
+        for via_batch, via_source in zip(batch_run, source_run)
+    )
+    return {
+        "batch": batch,
+        "instructions": instructions,
+        "kernel": kernel_active,
+        "batch_seconds": batch_seconds,
+        "source_seconds": source_seconds,
+        "batch_ms_per_genome": 1000.0 * batch_seconds / batch,
+        "source_ms_per_genome": 1000.0 * source_seconds / batch,
+        "speedup": source_seconds / batch_seconds if batch_seconds > 0 else 0.0,
+        "deterministic": deterministic,
+    }
+
+
 # ----------------------------------------------------------- trajectories
 
 
@@ -360,11 +452,16 @@ def run_benchmarks(
     # The speedup probe always runs multi-worker (default 4) so the recorded
     # number is meaningful even when the GA itself was benchmarked serially.
     speedup_metrics = bench_parallel_speedup(jobs=jobs if jobs > 1 else 4)
+    batch_metrics = bench_batch_speedup()
     append_entry(pipeline_path, {**pipeline_metrics, "ledger": ledger_metrics})
-    append_entry(ga_path, {"ga": ga_metrics, "parallel": speedup_metrics})
+    append_entry(
+        ga_path,
+        {"ga": ga_metrics, "parallel": speedup_metrics, "kernel_batch": batch_metrics},
+    )
     return {
         "pipeline": pipeline_metrics,
         "ledger": ledger_metrics,
         "ga": ga_metrics,
         "parallel": speedup_metrics,
+        "kernel_batch": batch_metrics,
     }

@@ -127,15 +127,24 @@ def report_suite(report: SerReport) -> str:
 class _WorkloadSimulationTask:
     """Picklable task: simulate one workload proxy on one configuration."""
 
-    def __init__(self, config: MachineConfig, instructions: int, workload_seed: int, simulation_seed: int) -> None:
+    def __init__(
+        self,
+        config: MachineConfig,
+        instructions: int,
+        workload_seed: int,
+        simulation_seed: int,
+        kernel_backend: str = "",
+    ) -> None:
         self.config = config
         self.instructions = instructions
         self.workload_seed = workload_seed
         self.simulation_seed = simulation_seed
+        self.kernel_backend = kernel_backend
 
     def __call__(self, profile: WorkloadProfile) -> SimulationResult:
         program = build_workload(profile, self.config, seed=self.workload_seed)
         core = OutOfOrderCore(self.config, seed=self.simulation_seed)
+        core.kernel_backend = self.kernel_backend or None
         return core.run(program, max_instructions=self.instructions)
 
 
@@ -171,12 +180,16 @@ class ExperimentContext:
         resume: bool = False,
         owns_backend: Optional[bool] = None,
         failure_policy: Optional[FailurePolicy] = None,
+        kernel_backend: str = "",
     ) -> None:
         self.scale = scale or ExperimentScale.quick()
         self.jobs = resolve_jobs(jobs) if backend is None else backend.jobs
         self.store = store
         self.resume = resume
         self.failure_policy = failure_policy
+        # Execution choice only (kernel backends are bit-identical), so it
+        # never enters result cache keys or stressmark artifact keys.
+        self.kernel_backend = kernel_backend
         self._backend = backend
         # A context closes backends it created; a *shared* backend (the
         # Session hands one pool to every context of a sweep) is closed by
@@ -218,6 +231,7 @@ class ExperimentContext:
                 instructions=self.scale.workload_instructions,
                 workload_seed=self.scale.workload_seed,
                 simulation_seed=self.scale.simulation_seed,
+                kernel_backend=self.kernel_backend,
             )
             self._workload_tasks[config.name] = task
         return task
@@ -380,6 +394,7 @@ class ExperimentContext:
             backend=self.backend,
             fitness_store=fitness_store,
             checkpoint=checkpoint,
+            kernel_backend=self.kernel_backend,
         )
         seeds = None
         if self.scale.seed_ga_with_reference:

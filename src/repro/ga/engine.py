@@ -14,7 +14,7 @@ from repro.ga.genes import GeneSpace
 from repro.ga.individual import Individual, best_of, population_diversity
 from repro.ga.operators import cataclysm, crossover, migrate, mutate, tournament_selection
 from repro.parallel.backends import EvaluationBackend, SerialBackend
-from repro.parallel.cache import FitnessCache
+from repro.parallel.cache import FitnessCache, genome_digest
 from repro.parallel.resilience import Quarantined, TaskFailedError
 from repro.utils.rng import DeterministicRng
 
@@ -372,33 +372,41 @@ class GeneticAlgorithm:
         cache = self.fitness_cache
         to_run: list[Individual] = []
         run_keys: list[str] = []
-        # Duplicate genomes inside one batch share a single evaluation: the
-        # first occurrence runs, the rest ride along as cache hits.
+        # Duplicate genomes inside one batch share a single evaluation —
+        # with or without an attached cache: the first occurrence runs, the
+        # rest ride along as (dedup) cache hits.  Dedup happens *before* the
+        # batch is built, so duplicates never inflate the batch shipped to
+        # the backend.
         followers: dict[str, list[Individual]] = {}
-        if cache is None:
-            to_run = pending
-        else:
-            for individual in pending:
-                key = cache.key_for(individual.genome)
-                hit = cache.lookup_key(key)
-                if hit is not None:
-                    fitness, payload = hit
-                    individual.fitness = fitness
-                    individual.payload = payload
-                    self._run_cache_hits += 1
-                elif key in followers:
-                    followers[key].append(individual)
-                    self._run_cache_hits += 1
-                else:
-                    followers[key] = []
-                    to_run.append(individual)
-                    run_keys.append(key)
+        keys = [
+            cache.key_for(individual.genome) if cache is not None
+            else genome_digest(individual.genome)
+            for individual in pending
+        ]
+        hits = cache.lookup_many(keys) if cache is not None else {}
+        for individual, key in zip(pending, keys):
+            hit = hits.get(key)
+            if hit is not None:
+                fitness, payload = hit
+                individual.fitness = fitness
+                individual.payload = dict(payload)
+                self._run_cache_hits += 1
+            elif key in followers:
+                followers[key].append(individual)
+                self._run_cache_hits += 1
+            else:
+                followers[key] = []
+                to_run.append(individual)
+                run_keys.append(key)
+                if cache is not None:
                     self._run_cache_misses += 1
 
         eval_start = time.perf_counter()
-        outcomes = self.backend.evaluate_individuals(self.evaluator, to_run)
+        outcomes = self.backend.evaluate_batch(self.evaluator, to_run)
         self._eval_seconds += time.perf_counter() - eval_start
+        to_store: dict[str, tuple[float, dict]] = {}
         for index, (individual, outcome) in enumerate(zip(to_run, outcomes, strict=True)):
+            key = run_keys[index]
             if isinstance(outcome, Quarantined):
                 # A resilient backend gave up on this individual: worst
                 # possible fitness so selection discards it, and *no* cache
@@ -409,20 +417,22 @@ class GeneticAlgorithm:
                     "quarantined": {"error": outcome.error, "attempts": outcome.attempts}
                 }
                 self._run_quarantined += 1
-                if cache is not None:
-                    for duplicate in followers[run_keys[index]]:
-                        duplicate.fitness = individual.fitness
-                        duplicate.payload = dict(individual.payload)
+                for duplicate in followers[key]:
+                    duplicate.fitness = individual.fitness
+                    duplicate.payload = dict(individual.payload)
                 continue
             fitness, payload = outcome
             individual.fitness = float(fitness)
             individual.payload = payload
             if cache is not None:
-                key = run_keys[index]
-                cache.store_key(key, individual.fitness, payload)
-                for duplicate in followers[key]:
-                    duplicate.fitness = individual.fitness
-                    duplicate.payload = dict(payload)
+                to_store[key] = (individual.fitness, payload)
+            for duplicate in followers[key]:
+                duplicate.fitness = individual.fitness
+                duplicate.payload = dict(payload)
+        if to_store:
+            # One write-through per generation (a single sqlite transaction
+            # for the persistent cache) instead of one per genome.
+            cache.store_many(to_store)
 
         # All-time-best tracking and callbacks run in population order in the
         # main process, so results are identical for any backend/worker count.

@@ -129,21 +129,62 @@ class EvaluationBackend(ABC):
         task = self._individual_task(evaluator)
         return self.map(task, individuals)
 
+    def map_batches(self, fn: Callable[["EvalBatch"], R], batches: Sequence["EvalBatch"]) -> list[R]:
+        """Apply ``fn`` to whole batches; per-batch results in input order.
+
+        The base implementation treats each batch as one map item; the
+        resilient backend overrides this to recover batch-level failures by
+        re-running the failed batch item by item, preserving the per-item
+        retry/quarantine contract.
+        """
+        return self.map(fn, list(batches))
+
+    def evaluate_batch(self, evaluator: Callable, individuals: Sequence) -> list:
+        """Evaluate GA individuals population-at-once.
+
+        Individuals are partitioned into one contiguous batch per worker
+        (so batch-capable evaluators amortise per-population state) and the
+        per-item outcomes — ``(fitness, payload)`` tuples, or ``Quarantined``
+        records from resilient backends — are returned flattened, aligned
+        with the input order.
+        """
+        if not individuals:
+            return []
+        task = self._batch_task(evaluator)
+        batches = partition_batches(individuals, self.jobs)
+        outcomes = self.map_batches(task, batches)
+        flat: list = []
+        for batch, outcome in zip(batches, outcomes):
+            if isinstance(outcome, list) and len(outcome) == len(batch.items):
+                flat.extend(outcome)
+            else:
+                # A whole-batch outcome (e.g. Quarantined from a resilient
+                # backend that could not salvage it): every slot inherits it.
+                flat.extend([outcome] * len(batch.items))
+        return flat
+
     def _individual_task(self, evaluator: Callable) -> "_IndividualTask":
-        # Keep one stable wrapper per evaluator (not just the most recent
-        # one), so sweeps alternating between evaluators hand the pool the
-        # same callable objects — and therefore the same task versions —
-        # every time they come back around.
+        return self._cached_task(evaluator, _IndividualTask)
+
+    def _batch_task(self, evaluator: Callable) -> "_BatchTask":
+        return self._cached_task(evaluator, _BatchTask)
+
+    def _cached_task(self, evaluator: Callable, wrapper: Callable):
+        # Keep one stable wrapper per (evaluator, protocol) — not just the
+        # most recent one — so sweeps alternating between evaluators hand
+        # the pool the same callable objects, and therefore the same task
+        # versions, every time they come back around.
         cache = getattr(self, "_task_cache", None)
         if cache is None:
             cache = {}
             self._task_cache = cache
-        cached = cache.get(id(evaluator))
+        key = (id(evaluator), wrapper)
+        cached = cache.get(key)
         if cached is None or cached.evaluator is not evaluator:
             while len(cache) >= TASK_REGISTRY_LIMIT:
                 cache.pop(next(iter(cache)))
-            cached = _IndividualTask(evaluator)
-            cache[id(evaluator)] = cached
+            cached = wrapper(evaluator)
+            cache[key] = cached
         return cached
 
     def failure_counters(self) -> dict[str, int]:
@@ -174,6 +215,62 @@ class _IndividualTask:
     def __call__(self, individual) -> tuple[float, dict]:
         fitness = float(self.evaluator(individual))
         return fitness, individual.payload
+
+
+class EvalBatch:
+    """One worker-sized slice of a generation, evaluated as a unit.
+
+    Batching lets evaluators that implement ``evaluate_batch`` share
+    per-population state (compiled batch kernels, warm cache/TLB state,
+    operand plans) across the genomes of the slice; it is purely an
+    execution grouping — outcomes stay per-item and ordered.
+    """
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence) -> None:
+        self.items = list(items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getstate__(self):
+        return self.items
+
+    def __setstate__(self, items) -> None:
+        self.items = items
+
+
+class _BatchTask:
+    """Picklable wrapper evaluating one :class:`EvalBatch` per call.
+
+    Evaluators exposing ``evaluate_batch`` get the whole slice at once;
+    anything else falls back to the per-item protocol, so batching is safe
+    to use with arbitrary evaluators.
+    """
+
+    def __init__(self, evaluator: Callable) -> None:
+        self.evaluator = evaluator
+
+    def __call__(self, batch: EvalBatch) -> list[tuple[float, dict]]:
+        evaluate_batch = getattr(self.evaluator, "evaluate_batch", None)
+        if evaluate_batch is not None:
+            return evaluate_batch(batch.items)
+        return [(float(self.evaluator(item)), item.payload) for item in batch.items]
+
+
+def partition_batches(items: Sequence, parts: int) -> list[EvalBatch]:
+    """Split items into at most ``parts`` contiguous, balanced batches."""
+    count = len(items)
+    parts = max(1, min(int(parts), count))
+    base, extra = divmod(count, parts)
+    batches: list[EvalBatch] = []
+    start = 0
+    for index in range(parts):
+        size = base + (1 if index < extra else 0)
+        batches.append(EvalBatch(items[start:start + size]))
+        start += size
+    return batches
 
 
 class SerialBackend(EvaluationBackend):

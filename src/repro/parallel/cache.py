@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -87,6 +87,21 @@ class FitnessCache:
         fitness, payload = entry
         return fitness, dict(payload)
 
+    def lookup_many(self, keys: Sequence[str]) -> dict[str, tuple[float, dict]]:
+        """Cached entries for several keys at once (hits only).
+
+        Hit/miss counters advance exactly as per-key lookups would, so
+        batched callers observe the same statistics.  Persistent subclasses
+        override this to resolve all in-memory misses against disk in one
+        round-trip instead of one query per genome.
+        """
+        found: dict[str, tuple[float, dict]] = {}
+        for key in keys:
+            entry = self.lookup_key(key)
+            if entry is not None:
+                found[key] = entry
+        return found
+
     def store(self, genome: Mapping[str, object], fitness: float, payload: Optional[dict] = None) -> str:
         key = self.key_for(genome)
         self.store_key(key, fitness, payload)
@@ -98,6 +113,15 @@ class FitnessCache:
                 # FIFO eviction: drop the oldest insertion.
                 self._entries.pop(next(iter(self._entries)))
         self._entries[key] = (float(fitness), dict(payload or {}))
+
+    def store_many(self, entries: Mapping[str, tuple[float, Optional[dict]]]) -> None:
+        """Store several ``key -> (fitness, payload)`` entries at once.
+
+        Persistent subclasses override this to flush the whole generation to
+        disk in a single transaction.
+        """
+        for key, (fitness, payload) in entries.items():
+            self.store_key(key, fitness, payload)
 
     # ------------------------------------------------------------- utility
 

@@ -309,6 +309,30 @@ class ResilientPoolBackend(EvaluationBackend):
         version = self._versions.version_for(fn)
         return _MapRun(self, version, fn, items).run()
 
+    def map_batches(self, fn, batches):
+        """Map over whole batches, salvaging failed batches item by item.
+
+        A batch is one task on the wire, so a crash/timeout/poison genome
+        first quarantines the *batch*.  Each quarantined batch is then
+        re-run as singleton batches through the full retry schedule, so a
+        single bad item only ever quarantines itself — the same per-item
+        contract :meth:`map` gives unbatched callers.
+        """
+        batches = list(batches)
+        outcomes = self.map(fn, batches)
+        for index, (batch, outcome) in enumerate(zip(batches, outcomes)):
+            if not isinstance(outcome, Quarantined) or len(batch.items) <= 1:
+                continue
+            singles = [type(batch)([item]) for item in batch.items]
+            resolved: list = []
+            for single in self.map(fn, singles):
+                if isinstance(single, list) and len(single) == 1:
+                    resolved.extend(single)
+                else:
+                    resolved.append(single)
+            outcomes[index] = resolved
+        return outcomes
+
     def failure_counters(self) -> dict[str, int]:
         return self.stats.as_dict()
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 import pickle
 import sqlite3
 from pathlib import Path
-from typing import Optional, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from repro.parallel.cache import evaluation_context_digest
 from repro.store.sqlite_util import connect_with_retry, retry_locked
@@ -74,6 +74,46 @@ class ArtifactStore:
                 )
 
         retry_locked(_write, f"put into {self.path}")
+
+    def get_many(self, keys: Sequence[str]) -> dict[str, object]:
+        """Fetch every present key of ``keys`` in one round-trip.
+
+        Returns only the hits; absent keys are simply missing from the
+        result.  Queries are chunked comfortably below sqlite's bound-
+        parameter limit, so arbitrarily large key lists are fine.
+        """
+        unique = list(dict.fromkeys(keys))
+        found: dict[str, object] = {}
+        for start in range(0, len(unique), 500):
+            chunk = unique[start:start + 500]
+            placeholders = ",".join("?" * len(chunk))
+            rows = self._connection.execute(
+                f"SELECT key, payload FROM artifacts WHERE key IN ({placeholders})",
+                chunk,
+            )
+            for key, payload in rows:
+                found[key] = pickle.loads(payload)
+        return found
+
+    def put_many(self, items: Union[Mapping[str, object], Iterable[tuple[str, object]]]) -> None:
+        """Persist several objects in one transaction (last write wins)."""
+        pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
+        if not pairs:
+            return
+        chaos_hook("artifact-store")
+        payloads = [
+            (key, sqlite3.Binary(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)))
+            for key, value in pairs
+        ]
+
+        def _write() -> None:
+            with self._connection:
+                self._connection.executemany(
+                    "INSERT OR REPLACE INTO artifacts (key, payload) VALUES (?, ?)",
+                    payloads,
+                )
+
+        retry_locked(_write, f"put_many into {self.path}")
 
     def keys(self) -> list[str]:
         rows = self._connection.execute("SELECT key FROM artifacts ORDER BY key")

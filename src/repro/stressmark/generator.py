@@ -73,6 +73,7 @@ class StressmarkEvaluator:
         knob_space: KnobSpace,
         max_instructions: int,
         simulation_seed: int,
+        kernel_backend: str = "",
     ) -> None:
         self.config = config
         self.fault_rates = fault_rates
@@ -80,6 +81,10 @@ class StressmarkEvaluator:
         self.knob_space = knob_space
         self.max_instructions = max_instructions
         self.simulation_seed = simulation_seed
+        # Execution choice only (all kernel backends are bit-identical), so
+        # it is deliberately *not* part of context_digest(): cached fitness
+        # results stay valid across backend selections.
+        self.kernel_backend = kernel_backend
         self._codegen: Optional[CodeGenerator] = None
 
     def __getstate__(self) -> dict:
@@ -107,6 +112,7 @@ class StressmarkEvaluator:
         knobs = self.knob_space.decode(individual.genome)
         program = self.codegen.generate(knobs)
         core = OutOfOrderCore(self.config, seed=self.simulation_seed)
+        core.kernel_backend = self.kernel_backend or None
         result = core.run(program, max_instructions=self.max_instructions)
         score = self.fitness(result)
         report = build_report(result, self.fault_rates)
@@ -114,6 +120,33 @@ class StressmarkEvaluator:
         individual.payload["program"] = program
         individual.payload["knobs"] = knobs
         return score
+
+    def evaluate_batch(self, individuals: list[Individual]) -> list[tuple[float, dict]]:
+        """Population-at-once evaluation through the batch plane.
+
+        Bit-identical to calling the evaluator per individual — one
+        ``OutOfOrderCore`` per simulation with the same seed, the same
+        codegen, the same fitness — but the resolved backend's ``run_many``
+        shares the compiled batch kernel, warm cache/TLB state and operand
+        plans across the whole slice.
+        """
+        from repro.uarch.kernel_backends import resolve
+
+        decoded = [self.knob_space.decode(individual.genome) for individual in individuals]
+        programs = [self.codegen.generate(knobs) for knobs in decoded]
+        backend = resolve(self.kernel_backend or None)
+        core = OutOfOrderCore(self.config, seed=self.simulation_seed)
+        core.kernel_backend = self.kernel_backend or None
+        results = backend.run_many(core, programs, self.max_instructions)
+        outcomes: list[tuple[float, dict]] = []
+        for individual, knobs, program, result in zip(individuals, decoded, programs, results):
+            score = float(self.fitness(result))
+            payload = dict(individual.payload)
+            payload["report"] = build_report(result, self.fault_rates)
+            payload["program"] = program
+            payload["knobs"] = knobs
+            outcomes.append((score, payload))
+        return outcomes
 
 
 class StressmarkGenerator:
@@ -146,6 +179,7 @@ class StressmarkGenerator:
         backend: Optional[EvaluationBackend] = None,
         fitness_store: Optional[object] = None,
         checkpoint: Optional[object] = None,
+        kernel_backend: str = "",
     ) -> None:
         if max_instructions <= 0:
             raise ValueError("max_instructions must be positive")
@@ -161,6 +195,7 @@ class StressmarkGenerator:
         self.backend = backend
         self.fitness_store = fitness_store
         self.checkpoint = checkpoint
+        self.kernel_backend = kernel_backend
         self.codegen = CodeGenerator(config)
         self.history: list[EvaluationRecord] = []
 
@@ -170,12 +205,14 @@ class StressmarkGenerator:
         """Generate and simulate the candidate program for one knob setting."""
         program = self.codegen.generate(knobs)
         core = OutOfOrderCore(self.config, seed=self.simulation_seed)
+        core.kernel_backend = self.kernel_backend or None
         return core.run(program, max_instructions=max_instructions or self.max_instructions)
 
     def evaluate(self, knobs: StressmarkKnobs) -> tuple[float, SerReport, Program]:
         """Evaluate one knob setting; returns (fitness, report, program)."""
         program = self.codegen.generate(knobs)
         core = OutOfOrderCore(self.config, seed=self.simulation_seed)
+        core.kernel_backend = self.kernel_backend or None
         result = core.run(program, max_instructions=self.max_instructions)
         score = self.fitness(result)
         report = build_report(result, self.fault_rates)
@@ -195,6 +232,7 @@ class StressmarkGenerator:
             knob_space=self.knob_space,
             max_instructions=self.max_instructions,
             simulation_seed=self.simulation_seed,
+            kernel_backend=self.kernel_backend,
         )
 
         seeds = None

@@ -32,7 +32,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.parallel.cache import evaluation_context_digest
-from repro.uarch.kernelgen import KERNEL_SCHEMA, generate_kernel_source
+from repro.uarch.kernelgen import (
+    KERNEL_SCHEMA,
+    generate_batch_kernel_source,
+    generate_kernel_source,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.isa.program import Program
@@ -76,6 +80,9 @@ STATS = KernelStats()
 KERNEL_CACHE_LIMIT = 256
 
 _kernels: dict[tuple[str, str], Callable] = {}
+#: Compiled config-specialized batch kernels, keyed by config digest.  One
+#: entry per distinct machine configuration — a GA search uses exactly one.
+_batch_kernels: dict[str, Callable] = {}
 _source_store = None
 _source_store_pid: Optional[int] = None
 
@@ -99,6 +106,11 @@ def config_digest(config: "MachineConfig") -> str:
 def source_key(prog_digest: str, cfg_digest: str) -> str:
     """ArtifactStore key one kernel's source is persisted under."""
     return f"kernel-src|v{KERNEL_SCHEMA}|{cfg_digest}|{prog_digest}"
+
+
+def batch_source_key(cfg_digest: str) -> str:
+    """ArtifactStore key one config's batch-kernel source is persisted under."""
+    return f"kernel-batch-src|v{KERNEL_SCHEMA}|{cfg_digest}"
 
 
 def configure_source_store(store) -> None:
@@ -275,12 +287,81 @@ def kernel_for(config: "MachineConfig", program: "Program") -> Optional[Callable
     return kernel
 
 
+def batch_kernel_for(config: "MachineConfig") -> Optional[Callable]:
+    """The compiled config-specialized batch kernel, or ``None`` on failure.
+
+    Same two-level memoization as :func:`kernel_for` — in-process by config
+    digest, cross-process as persisted source text in the attached
+    ArtifactStore — with the same never-retry policy for failed generation.
+    """
+    cfg_digest = config_digest(config)
+    kernel = _batch_kernels.get(cfg_digest)
+    if kernel is not None:
+        STATS.memo_hits += 1
+        return kernel
+    failed_key = ("batch", cfg_digest)
+    if failed_key in STATS.failed_digests:
+        return None
+
+    store = _active_source_store()
+    source: Optional[str] = None
+    from_store = False
+    if store is not None:
+        try:
+            stored = store.get(batch_source_key(cfg_digest))
+        except Exception:
+            _discard_failed_store(store)
+            store = None
+            stored = None
+        if isinstance(stored, str):
+            source = stored
+            from_store = True
+            STATS.source_store_hits += 1
+
+    kernel = None
+    if source is not None:
+        try:
+            kernel = compile_batch_kernel(source, cfg_digest)
+        except Exception:
+            kernel = None
+            source = None
+            from_store = False
+    if kernel is None:
+        try:
+            source = generate_batch_kernel_source(config)
+            STATS.generated += 1
+            kernel = compile_batch_kernel(source, cfg_digest)
+        except Exception:
+            STATS.failures += 1
+            STATS.failed_digests.add(failed_key)
+            return None
+    if not from_store:
+        store = _active_source_store()
+        if store is not None:
+            try:
+                store.put(batch_source_key(cfg_digest), source)
+            except Exception:
+                _discard_failed_store(store)
+
+    STATS.compiled += 1
+    _batch_kernels[cfg_digest] = kernel
+    return kernel
+
+
 def compile_kernel(source: str, key: tuple[str, str]) -> Callable:
     """Compile generated source and return its ``kernel_run`` callable."""
     filename = f"<repro-kernel {key[0][:12]}.{key[1][:12]}>"
     namespace: dict[str, object] = {}
     exec(compile(source, filename, "exec"), namespace)
     return namespace["kernel_run"]  # type: ignore[return-value]
+
+
+def compile_batch_kernel(source: str, cfg_digest: str) -> Callable:
+    """Compile generated batch-kernel source; returns its ``batch_run``."""
+    filename = f"<repro-batch-kernel {cfg_digest[:12]}>"
+    namespace: dict[str, object] = {}
+    exec(compile(source, filename, "exec"), namespace)
+    return namespace["batch_run"]  # type: ignore[return-value]
 
 
 def kernel_source(config: "MachineConfig", program: "Program") -> str:
@@ -296,4 +377,8 @@ def kernel_source(config: "MachineConfig", program: "Program") -> str:
 def clear_kernels() -> None:
     """Drop every compiled kernel and reset counters (tests/benchmarks)."""
     _kernels.clear()
+    _batch_kernels.clear()
     STATS.reset()
+    from repro.uarch import kernel_batch
+
+    kernel_batch.clear_batch_caches()

@@ -1,0 +1,139 @@
+"""Pluggable kernel backends: how a simulation request becomes machine code.
+
+PR 2 made experiment components (configs, fault rates, suites, objectives,
+scales, evaluation backends) named registry entries; PR 4 did the same for
+vulnerable structures.  This module closes the loop for the innermost layer:
+*how* :meth:`repro.uarch.pipeline.OutOfOrderCore.run` executes is now a
+registered component too, selectable per run via spec (``kernel_backend``),
+CLI (``--kernel-backend``) or environment (``REPRO_KERNEL_BACKEND``):
+
+* ``batch`` (default) — the population-at-once plane: one config-specialized
+  compiled kernel, shared functional warm-up, operand plans memoized in the
+  ArtifactStore (:mod:`repro.uarch.kernel_batch`).  Single-program runs
+  (``run_one``) execute through the per-program ``source`` path, so
+  non-batched callers are unchanged.
+* ``source`` — the PR 5 per-(program, config) specialized source-codegen
+  kernels, with interpreter fallback for unsupported shapes.
+* ``interpreted`` — the reference loop, the semantics oracle every other
+  backend is differentially tested against.
+
+All backends are bit-identical by construction; selection is purely about
+speed, which is why evaluation/fitness-cache digests deliberately do *not*
+include the backend name — results cached under one backend are valid under
+every other.
+
+``REPRO_KERNEL=0`` (the PR 5 escape hatch) still forces the interpreter
+regardless of any selection, so existing differential harnesses and the
+kernel-smoke gate keep working unchanged.  The registry leaves the door open
+for additional entries (e.g. a numpy-backed vectorized kernel) without
+touching the pipeline again.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro.registry import Registry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.isa.program import Program
+    from repro.uarch.pipeline import OutOfOrderCore, SimulationResult
+
+#: Environment selector; the ``REPRO_KERNEL=0`` kill switch takes precedence.
+BACKEND_ENV_VAR = "REPRO_KERNEL_BACKEND"
+
+DEFAULT_BACKEND = "batch"
+
+KERNEL_BACKENDS = Registry("kernel backend")
+
+
+class KernelBackend:
+    """One way of executing a simulation (and batches of them).
+
+    ``run_one`` simulates a single program; ``run_many`` a batch sharing
+    whatever the backend can share (compiled code, warm state, operand
+    plans).  Every backend must be bit-identical to the interpreted
+    reference — the differential suite and the batch-smoke gate enforce it.
+    """
+
+    name = "base"
+
+    def run_one(
+        self, core: "OutOfOrderCore", program: "Program", max_instructions: int
+    ) -> "SimulationResult":
+        raise NotImplementedError
+
+    def run_many(
+        self, core: "OutOfOrderCore", programs: list["Program"], max_instructions: int
+    ) -> list["SimulationResult"]:
+        return [self.run_one(core, program, max_instructions) for program in programs]
+
+
+class InterpretedBackend(KernelBackend):
+    """The reference loop — the oracle the compiled backends diff against."""
+
+    name = "interpreted"
+
+    def run_one(self, core, program, max_instructions):
+        return core.run_interpreted(program, max_instructions, True)
+
+
+class SourceKernelBackend(KernelBackend):
+    """Per-(program, config) specialized source-codegen kernels (PR 5)."""
+
+    name = "source"
+
+    def run_one(self, core, program, max_instructions):
+        from repro.uarch import kernel as _kernel
+
+        if _kernel.supports(program, True):
+            kernel_run = _kernel.kernel_for(core.config, program)
+            if kernel_run is not None:
+                return kernel_run(core, program, max_instructions)
+        return core.run_interpreted(program, max_instructions, True)
+
+
+class BatchKernelBackend(SourceKernelBackend):
+    """Config-specialized batch kernels with shared warm state.
+
+    ``run_one`` inherits the ``source`` path — for isolated simulations the
+    per-program kernel is already optimal and keeps single-run latency
+    unchanged; the batch machinery engages through ``run_many``.
+    """
+
+    name = "batch"
+
+    def run_many(self, core, programs, max_instructions):
+        from repro.uarch import kernel_batch
+
+        results = kernel_batch.run_many(core, programs, max_instructions)
+        if results is None:
+            # Batch kernel unavailable (codegen failure): per-genome path.
+            return [self.run_one(core, program, max_instructions) for program in programs]
+        return results
+
+
+INTERPRETED = InterpretedBackend()
+SOURCE = SourceKernelBackend()
+BATCH = BatchKernelBackend()
+
+KERNEL_BACKENDS.register("batch", lambda: BATCH)
+KERNEL_BACKENDS.register("source", lambda: SOURCE)
+KERNEL_BACKENDS.register("interpreted", lambda: INTERPRETED)
+
+
+def resolve(name: Optional[str] = None) -> KernelBackend:
+    """The kernel backend a run should execute through.
+
+    Precedence: the ``REPRO_KERNEL=0`` kill switch (forces the interpreter,
+    preserving the PR 5 contract), then an explicit ``name`` (spec/CLI pin),
+    then ``REPRO_KERNEL_BACKEND``, then the default (``batch``).
+    """
+    from repro.uarch import kernel as _kernel
+
+    if not _kernel.kernel_enabled():
+        return INTERPRETED
+    if not name:
+        name = os.environ.get(BACKEND_ENV_VAR, "").strip() or DEFAULT_BACKEND
+    return KERNEL_BACKENDS.create(name)

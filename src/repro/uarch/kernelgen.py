@@ -454,6 +454,307 @@ def generate_kernel_source(config: MachineConfig, program: Program) -> str:
     return out.source()
 
 
+def generate_batch_kernel_source(config: MachineConfig) -> str:
+    """Generate config-specialized *batch* kernel source.
+
+    The batch evaluation plane evaluates a whole GA population through one
+    compiled function per machine configuration: machine constants (widths,
+    depths, latencies, bits-per-entry, ring geometry bounds) are folded in
+    once, while everything program-specific — the precomputed per-op info
+    columns, address patterns, iteration count, front-end miss model — stays
+    a runtime input.  The emitted function is
+
+        ``batch_run(core, program, max_instructions, body_infos, warm=None)``
+
+    where ``body_infos`` is the per-op info table (the same 19-tuples the
+    interpreter precomputes) and ``warm`` optionally supplies a pre-warmed
+    (ledger, hierarchy) pair via ``warm.materialize()`` — the batch runner
+    shares one functional warm-up across every genome with the same declared
+    footprint, which is where the population-at-once speedup comes from.
+
+    Bit-identity contract: same floating-point addition order, same RNG
+    spawn/draw order, same hierarchy/predictor probe arguments at the same
+    cycles as :meth:`OutOfOrderCore.run_interpreted`.  The ``warm`` path is
+    only taken for programs with no explicit setup instructions, where the
+    interpreter's ``spawn('setup')`` stream is created but never drawn from,
+    so skipping the warm-up replay cannot perturb any RNG stream.
+    """
+    ledger = VulnerabilityLedger(config)
+    accounts = ledger.accounts
+    rob_bits = accounts[StructureName.ROB].bits_per_entry
+    iq_bits = accounts[StructureName.IQ].bits_per_entry
+    lqt_bits = accounts[StructureName.LQ_TAG].bits_per_entry
+    lqd_bits = accounts[StructureName.LQ_DATA].bits_per_entry
+    sqt_bits = accounts[StructureName.SQ_TAG].bits_per_entry
+    sqd_bits = accounts[StructureName.SQ_DATA].bits_per_entry
+    rf_bits = accounts[StructureName.RF].bits_per_entry
+    fu_bits = accounts[StructureName.FU].bits_per_entry
+    sb_account = accounts.get(StructureName.SB)
+    track_sb = sb_account is not None
+    sb_bits = sb_account.bits_per_entry if track_sb else 0
+    sb_drain = float(config.store_buffer_drain_cycles)
+
+    from repro.isa.instructions import ARCH_REG_COUNT
+
+    architected = config.architected_registers
+    num_regs = max(ARCH_REG_COUNT, architected)
+
+    # Config part of the interpreter's ring-sizing formula; the program part
+    # (the max fixed-latency override) joins at runtime.
+    static_latency_bound = max(
+        config.multiply_latency, config.divide_latency, config.alu_latency
+    )
+
+    out = _Emitter()
+    out.block(
+        '"""Auto-generated config-specialized batch simulator kernel.',
+        "",
+        f"config: {config.name!r}  schema: {KERNEL_SCHEMA}",
+        "Generated by repro.uarch.kernelgen; do not edit.  See ARCHITECTURE.md.",
+        '"""',
+        "",
+        "import heapq",
+        "from collections import deque",
+        "",
+        "from repro.branch.predictors import HybridPredictor",
+        "from repro.memory.hierarchy import MemoryHierarchy",
+        "from repro.uarch.pipeline import OutOfOrderCore, SimulationResult, SimulationStats",
+        "from repro.uarch.structures import StructureName",
+        "from repro.utils.rng import DeterministicRng",
+        "from repro.vuln.ledger import VulnerabilityLedger",
+        "",
+        "_grow_rings = OutOfOrderCore._grow_rings",
+        "",
+        "",
+        f"def batch_run(core, program, max_instructions={50_000}, body_infos=None, warm=None):",
+    )
+    out.indent = 1
+    out.block(
+        "if max_instructions <= 0:",
+        "    raise ValueError('max_instructions must be positive')",
+        "config = core.config",
+        "rng = DeterministicRng(core.seed).spawn('sim', program.name)",
+        "if warm is None:",
+        "    ledger = VulnerabilityLedger(config)",
+        "    hierarchy = MemoryHierarchy(",
+        "        dl1_config=config.dl1,",
+        "        l2_config=config.l2,",
+        "        dtlb_config=config.dtlb,",
+        "        memory_latency=config.memory_latency,",
+        "        tlb_miss_penalty=config.tlb_miss_penalty,",
+        "        ledger=ledger,",
+        "        l2_tlb_config=config.l2_tlb,",
+        "        l2_tlb_hit_latency=config.l2_tlb_hit_latency,",
+        "    )",
+        "else:",
+        "    ledger, hierarchy = warm.materialize()",
+        "predictor = HybridPredictor(",
+        "    global_entries=config.branch_predictor_global_entries,",
+        "    local_history_entries=config.branch_predictor_local_entries,",
+        "    choice_entries=config.branch_predictor_choice_entries,",
+        ")",
+        "stats = SimulationStats()",
+        "frontend_miss_rate = float(program.metadata.get('frontend_miss_rate', 0.0))",
+        "frontend_miss_penalty = int(program.metadata.get('frontend_miss_penalty', 10))",
+        "has_frontend = frontend_miss_rate > 0.0",
+        "memory_rng = rng.spawn('memory')",
+        "branch_rng = rng.spawn('branch')",
+        "frontend_rng = rng.spawn('frontend')",
+        "if warm is None:",
+        "    core._run_functional_setup(program, hierarchy, rng)",
+        "",
+        "if body_infos is None:",
+        "    body_infos = [core._instruction_info(instruction, index, False, program)",
+        "                  for index, instruction in enumerate(program.body)]",
+        "body_len = len(body_infos)",
+        "",
+        "max_override = 0",
+        "ace_total = 0",
+        "branch_total = 0",
+        "ace_prefix = [0]",
+        "branch_prefix = [0]",
+        "for info in body_infos:",
+        "    if info[14] is not None and info[14] > max_override:",
+        "        max_override = info[14]",
+        "    if info[11]:",
+        "        ace_total += 1",
+        "    if info[5]:",
+        "        branch_total += 1",
+        "    ace_prefix.append(ace_total)",
+        "    branch_prefix.append(branch_total)",
+        "",
+        f"latency_bound = {static_latency_bound}",
+        "if max_override > latency_bound:",
+        "    latency_bound = max_override",
+        f"per_op_latency_bound = {config.memory_latency + config.tlb_miss_penalty} + latency_bound + 2",
+        f"window_bound = {config.rob_entries} * per_op_latency_bound + 1024",
+        f"ring_size = 1 << (min(max(window_bound, 1024), {1 << 17}) - 1).bit_length()",
+        "ring_mask = ring_size - 1",
+        "ring_tag = [-1] * ring_size",
+        "ring_issue = [0] * ring_size",
+        "ring_mem = [0] * ring_size",
+        "ring_alu = [0] * ring_size",
+        "ring_mul = [0] * ring_size",
+        "",
+        "rob_commits = deque()",
+        "lq_commits = deque()",
+        "sq_commits = deque()",
+        "iq_issue_heap = []",
+        "rename_commit_heap = []",
+        "rob_len = lq_len = sq_len = 0",
+        "iq_len = rename_len = 0",
+        "",
+        f"reg_present = [True] * {architected} + [False] * {num_regs - architected}",
+        f"reg_complete = [0] * {num_regs}",
+        f"reg_width = [1.0] * {num_regs}",
+        f"reg_ace = [True] * {num_regs}",
+        f"reg_last_read = [-1] * {num_regs}",
+        f"reg_ready = [0] * {num_regs}",
+        "extra_regs = []",
+        "",
+        "rob_occ = rob_ace = 0.0",
+        "iq_occ = iq_ace = 0.0",
+        "lqt_occ = lqt_ace = 0.0",
+        "lqd_occ = lqd_ace = 0.0",
+        "sqt_occ = sqt_ace = 0.0",
+        "sqd_occ = sqd_ace = 0.0",
+        "rf_occ = rf_ace = 0.0",
+        "fu_occ = fu_ace = 0.0",
+    )
+    if track_sb:
+        out.emit("sb_occ = sb_ace = 0.0")
+    out.block(
+        "",
+        "hierarchy_access = hierarchy.access_parts",
+        "predictor_update = predictor.update",
+        "branch_random = branch_rng.raw().random",
+        "frontend_random = frontend_rng.raw().random",
+        "heappush = heapq.heappush",
+        "heappop = heapq.heappop",
+        "rob_append = rob_commits.append",
+        "rob_popleft = rob_commits.popleft",
+        "",
+        "branch_mispredictions = 0",
+        "l2_misses = 0",
+        "min_dispatch_cycle = 1",
+        "fetch_resume_cycle = 0",
+        "last_commit_cycle = 0",
+        "final_cycle = 1",
+        "disp_cycle = -1",
+        "disp_count = 0",
+        "commit_count = 0",
+        "",
+        "iterations_total = program.iterations",
+        "last_iteration = iterations_total - 1",
+        "full_iters = max_instructions // body_len",
+        "if full_iters >= iterations_total:",
+        "    full_iters = iterations_total",
+        "    tail_ops = 0",
+        "else:",
+        "    tail_ops = max_instructions - full_iters * body_len",
+        "",
+        "for iteration in range(full_iters):",
+    )
+    out.indent = 2
+    out.block(
+        "closing_taken = iteration < last_iteration",
+        "for _tail_index in range(body_len):",
+    )
+    out.indent = 3
+    _emit_generic_op(
+        out,
+        track_sb=track_sb,
+        sb_bits=sb_bits,
+        sb_drain=sb_drain,
+        bits=(rob_bits, iq_bits, lqt_bits, lqd_bits, sqt_bits, sqd_bits, rf_bits, fu_bits),
+        has_frontend=False,
+        frontend_miss_rate=0.0,
+        frontend_miss_penalty=0,
+        config=config,
+        runtime_frontend=True,
+    )
+    out.indent = 1
+
+    out.block(
+        "",
+        "if tail_ops:",
+    )
+    out.indent = 2
+    out.block(
+        "iteration = full_iters",
+        "closing_taken = iteration < last_iteration",
+        "for _tail_index in range(tail_ops):",
+    )
+    out.indent = 3
+    _emit_generic_op(
+        out,
+        track_sb=track_sb,
+        sb_bits=sb_bits,
+        sb_drain=sb_drain,
+        bits=(rob_bits, iq_bits, lqt_bits, lqd_bits, sqt_bits, sqd_bits, rf_bits, fu_bits),
+        has_frontend=False,
+        frontend_miss_rate=0.0,
+        frontend_miss_penalty=0,
+        config=config,
+        runtime_frontend=True,
+    )
+    out.indent = 1
+
+    out.block(
+        "",
+        f"for reg in range({architected}):",
+        "    if reg_ace[reg]:",
+        "        last_read = reg_last_read[reg]",
+        "        if last_read > reg_complete[reg]:",
+        "            duration = float(last_read - reg_complete[reg])",
+        "            rf_occ += duration",
+        f"            rf_ace += duration * {rf_bits} * reg_width[reg]",
+        "for reg in extra_regs:",
+        "    if reg_ace[reg]:",
+        "        last_read = reg_last_read[reg]",
+        "        if last_read > reg_complete[reg]:",
+        "            duration = float(last_read - reg_complete[reg])",
+        "            rf_occ += duration",
+        f"            rf_ace += duration * {rf_bits} * reg_width[reg]",
+        "",
+        "credit = ledger.credit",
+        "credit(StructureName.ROB, rob_occ, rob_ace)",
+        "credit(StructureName.IQ, iq_occ, iq_ace)",
+        "credit(StructureName.LQ_TAG, lqt_occ, lqt_ace)",
+        "credit(StructureName.LQ_DATA, lqd_occ, lqd_ace)",
+        "credit(StructureName.SQ_TAG, sqt_occ, sqt_ace)",
+        "credit(StructureName.SQ_DATA, sqd_occ, sqd_ace)",
+        "credit(StructureName.RF, rf_occ, rf_ace)",
+        "credit(StructureName.FU, fu_occ, fu_ace)",
+    )
+    if track_sb:
+        out.emit("credit(StructureName.SB, sb_occ, sb_ace)")
+    out.block(
+        "",
+        "hierarchy.finalize(final_cycle)",
+        "",
+        "stats.committed_instructions = full_iters * body_len + tail_ops",
+        "stats.committed_ace_instructions = full_iters * ace_total + ace_prefix[tail_ops]",
+        "stats.branch_count = full_iters * branch_total + branch_prefix[tail_ops]",
+        "stats.branch_mispredictions = branch_mispredictions",
+        "stats.l2_misses = l2_misses",
+        "stats.total_cycles = final_cycle",
+        "stats.dl1_miss_rate = hierarchy.dl1.stats.miss_rate",
+        "stats.l2_miss_rate = hierarchy.l2.stats.miss_rate",
+        "stats.dtlb_miss_rate = hierarchy.dtlb.stats.miss_rate",
+        "",
+        "return SimulationResult(",
+        "    program_name=program.name,",
+        "    config=config,",
+        "    accumulators=dict(ledger.collect()),",
+        "    stats=stats,",
+        "    metadata=dict(program.metadata),",
+        ")",
+    )
+    out.indent = 0
+    return out.source()
+
+
 def _emit_op_block(
     out: _Emitter,
     info: tuple,
@@ -772,12 +1073,19 @@ def _emit_generic_op(
     frontend_miss_rate: float,
     frontend_miss_penalty: int,
     config: MachineConfig,
+    runtime_frontend: bool = False,
 ) -> None:
     """Emit the generic per-op body (the interpreter transcription).
 
-    Used for the final partial iteration only; mirrors the reference loop of
-    :meth:`OutOfOrderCore.run_interpreted` statement for statement, reading
-    the same precomputed info tuples.
+    Used for the final partial iteration of program-specialized kernels and
+    for the whole main loop of the config-specialized batch kernel; mirrors
+    the reference loop of :meth:`OutOfOrderCore.run_interpreted` statement
+    for statement, reading the same precomputed info tuples.
+
+    ``runtime_frontend`` emits the interpreter's runtime front-end gate
+    (``has_frontend and frontend_random() < frontend_miss_rate``, same
+    short-circuit so RNG draw order is preserved) instead of folding the
+    program's miss rate/penalty in as literals.
     """
     rob_bits, iq_bits, lqt_bits, lqd_bits, sqt_bits, sqd_bits, rf_bits, fu_bits = bits
     out.block(
@@ -789,7 +1097,12 @@ def _emit_generic_op(
         "if fetch_resume_cycle > dispatch:",
         "    dispatch = fetch_resume_cycle",
     )
-    if has_frontend:
+    if runtime_frontend:
+        out.block(
+            "if has_frontend and frontend_random() < frontend_miss_rate:",
+            "    dispatch += frontend_miss_penalty",
+        )
+    elif has_frontend:
         out.block(
             f"if frontend_random() < {_lit(frontend_miss_rate)}:",
             f"    dispatch += {_lit(frontend_miss_penalty)}",

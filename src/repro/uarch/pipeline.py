@@ -153,6 +153,9 @@ class OutOfOrderCore:
     def __init__(self, config: MachineConfig, seed: int = 0) -> None:
         self.config = config
         self.seed = int(seed)
+        #: Kernel-backend pin (a KERNEL_BACKENDS name) — ``None`` resolves
+        #: through the environment / default chain; see kernel_backends.
+        self.kernel_backend: Optional[str] = None
 
     # ------------------------------------------------------------------ run
 
@@ -169,23 +172,22 @@ class OutOfOrderCore:
         occupying core structures, mirroring the common practice of functional
         cache warm-up before a detailed simulation window.
 
-        By default the simulation executes through a *program-specialized
-        kernel*: Python source generated for this exact (program, config)
-        pair, compiled once and memoized (see :mod:`repro.uarch.kernel` and
-        ARCHITECTURE.md).  Kernel results are bit-identical to the
+        Execution is delegated to the selected *kernel backend* (see
+        :mod:`repro.uarch.kernel_backends`): by default the per-program
+        specialized kernels of :mod:`repro.uarch.kernel`, with the
+        ``interpreted`` reference and the population-at-once ``batch`` plane
+        as registered alternatives.  All backends are bit-identical to the
         interpreted reference loop — same floating-point addition order,
         same RNG consumption — so the switch is purely about speed.  Set
-        ``REPRO_KERNEL=0`` to force the interpreter; invocations the kernel
-        does not cover (explicitly simulated setup sections, enormous
+        ``REPRO_KERNEL=0`` to force the interpreter; invocations a compiled
+        kernel does not cover (explicitly simulated setup sections, enormous
         bodies) fall back automatically.
         """
         if functional_setup:
-            from repro.uarch import kernel as _kernel
+            from repro.uarch import kernel_backends as _backends
 
-            if _kernel.kernel_enabled() and _kernel.supports(program, functional_setup):
-                kernel_run = _kernel.kernel_for(self.config, program)
-                if kernel_run is not None:
-                    return kernel_run(self, program, max_instructions)
+            backend = _backends.resolve(self.kernel_backend)
+            return backend.run_one(self, program, max_instructions)
         return self.run_interpreted(program, max_instructions, functional_setup)
 
     def run_interpreted(

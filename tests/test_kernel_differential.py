@@ -35,8 +35,9 @@ from repro.isa.memoryref import (
 )
 from repro.isa.program import BranchBehavior, Program, WarmupRegion
 from repro.stressmark.generator import StressmarkGenerator, reference_knobs
-from repro.uarch import kernel
+from repro.uarch import kernel, kernel_batch
 from repro.uarch.config import MachineConfig, baseline_config, config_a, extended_config
+from repro.uarch.kernel_backends import SOURCE
 from repro.uarch.pipeline import OutOfOrderCore
 from repro.utils.rng import DeterministicRng
 from repro.workloads.suite import all_profiles
@@ -228,6 +229,116 @@ class TestKernelDifferential:
         reference = core.run_interpreted(program, max_instructions=500, functional_setup=False)
         assert kernel.STATS.compiled == 0
         assert_identical(reference, via_run, "setup-fallback")
+
+
+class TestBatchKernelDifferential:
+    """Batch plane vs per-genome kernels vs the interpreted reference.
+
+    Every program of a batch must be bit-identical under all three
+    execution paths — the config batch kernel with shared warm state, the
+    per-(program, config) specialized kernel, and the interpreted loop.
+    """
+
+    def _assert_three_way(self, config, programs, budget, label):
+        core = OutOfOrderCore(config, seed=3)
+        via_batch = kernel_batch.run_many(core, programs, budget)
+        assert via_batch is not None, f"{label}: batch kernel generation failed"
+        assert len(via_batch) == len(programs)
+        for index, (program, candidate) in enumerate(zip(programs, via_batch)):
+            reference = core.run_interpreted(program, max_instructions=budget)
+            assert_identical(reference, candidate, f"{label}[{index}] batch-vs-interp")
+            per_genome = SOURCE.run_one(core, program, budget)
+            assert_identical(per_genome, candidate, f"{label}[{index}] batch-vs-source")
+
+    @pytest.mark.parametrize(
+        "config_factory", [baseline_config, config_a, extended_config, constrained_config]
+    )
+    def test_stressmark_population(self, config_factory):
+        """A GA-generation-shaped batch of derived stressmarks, per config."""
+        config = config_factory()
+        generator = StressmarkGenerator(config=config, max_instructions=2_500)
+        knobs = reference_knobs(config)
+        programs = [
+            generator.codegen.generate(knobs.derive(random_seed=seed))
+            for seed in range(1, 5)
+        ]
+        self._assert_three_way(config, programs, 2_500, f"batch-stressmark/{config.name}")
+
+    def test_mixed_program_lengths_in_one_batch(self):
+        """One batch mixing random programs and stressmarks of varying size."""
+        config = baseline_config()
+        generator = StressmarkGenerator(config=config, max_instructions=2_000)
+        programs = [
+            random_program(41, "mixed-a"),
+            generator.codegen.generate(reference_knobs(config)),
+            random_program(43, "mixed-b"),
+            generator.codegen.generate(reference_knobs(config).derive(random_seed=9)),
+            random_program(47, "mixed-c"),
+        ]
+        assert len({len(program.body) for program in programs}) > 1
+        self._assert_three_way(config, programs, 2_000, "batch-mixed-lengths")
+
+    @pytest.mark.parametrize("budget", [1, 17, 81, 1_999, 2_001])
+    def test_partial_final_iteration_budgets(self, budget):
+        """Budgets ending mid-iteration exercise the batch kernel's tail."""
+        config = baseline_config()
+        programs = [random_program(97, "batch-tail-a"), random_program(99, "batch-tail-b")]
+        self._assert_three_way(config, programs, budget, f"batch-budget-{budget}")
+
+    def test_duplicate_programs_share_one_plan_entry(self):
+        """The same digest appearing twice is planned once, simulated twice."""
+        kernel_batch.clear_batch_caches()
+        config = baseline_config()
+        program = random_program(51, "batch-dup")
+        self._assert_three_way(config, [program, program, program], 1_500, "batch-dup")
+        assert kernel_batch.STATS.plans_built == 1
+
+    def test_setup_program_skips_warm_sharing(self):
+        """Explicit setup instructions force the unshared warm-up path."""
+        kernel_batch.clear_batch_caches()
+        config = baseline_config()
+        with_setup = random_program(53, "batch-setup")
+        with_setup.setup = [make_alu(1, [0]), make_store(FixedPattern(address=64), srcs=[1])]
+        plain = random_program(54, "batch-plain")
+        assert not kernel_batch.supports_warm_sharing(with_setup)
+        assert kernel_batch.supports_warm_sharing(plain)
+        self._assert_three_way(config, [with_setup, plain], 1_500, "batch-setup-mix")
+        assert kernel_batch.STATS.warm_builds == 1  # only the plain program shares
+
+    def test_warm_state_reused_across_batches(self):
+        """A second batch with the same footprint rebuilds nothing."""
+        kernel_batch.clear_batch_caches()
+        config = baseline_config()
+        generator = StressmarkGenerator(config=config, max_instructions=1_500)
+        knobs = reference_knobs(config)
+        first = [generator.codegen.generate(knobs.derive(random_seed=s)) for s in (1, 2)]
+        second = [generator.codegen.generate(knobs.derive(random_seed=s)) for s in (3, 4)]
+        core = OutOfOrderCore(config, seed=3)
+        assert kernel_batch.run_many(core, first, 1_500) is not None
+        builds_after_first = kernel_batch.STATS.warm_builds
+        assert kernel_batch.run_many(core, second, 1_500) is not None
+        assert kernel_batch.STATS.warm_hits > 0
+        assert kernel_batch.STATS.warm_builds == builds_after_first
+
+    def test_empty_body_program_runs_interpreted_inline(self):
+        """The batch runner's empty-body guard routes to the interpreter."""
+        config = baseline_config()
+        empty = random_program(57, "batch-emptied")
+        empty.body = []  # not constructible directly; emptied post-validation
+        plain = random_program(58, "batch-nonempty")
+        core = OutOfOrderCore(config, seed=3)
+        results = kernel_batch.run_many(core, [empty, plain], 1_000)
+        assert results is not None and len(results) == 2
+        assert_identical(
+            core.run_interpreted(empty, max_instructions=1_000),
+            results[0],
+            "batch-empty-body[0]",
+        )
+        assert_identical(
+            core.run_interpreted(plain, max_instructions=1_000),
+            results[1],
+            "batch-empty-body[1]",
+        )
 
 
 class TestKernelCache:
