@@ -1,7 +1,7 @@
 """Batch evaluation-plane gate (tier-2 ``batch_smoke``).
 
-Two checks on the population-at-once batch kernels (ARCHITECTURE.md,
-"Batch evaluation plane"):
+Four checks on the population-at-once kernel planes (ARCHITECTURE.md,
+"Batch evaluation plane" and "Vector kernel plane"):
 
 * **Parity** — one GA-generation-shaped population of derived stressmarks
   per config is simulated twice, once through the ``batch`` kernel backend
@@ -9,11 +9,19 @@ Two checks on the population-at-once batch kernels (ARCHITECTURE.md,
   once through the interpreted reference loop, and the canonical
   per-structure AVF / group SER payloads are compared byte for byte at
   full ``repr`` precision — the same discipline as the AVF golden gate.
+* **Vector parity** — the same populations through the ``vector`` backend
+  (numpy-precomputed operand columns, flat-array hierarchy replica),
+  byte-compared against the interpreted payloads.  Skipped with an
+  explicit notice when numpy is not installed.
 * **Throughput floor** — the batch-vs-per-genome microbenchmark
   (:func:`repro.experiments.bench.bench_batch_speedup`) is rerun and its
   ``speedup`` held to the first ``kernel_batch`` baseline recorded in
   ``BENCH_ga.json`` minus the shared 30% regression allowance; the batch
   plane must also never be slower than the per-genome path it replaces.
+* **Vector throughput floor** — same protocol for
+  :func:`repro.experiments.bench.bench_vector_speedup` against the first
+  ``kernel_vector`` baseline: the vector plane must never be slower than
+  the batch plane it builds on.
 
 Run via ``make batch-smoke`` or ``REPRO_BATCH_SMOKE=1``; skipped in plain
 test runs (the parity matrix takes tens of seconds).
@@ -31,10 +39,10 @@ from _bench_utils import MAX_REGRESSION, ga_bench_path
 from repro.api.registry import CONFIGS
 from repro.avf.analysis import StructureGroup
 from repro.avf.report import build_report
-from repro.experiments.bench import baseline_entry, bench_batch_speedup
+from repro.experiments.bench import baseline_entry, bench_batch_speedup, bench_vector_speedup
 from repro.stressmark.generator import StressmarkGenerator, reference_knobs
-from repro.uarch import kernel_batch
-from repro.uarch.kernel_backends import BATCH, INTERPRETED
+from repro.uarch import kernel_batch, kernel_vector
+from repro.uarch.kernel_backends import BATCH, INTERPRETED, VECTOR
 from repro.uarch.pipeline import OutOfOrderCore
 
 pytestmark = [pytest.mark.batch_smoke]
@@ -93,6 +101,33 @@ class TestBatchParity:
             pytest.fail(f"batch plane diverged from the interpreter:\n{diff[:4000]}")
 
 
+class TestVectorParity:
+    @pytest.mark.parametrize("config_name", SMOKE_CONFIGS)
+    def test_population_identical_under_vector_plane(self, config_name):
+        if not kernel_vector.numpy_available():
+            pytest.skip(
+                "numpy not installed — vector plane untested; install the "
+                "[vector] extra ('pip install repro-avf-stressmark[vector]') "
+                "to gate it"
+            )
+        kernel_vector.clear_vector_caches()
+        kernel_batch.clear_batch_caches()
+        vector_payload = _population_payload(config_name, VECTOR)
+        assert kernel_vector.STATS.vector_runs >= POPULATION, (
+            "vector kernel never engaged — the gate compared nothing "
+            f"(fallbacks: {kernel_vector.STATS.fallbacks})"
+        )
+        interpreted_payload = _population_payload(config_name, INTERPRETED)
+        if vector_payload != interpreted_payload:
+            diff = "\n".join(
+                difflib.unified_diff(
+                    interpreted_payload.splitlines(), vector_payload.splitlines(),
+                    fromfile="interpreted", tofile="vector", lineterm="", n=2,
+                )
+            )
+            pytest.fail(f"vector plane diverged from the interpreter:\n{diff[:4000]}")
+
+
 class TestBatchThroughput:
     def test_batch_speedup_floor(self, monkeypatch):
         monkeypatch.delenv("REPRO_KERNEL", raising=False)
@@ -114,5 +149,37 @@ class TestBatchThroughput:
         floor = baseline * (1.0 - MAX_REGRESSION)
         assert metrics["speedup"] >= floor, (
             f"batch speedup {metrics['speedup']:.2f}x fell below recorded "
+            f"baseline {baseline:.2f}x (-{MAX_REGRESSION:.0%} floor {floor:.2f}x)"
+        )
+
+
+class TestVectorThroughput:
+    def test_vector_speedup_floor(self, monkeypatch):
+        if not kernel_vector.numpy_available():
+            pytest.skip(
+                "numpy not installed — vector throughput untested; install "
+                "the [vector] extra to gate it"
+            )
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
+        metrics = bench_vector_speedup()
+        assert metrics["available"], "vector probe unavailable despite numpy importing"
+        assert metrics["kernel"], "kernel path inactive despite REPRO_KERNEL being unset"
+        assert metrics["deterministic"], "vector and batch planes disagreed"
+        assert metrics["speedup"] >= 1.0, (
+            f"vector plane ({metrics['vector_seconds']:.3f}s) slower than the "
+            f"batch plane ({metrics['batch_seconds']:.3f}s) it builds on"
+        )
+        recorded = baseline_entry(
+            ga_bench_path(),
+            lambda entry: isinstance(entry.get("kernel_vector"), dict)
+            and entry["kernel_vector"].get("available")
+            and entry["kernel_vector"].get("kernel"),
+        )
+        if recorded is None:
+            pytest.skip("no recorded vector baseline (run `python -m repro bench` first)")
+        baseline = recorded["kernel_vector"]["speedup"]
+        floor = baseline * (1.0 - MAX_REGRESSION)
+        assert metrics["speedup"] >= floor, (
+            f"vector speedup {metrics['speedup']:.2f}x fell below recorded "
             f"baseline {baseline:.2f}x (-{MAX_REGRESSION:.0%} floor {floor:.2f}x)"
         )

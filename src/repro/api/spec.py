@@ -72,7 +72,8 @@ class RunSpec:
     per-item deadline in seconds); unset means the ``REPRO_RETRY_*``
     environment (or library defaults) applies.  ``kernel_backend`` pins how
     simulations execute (a :data:`~repro.uarch.kernel_backends.
-    KERNEL_BACKENDS` name — ``batch``/``source``/``interpreted``); unset
+    KERNEL_BACKENDS` name — ``batch``/``source``/``interpreted``/``vector``,
+    the last needing the optional numpy dependency at run time); unset
     means the ``REPRO_KERNEL_BACKEND`` environment (or the ``batch``
     default) applies — all backends are bit-identical, so this never changes
     results or digests.  Sweep-only fields: ``base``, ``axes``, ``runs``.

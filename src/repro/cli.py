@@ -248,6 +248,21 @@ def _cmd_bench(session: Session, args: argparse.Namespace) -> None:
             "deterministic": str(kernel_batch["deterministic"]),
         }],
     )
+    kernel_vector = metrics["kernel_vector"]
+    if kernel_vector.get("available"):
+        _print_rows(
+            "Benchmark: vector kernel plane vs batch plane (BENCH_ga.json)",
+            [{
+                "batch": kernel_vector["batch"],
+                "vector_ms_per_genome": kernel_vector["vector_ms_per_genome"],
+                "batch_ms_per_genome": kernel_vector["batch_ms_per_genome"],
+                "vector_speedup": kernel_vector["speedup"],
+                "deterministic": str(kernel_vector["deterministic"]),
+            }],
+        )
+    else:
+        print("\n=== Benchmark: vector kernel plane — skipped (numpy not "
+              "installed; pip install repro-avf-stressmark[vector]) ===")
 
 
 def _cmd_stressmark(session: Session, args: argparse.Namespace) -> None:
@@ -385,8 +400,21 @@ def _cmd_list() -> None:
         "kernel_backends": "kernel backends",
         "structures": "tracked structures",
     }
+    from repro.uarch.kernel_backends import unavailable_reason
+
     for key, registry in registries().items():
-        print(f"  {labels.get(key, key):<20s} {', '.join(registry.names())}")
+        names = registry.names()
+        if key == "kernel_backends":
+            # Backends stay registered even when a runtime dependency is
+            # missing (specs naming them validate uniformly); the listing
+            # says so instead of hiding the entry.
+            names = [
+                f"{name} (unavailable: {reason})"
+                if (reason := unavailable_reason(name)) is not None
+                else name
+                for name in names
+            ]
+        print(f"  {labels.get(key, key):<20s} {', '.join(names)}")
     _print_structures()
 
 

@@ -12,7 +12,13 @@ the recorded baselines:
   the wall-clock speedup of the process-pool backend over the serial backend
   on one batch of independent evaluations, plus the batch kernel plane's
   speedup over the per-genome source-kernel path on one GA-shaped batch of
-  fresh genomes (``kernel_batch``).
+  fresh genomes (``kernel_batch``), plus the numpy vector plane's speedup
+  over the batch plane on the same batch shape (``kernel_vector``; records
+  ``{"available": False}`` when numpy is not installed).
+
+Every entry also records the environment it was measured in (python,
+machine, numpy version or ``"absent"``, timestamp) so trajectory numbers
+are comparable across hosts and installs.
 
 Each ``repro bench`` run appends an entry to the files' ``entries`` list;
 the first entry is the recorded baseline that ``benchmarks/
@@ -395,13 +401,104 @@ def bench_batch_speedup(batch: int = 8, instructions: int = 6_000) -> dict:
     }
 
 
+def bench_vector_speedup(batch: int = 8, instructions: int = 6_000) -> dict:
+    """The numpy vector plane vs the batch kernel plane (PR 9).
+
+    Same protocol as :func:`bench_batch_speedup`, one rung up the backend
+    ladder: one GA-generation-shaped batch of fresh genomes through the
+    ``vector`` backend's ``run_many`` (operand columns precomputed with
+    numpy, flat-array hierarchy replica) and through the ``batch``
+    backend's ``run_many``.  An untimed warm-up batch compiles both config
+    kernels and builds/freezes the shared warm state, fresh batches pay
+    their own operand plans and column builds inside the timed region, and
+    both sides must be bit-identical (``deterministic``).  Without numpy
+    the probe records ``{"available": False, "numpy": "absent"}`` instead
+    of failing, so trajectories stay appendable on minimal installs.
+    """
+    from repro.uarch import kernel as kernel_cache
+    from repro.uarch import kernel_batch, kernel_vector
+    from repro.uarch.kernel_backends import BATCH, VECTOR
+
+    if not kernel_vector.numpy_available():
+        return {"available": False, "numpy": "absent"}
+
+    config = baseline_config()
+    generator = StressmarkGenerator(config=config, max_instructions=instructions)
+    reference = reference_knobs(config)
+    codegen = generator.codegen
+
+    def programs(first_seed: int) -> list:
+        return [
+            codegen.generate(reference.derive(random_seed=seed))
+            for seed in range(first_seed, first_seed + batch)
+        ]
+
+    kernel_cache.clear_kernels()
+    core = OutOfOrderCore(config, seed=generator.simulation_seed)
+    kernel_active = kernel_cache.kernel_enabled()
+    # Untimed warm-up: compiles the batch and vector kernels, builds the
+    # shared warm state and its frozen flat-array image.
+    BATCH.run_many(core, programs(0), instructions)
+    VECTOR.run_many(core, programs(0), instructions)
+
+    fresh_batches = [programs(batch), programs(2 * batch)]
+
+    vector_results = []
+    vector_timings = []
+    for fresh in fresh_batches:
+        start = time.perf_counter()
+        vector_results.append(VECTOR.run_many(core, fresh, instructions))
+        vector_timings.append(time.perf_counter() - start)
+    vector_seconds = min(vector_timings)
+
+    batch_results = []
+    batch_timings = []
+    for fresh in fresh_batches:
+        start = time.perf_counter()
+        batch_results.append(BATCH.run_many(core, fresh, instructions))
+        batch_timings.append(time.perf_counter() - start)
+    batch_seconds = min(batch_timings)
+
+    def signature(result) -> tuple:
+        return (
+            result.stats,
+            {n: (a.occupied_entry_cycles, a.ace_bit_cycles)
+             for n, a in result.accumulators.items()},
+        )
+
+    deterministic = all(
+        signature(via_vector) == signature(via_batch)
+        for vector_run, batch_run in zip(vector_results, batch_results)
+        for via_vector, via_batch in zip(vector_run, batch_run)
+    )
+    return {
+        "available": True,
+        "batch": batch,
+        "instructions": instructions,
+        "kernel": kernel_active,
+        "vector_seconds": vector_seconds,
+        "batch_seconds": batch_seconds,
+        "vector_ms_per_genome": 1000.0 * vector_seconds / batch,
+        "batch_ms_per_genome": 1000.0 * batch_seconds / batch,
+        "speedup": batch_seconds / vector_seconds if vector_seconds > 0 else 0.0,
+        "deterministic": deterministic,
+    }
+
+
 # ----------------------------------------------------------- trajectories
 
 
 def _environment() -> dict:
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:
+        numpy_version = "absent"
     return {
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "numpy": numpy_version,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
     }
 
@@ -453,10 +550,16 @@ def run_benchmarks(
     # number is meaningful even when the GA itself was benchmarked serially.
     speedup_metrics = bench_parallel_speedup(jobs=jobs if jobs > 1 else 4)
     batch_metrics = bench_batch_speedup()
+    vector_metrics = bench_vector_speedup()
     append_entry(pipeline_path, {**pipeline_metrics, "ledger": ledger_metrics})
     append_entry(
         ga_path,
-        {"ga": ga_metrics, "parallel": speedup_metrics, "kernel_batch": batch_metrics},
+        {
+            "ga": ga_metrics,
+            "parallel": speedup_metrics,
+            "kernel_batch": batch_metrics,
+            "kernel_vector": vector_metrics,
+        },
     )
     return {
         "pipeline": pipeline_metrics,
@@ -464,4 +567,5 @@ def run_benchmarks(
         "ga": ga_metrics,
         "parallel": speedup_metrics,
         "kernel_batch": batch_metrics,
+        "kernel_vector": vector_metrics,
     }

@@ -36,6 +36,7 @@ from repro.uarch.kernelgen import (
     KERNEL_SCHEMA,
     generate_batch_kernel_source,
     generate_kernel_source,
+    generate_vector_kernel_source,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -79,12 +80,43 @@ STATS = KernelStats()
 #: worker, which the warm evaluation fabric deliberately never recycles.
 KERNEL_CACHE_LIMIT = 256
 
+#: Compiled config-specialized batch/vector kernels are one per distinct
+#: machine configuration — a GA search uses exactly one — but a long-lived
+#: ``repro serve`` daemon can meet many configs over its lifetime, so these
+#: memos are bounded too.
+CONFIG_KERNEL_CACHE_LIMIT = 64
+
 _kernels: dict[tuple[str, str], Callable] = {}
-#: Compiled config-specialized batch kernels, keyed by config digest.  One
-#: entry per distinct machine configuration — a GA search uses exactly one.
+#: Compiled config-specialized batch kernels, keyed by config digest.
 _batch_kernels: dict[str, Callable] = {}
+#: Compiled config-specialized vector kernels, keyed by config digest.
+_vector_kernels: dict[str, Callable] = {}
 _source_store = None
 _source_store_pid: Optional[int] = None
+
+
+def _lru_get(cache: dict, key):
+    """Bounded-memo lookup that refreshes recency (move-to-end on hit).
+
+    All kernel/plan/warm memos are plain insertion-ordered dicts bounded by
+    evicting ``next(iter(...))``; refreshing on hit makes that eviction
+    least-recently-*used* rather than first-inserted, so a long-lived serve
+    daemon cycling through many configs keeps its hot entries.
+    """
+    value = cache.get(key)
+    if value is not None:
+        del cache[key]
+        cache[key] = value
+    return value
+
+
+def _lru_put(cache: dict, key, value, limit: int) -> None:
+    """Insert into a bounded memo, evicting least-recently-used entries."""
+    if key in cache:
+        del cache[key]
+    while len(cache) >= limit:
+        del cache[next(iter(cache))]
+    cache[key] = value
 
 
 def kernel_enabled() -> bool:
@@ -111,6 +143,11 @@ def source_key(prog_digest: str, cfg_digest: str) -> str:
 def batch_source_key(cfg_digest: str) -> str:
     """ArtifactStore key one config's batch-kernel source is persisted under."""
     return f"kernel-batch-src|v{KERNEL_SCHEMA}|{cfg_digest}"
+
+
+def vector_source_key(cfg_digest: str) -> str:
+    """ArtifactStore key one config's vector-kernel source is persisted under."""
+    return f"kernel-vector-src|v{KERNEL_SCHEMA}|{cfg_digest}"
 
 
 def configure_source_store(store) -> None:
@@ -226,7 +263,7 @@ def kernel_for(config: "MachineConfig", program: "Program") -> Optional[Callable
     once instead of paying the failed generation per run.
     """
     key = (program_digest(program), config_digest(config))
-    kernel = _kernels.get(key)
+    kernel = _lru_get(_kernels, key)
     if kernel is not None:
         STATS.memo_hits += 1
         return kernel
@@ -281,9 +318,7 @@ def kernel_for(config: "MachineConfig", program: "Program") -> Optional[Callable
                 _discard_failed_store(store)
 
     STATS.compiled += 1
-    while len(_kernels) >= KERNEL_CACHE_LIMIT:
-        _kernels.pop(next(iter(_kernels)))
-    _kernels[key] = kernel
+    _lru_put(_kernels, key, kernel, KERNEL_CACHE_LIMIT)
     return kernel
 
 
@@ -295,7 +330,7 @@ def batch_kernel_for(config: "MachineConfig") -> Optional[Callable]:
     ArtifactStore — with the same never-retry policy for failed generation.
     """
     cfg_digest = config_digest(config)
-    kernel = _batch_kernels.get(cfg_digest)
+    kernel = _lru_get(_batch_kernels, cfg_digest)
     if kernel is not None:
         STATS.memo_hits += 1
         return kernel
@@ -344,7 +379,68 @@ def batch_kernel_for(config: "MachineConfig") -> Optional[Callable]:
                 _discard_failed_store(store)
 
     STATS.compiled += 1
-    _batch_kernels[cfg_digest] = kernel
+    _lru_put(_batch_kernels, cfg_digest, kernel, CONFIG_KERNEL_CACHE_LIMIT)
+    return kernel
+
+
+def vector_kernel_for(config: "MachineConfig") -> Optional[Callable]:
+    """The compiled config-specialized vector kernel, or ``None`` on failure.
+
+    Same two-level memoization and never-retry policy as
+    :func:`batch_kernel_for`, keyed under a distinct store namespace so batch
+    and vector sources for one config coexist in the ArtifactStore.
+    """
+    cfg_digest = config_digest(config)
+    kernel = _lru_get(_vector_kernels, cfg_digest)
+    if kernel is not None:
+        STATS.memo_hits += 1
+        return kernel
+    failed_key = ("vector", cfg_digest)
+    if failed_key in STATS.failed_digests:
+        return None
+
+    store = _active_source_store()
+    source: Optional[str] = None
+    from_store = False
+    if store is not None:
+        try:
+            stored = store.get(vector_source_key(cfg_digest))
+        except Exception:
+            _discard_failed_store(store)
+            store = None
+            stored = None
+        if isinstance(stored, str):
+            source = stored
+            from_store = True
+            STATS.source_store_hits += 1
+
+    kernel = None
+    if source is not None:
+        try:
+            kernel = compile_vector_kernel(source, cfg_digest)
+        except Exception:
+            kernel = None
+            source = None
+            from_store = False
+    if kernel is None:
+        try:
+            source = generate_vector_kernel_source(config)
+            STATS.generated += 1
+            kernel = compile_vector_kernel(source, cfg_digest)
+        except Exception:
+            STATS.failures += 1
+            STATS.failed_digests.add(failed_key)
+            return None
+    if not from_store:
+        store = _active_source_store()
+        if store is not None:
+            try:
+                store.put(vector_source_key(cfg_digest), source)
+            except Exception:
+                _discard_failed_store(store)
+
+    STATS.compiled += 1
+    _lru_put(_vector_kernels, cfg_digest, kernel, CONFIG_KERNEL_CACHE_LIMIT)
     return kernel
 
 
@@ -364,6 +460,14 @@ def compile_batch_kernel(source: str, cfg_digest: str) -> Callable:
     return namespace["batch_run"]  # type: ignore[return-value]
 
 
+def compile_vector_kernel(source: str, cfg_digest: str) -> Callable:
+    """Compile generated vector-kernel source; returns its ``vector_run``."""
+    filename = f"<repro-vector-kernel {cfg_digest[:12]}>"
+    namespace: dict[str, object] = {}
+    exec(compile(source, filename, "exec"), namespace)
+    return namespace["vector_run"]  # type: ignore[return-value]
+
+
 def kernel_source(config: "MachineConfig", program: "Program") -> str:
     """Freshly generated kernel source — for inspection and tests.
 
@@ -378,7 +482,9 @@ def clear_kernels() -> None:
     """Drop every compiled kernel and reset counters (tests/benchmarks)."""
     _kernels.clear()
     _batch_kernels.clear()
+    _vector_kernels.clear()
     STATS.reset()
-    from repro.uarch import kernel_batch
+    from repro.uarch import kernel_batch, kernel_vector
 
     kernel_batch.clear_batch_caches()
+    kernel_vector.clear_vector_caches()

@@ -16,6 +16,11 @@ CLI (``--kernel-backend``) or environment (``REPRO_KERNEL_BACKEND``):
   kernels, with interpreter fallback for unsupported shapes.
 * ``interpreted`` — the reference loop, the semantics oracle every other
   backend is differentially tested against.
+* ``vector`` — the batch plane with operand columns precomputed by numpy
+  array arithmetic and replayed through an inlined flat-array hierarchy
+  replica (:mod:`repro.uarch.kernel_vector`).  Requires the optional numpy
+  dependency (``pip install repro-avf-stressmark[vector]``); programs the
+  column lowering cannot express fall back to ``batch`` per program.
 
 All backends are bit-identical by construction; selection is purely about
 speed, which is why evaluation/fitness-cache digests deliberately do *not*
@@ -24,9 +29,7 @@ every other.
 
 ``REPRO_KERNEL=0`` (the PR 5 escape hatch) still forces the interpreter
 regardless of any selection, so existing differential harnesses and the
-kernel-smoke gate keep working unchanged.  The registry leaves the door open
-for additional entries (e.g. a numpy-backed vectorized kernel) without
-touching the pipeline again.
+kernel-smoke gate keep working unchanged.
 """
 
 from __future__ import annotations
@@ -114,13 +117,68 @@ class BatchKernelBackend(SourceKernelBackend):
         return results
 
 
+class VectorKernelBackend(BatchKernelBackend):
+    """Batch plane with numpy-precomputed operand columns (PR 9).
+
+    ``run_many`` lowers every vectorizable genome through the config's
+    vector kernel; genomes the column lowering cannot express (setup
+    sections, oversize bodies, pattern overflow) fall back to the batch
+    kernel per program.  ``run_one`` inherits the ``source`` path, exactly
+    like ``batch``.
+    """
+
+    name = "vector"
+
+    def run_many(self, core, programs, max_instructions):
+        from repro.uarch import kernel_vector
+
+        results = kernel_vector.run_many(core, programs, max_instructions)
+        if results is None:
+            # Vector plane unavailable (no numpy / codegen failure): batch.
+            return super().run_many(core, programs, max_instructions)
+        return results
+
+
 INTERPRETED = InterpretedBackend()
 SOURCE = SourceKernelBackend()
 BATCH = BatchKernelBackend()
+VECTOR = VectorKernelBackend()
+
+
+def unavailable_reason(name: str) -> Optional[str]:
+    """Why a registered backend cannot run here, or ``None`` if it can.
+
+    ``vector`` is always *registered* so specs naming it validate uniformly,
+    but it needs numpy at run time; the CLI listing uses this to annotate
+    the entry instead of hiding it.
+    """
+    if name == "vector":
+        from repro.uarch import kernel_vector
+
+        if not kernel_vector.numpy_available():
+            return (
+                "requires numpy — install the optional dependency with "
+                "'pip install repro-avf-stressmark[vector]'"
+            )
+    return None
+
+
+def _require_vector_backend() -> KernelBackend:
+    reason = unavailable_reason("vector")
+    if reason is not None:
+        from repro.registry import RegistryError
+
+        raise RegistryError(
+            f"kernel backend 'vector' is unavailable: {reason}",
+            suggestion="use the 'batch' backend, or install the [vector] extra",
+        )
+    return VECTOR
+
 
 KERNEL_BACKENDS.register("batch", lambda: BATCH)
 KERNEL_BACKENDS.register("source", lambda: SOURCE)
 KERNEL_BACKENDS.register("interpreted", lambda: INTERPRETED)
+KERNEL_BACKENDS.register("vector", _require_vector_backend)
 
 
 def resolve(name: Optional[str] = None) -> KernelBackend:

@@ -142,14 +142,12 @@ def supports_warm_sharing(program: "Program") -> bool:
 def warm_state_for(config: "MachineConfig", program: "Program") -> WarmState:
     """The (memoized) warm state for a program's declared footprint."""
     key = (_kernel.config_digest(config), warm_signature(program))
-    state = _warm_states.get(key)
+    state = _kernel._lru_get(_warm_states, key)
     if state is not None:
         STATS.warm_hits += 1
         return state
-    while len(_warm_states) >= WARM_CACHE_LIMIT:
-        _warm_states.pop(next(iter(_warm_states)))
     state = WarmState(config, key[1])
-    _warm_states[key] = state
+    _kernel._lru_put(_warm_states, key, state, WARM_CACHE_LIMIT)
     STATS.warm_builds += 1
     return state
 
@@ -191,7 +189,7 @@ def _plan_for(
     in the attached ArtifactStore.
     """
     key = plan_key(cfg_digest, prog_digests)
-    rows = _plans.get(key)
+    rows = _kernel._lru_get(_plans, key)
     if rows is not None:
         STATS.plan_memo_hits += 1
         return rows
@@ -227,9 +225,7 @@ def _plan_for(
         digest: (list(zip(*cols)) if cols else [])
         for digest, cols in columns.items()
     }
-    while len(_plans) >= PLAN_CACHE_LIMIT:
-        _plans.pop(next(iter(_plans)))
-    _plans[key] = rows
+    _kernel._lru_put(_plans, key, rows, PLAN_CACHE_LIMIT)
     return rows
 
 

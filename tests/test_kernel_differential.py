@@ -35,9 +35,9 @@ from repro.isa.memoryref import (
 )
 from repro.isa.program import BranchBehavior, Program, WarmupRegion
 from repro.stressmark.generator import StressmarkGenerator, reference_knobs
-from repro.uarch import kernel, kernel_batch
+from repro.uarch import kernel, kernel_batch, kernel_vector
 from repro.uarch.config import MachineConfig, baseline_config, config_a, extended_config
-from repro.uarch.kernel_backends import SOURCE
+from repro.uarch.kernel_backends import KERNEL_BACKENDS, SOURCE, VECTOR
 from repro.uarch.pipeline import OutOfOrderCore
 from repro.utils.rng import DeterministicRng
 from repro.workloads.suite import all_profiles
@@ -341,6 +341,163 @@ class TestBatchKernelDifferential:
         )
 
 
+class TestVectorKernelDifferential:
+    """Vector plane vs batch plane vs per-genome kernels vs the interpreter.
+
+    Every program of a batch must be bit-identical under all *four*
+    execution paths; the vector path additionally asserts it actually
+    engaged (``kernel_vector.STATS.vector_runs``) rather than silently
+    falling back — a fallback-everything implementation would pass the
+    equality checks while vectorizing nothing.
+    """
+
+    pytestmark = pytest.mark.skipif(
+        not kernel_vector.numpy_available(), reason="numpy not installed"
+    )
+
+    def _assert_four_way(self, config, programs, budget, label, expect_vectorized=None):
+        kernel_vector.STATS.reset()
+        core = OutOfOrderCore(config, seed=3)
+        via_vector = kernel_vector.run_many(core, programs, budget)
+        assert via_vector is not None, f"{label}: vector kernel generation failed"
+        assert len(via_vector) == len(programs)
+        via_batch = kernel_batch.run_many(core, programs, budget)
+        assert via_batch is not None, f"{label}: batch kernel generation failed"
+        for index, (program, candidate) in enumerate(zip(programs, via_vector)):
+            reference = core.run_interpreted(program, max_instructions=budget)
+            assert_identical(reference, candidate, f"{label}[{index}] vector-vs-interp")
+            assert_identical(via_batch[index], candidate, f"{label}[{index}] vector-vs-batch")
+            per_genome = SOURCE.run_one(core, program, budget)
+            assert_identical(per_genome, candidate, f"{label}[{index}] vector-vs-source")
+        if expect_vectorized is None:
+            expect_vectorized = len(programs)
+        assert kernel_vector.STATS.vector_runs == expect_vectorized, (
+            f"{label}: expected {expect_vectorized} vectorized runs, "
+            f"got {kernel_vector.STATS.vector_runs} "
+            f"(fallbacks: {kernel_vector.STATS.fallbacks})"
+        )
+
+    @pytest.mark.parametrize(
+        "config_factory", [baseline_config, config_a, extended_config, constrained_config]
+    )
+    def test_stressmark_population(self, config_factory):
+        """A GA-generation-shaped batch of derived stressmarks, per config."""
+        config = config_factory()
+        generator = StressmarkGenerator(config=config, max_instructions=2_500)
+        knobs = reference_knobs(config)
+        programs = [
+            generator.codegen.generate(knobs.derive(random_seed=seed))
+            for seed in range(1, 5)
+        ]
+        self._assert_four_way(config, programs, 2_500, f"vector-stressmark/{config.name}")
+
+    def test_mixed_program_lengths_in_one_batch(self):
+        """One batch mixing random programs and stressmarks of varying size."""
+        config = baseline_config()
+        generator = StressmarkGenerator(config=config, max_instructions=2_000)
+        programs = [
+            random_program(41, "vmixed-a"),
+            generator.codegen.generate(reference_knobs(config)),
+            random_program(43, "vmixed-b"),
+            generator.codegen.generate(reference_knobs(config).derive(random_seed=9)),
+            random_program(47, "vmixed-c"),
+        ]
+        assert len({len(program.body) for program in programs}) > 1
+        self._assert_four_way(config, programs, 2_000, "vector-mixed-lengths")
+
+    @pytest.mark.parametrize("budget", [1, 17, 81, 1_999, 2_001])
+    def test_partial_final_iteration_budgets(self, budget):
+        """Budgets ending mid-iteration exercise the vector kernel's tail."""
+        config = baseline_config()
+        programs = [random_program(97, "vtail-a"), random_program(99, "vtail-b")]
+        self._assert_four_way(config, programs, budget, f"vector-budget-{budget}")
+
+    def test_setup_program_falls_back_to_batch(self):
+        """Explicit setup sections are out of vector scope; results still match."""
+        config = baseline_config()
+        with_setup = random_program(53, "vsetup")
+        with_setup.setup = [make_alu(1, [0]), make_store(FixedPattern(address=64), srcs=[1])]
+        plain = random_program(54, "vplain")
+        assert not kernel_vector.supports_vector(with_setup)
+        assert kernel_vector.supports_vector(plain)
+        self._assert_four_way(
+            config, [with_setup, plain], 1_500, "vector-setup-mix", expect_vectorized=1
+        )
+        assert kernel_vector.STATS.fallbacks == 1
+
+    def test_empty_body_program_runs_interpreted_inline(self):
+        """The vector runner's empty-body guard routes to the interpreter."""
+        config = baseline_config()
+        empty = random_program(57, "vemptied")
+        empty.body = []
+        plain = random_program(58, "vnonempty")
+        core = OutOfOrderCore(config, seed=3)
+        results = kernel_vector.run_many(core, [empty, plain], 1_000)
+        assert results is not None and len(results) == 2
+        for index, program in enumerate([empty, plain]):
+            assert_identical(
+                core.run_interpreted(program, max_instructions=1_000),
+                results[index],
+                f"vector-empty-body[{index}]",
+            )
+
+    def test_backend_run_many_routes_through_vector_plane(self):
+        """The registered backend engages the vector plane for batches."""
+        kernel_vector.STATS.reset()
+        config = baseline_config()
+        programs = [random_program(61, "vbackend-a"), random_program(62, "vbackend-b")]
+        core = OutOfOrderCore(config, seed=3)
+        backend = KERNEL_BACKENDS.create("vector")
+        assert backend is VECTOR
+        results = backend.run_many(core, programs, 1_000)
+        assert kernel_vector.STATS.vector_runs == 2
+        for index, program in enumerate(programs):
+            assert_identical(
+                core.run_interpreted(program, max_instructions=1_000),
+                results[index],
+                f"vector-backend[{index}]",
+            )
+
+
+class TestVectorWithoutNumpy:
+    """The vector backend degrades loudly — never silently — without numpy."""
+
+    def test_run_many_returns_none(self, monkeypatch):
+        monkeypatch.setattr(kernel_vector, "_np", None)
+        assert not kernel_vector.numpy_available()
+        core = OutOfOrderCore(baseline_config(), seed=3)
+        assert kernel_vector.run_many(core, [random_program(63, "nonumpy")], 500) is None
+
+    def test_registry_create_raises_with_install_hint(self, monkeypatch):
+        from repro.registry import RegistryError
+
+        monkeypatch.setattr(kernel_vector, "_np", None)
+        assert "vector" in KERNEL_BACKENDS.names()  # stays registered
+        with pytest.raises(RegistryError, match=r"repro-avf-stressmark\[vector\]"):
+            KERNEL_BACKENDS.create("vector")
+
+    def test_spec_naming_vector_still_validates(self, monkeypatch):
+        """Spec validation checks registration, not runtime availability."""
+        from repro.api.spec import RunSpec
+
+        monkeypatch.setattr(kernel_vector, "_np", None)
+        spec = RunSpec(kind="stressmark", name="v", kernel_backend="vector")
+        spec.validate()  # must not raise
+
+    def test_backend_object_falls_back_to_batch_plane(self, monkeypatch):
+        """The backend instance itself (already resolved) degrades to batch."""
+        monkeypatch.setattr(kernel_vector, "_np", None)
+        config = baseline_config()
+        program = random_program(67, "nonumpy-fallback")
+        core = OutOfOrderCore(config, seed=3)
+        results = VECTOR.run_many(core, [program], 800)
+        assert_identical(
+            core.run_interpreted(program, max_instructions=800),
+            results[0],
+            "nonumpy-batch-fallback",
+        )
+
+
 class TestKernelCache:
     def test_source_store_round_trip(self, tmp_path):
         from repro.store.artifacts import ArtifactStore
@@ -485,6 +642,103 @@ class TestKernelCache:
             assert kernel.kernel_for(config, random_program(seed, f"bound-{seed}")) is not None
         assert len(kernel._kernels) == 2
         kernel.clear_kernels()
+
+    def test_memo_eviction_is_least_recently_used(self, monkeypatch):
+        """A hit refreshes recency, so eviction drops the coldest entry."""
+        kernel.clear_kernels()
+        monkeypatch.setattr(kernel, "KERNEL_CACHE_LIMIT", 2)
+        config = baseline_config()
+        programs = {seed: random_program(seed, f"lru-{seed}") for seed in (71, 72, 73)}
+        keys = {
+            seed: (kernel.program_digest(program), kernel.config_digest(config))
+            for seed, program in programs.items()
+        }
+        assert kernel.kernel_for(config, programs[71]) is not None
+        assert kernel.kernel_for(config, programs[72]) is not None
+        assert kernel.kernel_for(config, programs[71]) is not None  # refresh 71
+        assert kernel.kernel_for(config, programs[73]) is not None  # evicts 72
+        assert keys[71] in kernel._kernels and keys[73] in kernel._kernels
+        assert keys[72] not in kernel._kernels
+        kernel.clear_kernels()
+
+    def test_memo_eviction_does_not_break_reuse(self, monkeypatch):
+        """Evicted warm/plan entries regenerate transparently, bit-identically.
+
+        Warm states and operand plans are LRU-bounded; with the bounds
+        pinched to one entry, alternating between two footprints evicts the
+        other's state every batch — results must stay identical anyway.
+        """
+        kernel.clear_kernels()
+        monkeypatch.setattr(kernel_batch, "WARM_CACHE_LIMIT", 1)
+        monkeypatch.setattr(kernel_batch, "PLAN_CACHE_LIMIT", 1)
+        config = baseline_config()
+        first = random_program(74, "evict-a")
+        second = random_program(75, "evict-b")
+        second.warmup_regions = [WarmupRegion(base=8192, size_bytes=1 << 14, dirty=False)]
+        assert kernel_batch.warm_signature(first) != kernel_batch.warm_signature(second)
+        core = OutOfOrderCore(config, seed=3)
+        expected = {
+            program.name: core.run_interpreted(program, max_instructions=800)
+            for program in (first, second)
+        }
+        for round_index in range(2):
+            for program in (first, second):  # each batch evicts the other's state
+                results = kernel_batch.run_many(core, [program], 800)
+                assert results is not None
+                assert_identical(
+                    expected[program.name], results[0],
+                    f"evict-round-{round_index}/{program.name}",
+                )
+        assert len(kernel_batch._warm_states) == 1
+        assert len(kernel_batch._plans) == 1
+        assert kernel_batch.STATS.warm_builds >= 4  # rebuilt after each eviction
+        kernel.clear_kernels()
+
+    @pytest.mark.skipif(not kernel_vector.numpy_available(), reason="numpy not installed")
+    def test_vector_frozen_warm_eviction_does_not_break_reuse(self, monkeypatch):
+        """Same pinch for the vector plane's frozen-warm LRU."""
+        kernel.clear_kernels()
+        monkeypatch.setattr(kernel_vector, "VECTOR_WARM_CACHE_LIMIT", 1)
+        config = baseline_config()
+        first = random_program(76, "vevict-a")
+        second = random_program(77, "vevict-b")
+        second.warmup_regions = [WarmupRegion(base=8192, size_bytes=1 << 14, dirty=False)]
+        core = OutOfOrderCore(config, seed=3)
+        for round_index in range(2):
+            for program in (first, second):
+                results = kernel_vector.run_many(core, [program], 800)
+                assert results is not None
+                assert_identical(
+                    core.run_interpreted(program, max_instructions=800),
+                    results[0],
+                    f"vevict-round-{round_index}/{program.name}",
+                )
+        assert len(kernel_vector._frozen_warm) == 1
+        kernel.clear_kernels()
+
+    @pytest.mark.skipif(not kernel_vector.numpy_available(), reason="numpy not installed")
+    def test_vector_source_store_round_trip(self, tmp_path):
+        """Vector kernel source persists under its own store namespace."""
+        from repro.store.artifacts import ArtifactStore
+
+        kernel.clear_kernels()
+        config = baseline_config()
+        store = ArtifactStore(tmp_path / "kernels.sqlite")
+        try:
+            kernel.configure_source_store(store)
+            first = kernel.vector_kernel_for(config)
+            assert first is not None and kernel.STATS.generated == 1
+            cfg_digest = kernel.config_digest(config)
+            assert isinstance(store.get(kernel.vector_source_key(cfg_digest)), str)
+            kernel.clear_kernels()
+            second = kernel.vector_kernel_for(config)
+            assert second is not None
+            assert kernel.STATS.generated == 0
+            assert kernel.STATS.source_store_hits == 1
+        finally:
+            kernel.configure_source_store(None)
+            store.close()
+            kernel.clear_kernels()
 
     def test_corrupt_stored_source_falls_back_to_local_generation(self, tmp_path):
         from repro.store.artifacts import ArtifactStore
