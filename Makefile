@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke avf-smoke avf-golden kernel-smoke batch-smoke chaos-smoke serve-smoke serve-bench
+.PHONY: test benchmarks bench bench-smoke specs-smoke store-smoke avf-smoke avf-golden kernel-smoke batch-smoke chaos-smoke serve-smoke serve-chaos-smoke serve-bench
 
 test:
 	$(PYTHON) -m pytest tests -q
@@ -65,6 +65,15 @@ chaos-smoke:
 # `repro fsck` clean, no temp debris (see EXPERIMENTS.md).
 serve-smoke:
 	REPRO_SERVE_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_serve_smoke.py -m serve_smoke -q
+
+# Tier-2 durable-service gate: a daemon SIGKILLed with >=4 queued + 1 running
+# job, restarted on the same store + journal, must lose zero digests and serve
+# every result byte-identical to a clean local run; chaos-hung evaluations
+# must be quarantined by the watchdog (daemon exit code 3); random connection
+# drops must be survived by client reconnect/failover (see EXPERIMENTS.md,
+# "Failure semantics").
+serve-chaos-smoke:
+	REPRO_SERVE_CHAOS_SMOKE=1 $(PYTHON) -m pytest benchmarks/test_serve_chaos_smoke.py -m serve_chaos_smoke -q
 
 # Record/append service latency+throughput baselines (writes BENCH_serve.json).
 serve-bench:

@@ -81,6 +81,14 @@ def pytest_configure(config: pytest.Config) -> None:
         "clean shutdown (run via `make serve-smoke` or REPRO_SERVE_SMOKE=1; "
         "see EXPERIMENTS.md)",
     )
+    config.addinivalue_line(
+        "markers",
+        "serve_chaos_smoke: durable-service gate — daemon SIGKILLed mid-queue "
+        "and restarted on the same journal with zero digest loss, chaos-hung "
+        "evaluations quarantined by the watchdog, random connection drops "
+        "survived by client failover (run via `make serve-chaos-smoke` or "
+        "REPRO_SERVE_CHAOS_SMOKE=1; see EXPERIMENTS.md)",
+    )
 
 
 def pytest_report_header(config: pytest.Config) -> str:

@@ -1,0 +1,208 @@
+"""Durable-service chaos gate (tier-2 ``serve_chaos_smoke``, ``make serve-chaos-smoke``).
+
+Proves the PR 10 durability contract against *real* ``repro serve`` daemon
+subprocesses under injected faults:
+
+* **kill -9 mid-queue, zero loss** — a daemon is SIGKILLed with at least
+  four jobs queued and one running, a second daemon is started on the same
+  store + journal, and every acknowledged digest must come back — each
+  client-observed result byte-identical (volatile blocks aside) to a clean
+  local ``Session.run`` of the same spec.  The client reaches the restarted
+  daemon through its failover endpoint list.
+* **hung evaluation, live daemon** — ``REPRO_CHAOS=serve_eval:hang`` wedges
+  one evaluation; the watchdog must quarantine it within the ``--job-timeout``
+  deadline, subsequent jobs must complete, and the daemon must exit with the
+  watchdog status code (3).
+* **random connection drops** — ``REPRO_CHAOS=serve_conn:drop`` severs live
+  client connections mid-conversation; every client request must still
+  complete through the client's reconnect/re-watch machinery.
+
+Like the other tier-2 gates, the suite only runs when explicitly requested:
+
+    make serve-chaos-smoke
+    # or
+    REPRO_SERVE_CHAOS_SMOKE=1 PYTHONPATH=src python -m pytest benchmarks/test_serve_chaos_smoke.py -q
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.parallel.resilience import RetryPolicy
+from repro.serve.client import RemoteRunError, ServeClient
+from repro.serve.journal import JobJournal
+from repro.serve.loadtest import spawn_daemon, unique_spec
+from repro.serve.server import EXIT_WATCHDOG
+from repro.store import fsck_store
+from repro.store.result_store import _strip_volatile
+
+pytestmark = [pytest.mark.serve_chaos_smoke]
+if not os.environ.get("REPRO_SERVE_CHAOS_SMOKE"):
+    pytestmark.append(
+        pytest.mark.skip(reason="serve chaos smoke disabled "
+                                "(set REPRO_SERVE_CHAOS_SMOKE=1 or run `make serve-chaos-smoke`)")
+    )
+
+#: Watch/resubmit schedule generous enough to bridge a daemon restart.
+PATIENT_RETRY = RetryPolicy(max_attempts=60, base_delay=0.2, max_delay=2.0)
+
+
+@pytest.fixture()
+def serve_env():
+    """Strip REPRO_JOBS so daemon and local comparison resolve identically."""
+    with pytest.MonkeyPatch.context() as patcher:
+        patcher.delenv("REPRO_JOBS", raising=False)
+        yield
+
+
+def _slow_spec() -> dict:
+    """A spec heavy enough to still be running when the kill lands."""
+    return {
+        "kind": "simulate",
+        "name": "chaos-slow",
+        "workloads": ["403.gcc_proxy"],
+        "scale": "quick",
+        "scale_overrides": {"workload_instructions": 400000},
+    }
+
+
+def _reap(process) -> None:
+    if process.poll() is None:
+        process.kill()
+        process.wait()
+
+
+def test_kill9_mid_queue_restart_loses_nothing(serve_env, tmp_path):
+    """SIGKILL with >=4 queued + 1 running; restart on the same journal must
+    recover every digest, byte-identical to clean local runs."""
+    store = tmp_path / "store"
+    specs = [_slow_spec()] + [unique_spec(index) for index in range(4)]
+
+    process_a, endpoint_a = spawn_daemon(str(store))
+    try:
+        with ServeClient(endpoint_a, client_id="chaos-submitter") as client:
+            job_ids = [client.submit(spec)["job_id"] for spec in specs]
+            assert all(job_ids)
+            stats = client.stats()
+            assert stats["queue_depth"] >= 4, stats
+        # The journal already holds every acknowledged job.
+        assert len(JobJournal(store / "journal.jsonl").outstanding()) == 5
+        process_a.kill()  # SIGKILL: no drain, no cleanup, no terminal records
+        process_a.wait()
+    finally:
+        _reap(process_a)
+
+    # The crash is visible to fsck as salvageable damage (orphaned running
+    # job), not silent corruption.
+    report = fsck_store(store)
+    orphans = [f for f in report.findings if "orphaned in the running state" in f.problem]
+    assert orphans and all(f.repairable for f in orphans)
+
+    process_b, endpoint_b = spawn_daemon(str(store))
+    try:
+        # The client's endpoint list bridges the restart: the dead daemon's
+        # endpoint is tried and failed over.
+        endpoints = f"{endpoint_a},{endpoint_b}"
+        with ServeClient(endpoints, client_id="chaos-collector",
+                         watch_retry=PATIENT_RETRY,
+                         request_retry=PATIENT_RETRY) as client:
+            observed = [client.run(spec, busy_deadline=600.0) for spec in specs]
+        with Session() as session:
+            for spec, remote in zip(specs, observed):
+                local = session.run(dict(spec))
+                assert _strip_volatile(remote.to_json_dict()) == \
+                    _strip_volatile(local.to_json_dict()), f"divergence on {spec['name']}"
+        # Zero loss: every journaled digest reached a terminal state.
+        assert JobJournal(store / "journal.jsonl").outstanding() == []
+        with ServeClient(endpoint_b, client_id="chaos-teardown") as client:
+            client.shutdown()
+        assert process_b.wait(timeout=60.0) == 0
+    finally:
+        _reap(process_b)
+    assert fsck_store(store, repair=True).repaired >= 0  # journal auditable
+
+
+def test_chaos_hung_eval_quarantined_within_deadline(serve_env, tmp_path):
+    """serve_eval:hang wedges one evaluation: the watchdog quarantines it,
+    later jobs complete, and the daemon exits with the watchdog code."""
+    store = tmp_path / "store"
+    process, endpoint = spawn_daemon(
+        str(store),
+        extra_env={"REPRO_CHAOS": "serve_eval:hang:1.0:1"},  # first eval only
+        extra_args=["--job-timeout", "3"],
+    )
+    try:
+        with ServeClient(endpoint, client_id="chaos-hang",
+                         watch_retry=PATIENT_RETRY) as client:
+            start = time.monotonic()
+            with pytest.raises(RemoteRunError) as excinfo:
+                client.run(unique_spec(10))
+            elapsed = time.monotonic() - start
+            assert excinfo.value.code == "job_quarantined"
+            assert "watchdog" in str(excinfo.value)
+            assert elapsed < 30.0, f"quarantine took {elapsed:.1f}s (deadline 3s)"
+            # The eval loop survived: the next job completes normally.
+            assert client.run(unique_spec(11)).spec.name == "loadtest-unique-11"
+            stats = client.stats()
+            assert stats["counters"]["watchdog_fired"] == 1
+            client.shutdown()
+        assert process.wait(timeout=60.0) == EXIT_WATCHDOG
+    finally:
+        _reap(process)
+
+
+def test_chaos_connection_drops_do_not_lose_requests(serve_env, tmp_path):
+    """serve_conn:drop randomly severs live connections; every request must
+    still complete via client reconnect + watch re-open."""
+    store = tmp_path / "store"
+    process, endpoint = spawn_daemon(
+        str(store),
+        extra_env={"REPRO_CHAOS": "serve_conn:drop:0.15", "REPRO_CHAOS_SEED": "7"},
+    )
+    try:
+        errors: list[str] = []
+        results: dict[int, list] = {}
+
+        def client_worker(index: int) -> None:
+            try:
+                with ServeClient(endpoint, client_id=f"chaos-drop-{index}",
+                                 watch_retry=PATIENT_RETRY,
+                                 request_retry=PATIENT_RETRY) as client:
+                    results[index] = [
+                        client.run(unique_spec(20 + request), busy_deadline=600.0)
+                        for request in range(4)
+                    ]
+            except Exception as exc:  # noqa: BLE001 - surfaced via errors
+                errors.append(f"client {index}: {exc!r}")
+
+        threads = [threading.Thread(target=client_worker, args=(i,), daemon=True)
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600.0)
+        assert not errors, errors
+        assert all(len(results[i]) == 4 for i in range(2))
+        # Both clients observed identical result documents per spec.
+        for a, b in zip(results[0], results[1]):
+            assert a.to_json_dict() == b.to_json_dict()
+        # Teardown may itself hit drops: retry the shutdown verb briefly.
+        deadline = time.monotonic() + 30.0
+        while True:
+            try:
+                with ServeClient(endpoint, client_id="chaos-drop-teardown") as client:
+                    client.shutdown()
+                break
+            except Exception:  # noqa: BLE001 - chaos may drop the shutdown too
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.2)
+        assert process.wait(timeout=60.0) == 0
+    finally:
+        _reap(process)
+    assert fsck_store(store).clean

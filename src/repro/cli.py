@@ -355,10 +355,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fsck command only: repair salvageable damage in place "
                              "(truncate torn JSONL tails, drop unloadable checkpoints, "
                              "remove temp-file debris)")
-    parser.add_argument("--remote", default=None, metavar="HOST:PORT",
+    parser.add_argument("--remote", default=None, metavar="HOST:PORT[,HOST:PORT...]",
                         help="run/loadtest: execute against a live 'repro serve' "
                              "daemon instead of this process (results are "
-                             "byte-identical to a local run)")
+                             "byte-identical to a local run); a comma-separated "
+                             "list enables client-side failover in endpoint order")
     parser.add_argument("--host", default="127.0.0.1", metavar="ADDR",
                         help="serve command only: interface to listen on "
                              "(default: 127.0.0.1; never expose the daemon to "
@@ -370,6 +371,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help=f"serve command only: bound on queued jobs before "
                              f"submits are rejected with retry_after "
                              f"(default: {DEFAULT_QUEUE_LIMIT})")
+    parser.add_argument("--job-timeout", type=float, default=None, metavar="SECONDS",
+                        help="serve command only: watchdog deadline per evaluation; "
+                             "a job exceeding it is quarantined and its eval thread "
+                             "abandoned (a spec's task_timeout wins; default: 3600)")
+    parser.add_argument("--drain", action="store_true",
+                        help="serve command only: on SIGTERM/SIGINT persist the "
+                             "queued jobs to the job journal (next daemon on the "
+                             "same --store replays them) instead of cancelling")
     parser.add_argument("--clients", type=int, default=3, metavar="N",
                         help="loadtest command only: concurrent synthetic clients "
                              "(default: 3)")
@@ -387,7 +396,7 @@ def _cmd_list() -> None:
         print(f"  {name} <spec.json>")
     print("  merge <dest-store> <src-store>...")
     print("  fsck <store> [--repair]")
-    print("  serve [--host --port --store --jobs --queue-limit]")
+    print("  serve [--host --port --store --jobs --queue-limit --job-timeout --drain]")
     print("  loadtest [--remote HOST:PORT --clients N --requests M]")
     print("\nregistered components (usable in RunSpec files):")
     labels = {
@@ -572,6 +581,8 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
 
     from repro.serve.server import DEFAULT_PORT, DEFAULT_QUEUE_LIMIT, serve
 
+    from repro.serve.server import DEFAULT_JOB_TIMEOUT, EXIT_WATCHDOG
+
     try:
         server = serve(
             host=args.host,
@@ -580,18 +591,34 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             jobs=args.jobs,
             queue_limit=args.queue_limit if args.queue_limit is not None else DEFAULT_QUEUE_LIMIT,
             retry=_retry_from_args(parser, args),
+            job_timeout=args.job_timeout if args.job_timeout is not None else DEFAULT_JOB_TIMEOUT,
+            drain_on_stop=args.drain,
         )
     except (OSError, ValueError, StoreError) as exc:
         parser.error(f"cannot start the daemon: {exc}")
+    # SIGINT and SIGTERM take the same path: drain (persist the queue to the
+    # journal) when --drain was given, cancel the queue otherwise.
     signal.signal(signal.SIGTERM, lambda *_: server.stop())
+    signal.signal(signal.SIGINT, lambda *_: server.stop())
+    # Start (journal replay included) before reporting, so restored_jobs is
+    # populated; serve_forever's own start() is an idempotent no-op then.
+    server.start()
     # The "listening on" line is the startup handshake load/smoke harnesses
     # parse for the ephemeral port — keep its shape stable.
     print(f"repro serve: listening on {server.host}:{server.port} "
           f"(pid {os.getpid()}, jobs={args.jobs or 'spec'}, "
-          f"store={args.store or 'none'})", flush=True)
-    server.serve_forever()
-    print("repro serve: stopped", flush=True)
-    return 0
+          f"store={args.store or 'none'}, "
+          f"drain={'on' if args.drain else 'off'})", flush=True)
+    if server.restored_jobs:
+        print(f"repro serve: replayed {server.restored_jobs} journaled job(s) "
+              f"from {args.store}", flush=True)
+    code = server.serve_forever()
+    if code == EXIT_WATCHDOG:
+        print("repro serve: stopped (watchdog abandoned at least one hung "
+              "evaluation; exit code 3)", flush=True)
+    else:
+        print("repro serve: stopped", flush=True)
+    return code
 
 
 def _cmd_loadtest(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:

@@ -5,9 +5,10 @@
 (:class:`RunSpec`, JSON mapping, or a path to a spec file), and its
 :meth:`ServeClient.run` blocks until the daemon returns the
 :class:`RunResult` — so ``examples/`` specs run unchanged against a remote
-host (``repro run spec.json --remote HOST:PORT``).  The async half of the
-surface (``submit`` / ``status`` / ``wait`` / ``cancel``) exposes the job
-table for callers that fan many specs out before collecting.
+host (``repro run spec.json --remote HOST:PORT[,HOST:PORT...]``).  The
+async half of the surface (``submit`` / ``status`` / ``wait`` / ``cancel``)
+exposes the job table for callers that fan many specs out before
+collecting.
 
 One proxy holds one persistent TCP connection (lazily opened, re-opened
 after errors) and serializes its requests with a lock, so a proxy may be
@@ -19,6 +20,21 @@ Failure semantics map the server's error codes onto exceptions:
 ``retry_after`` backpressure hint, bounded by ``busy_deadline``), while
 failed / quarantined / cancelled jobs raise :class:`RemoteRunError` with
 the job's state on it.
+
+Failover and durability (PR 10):
+
+* A proxy accepts a comma-separated **endpoint list**.  Connections try
+  the active endpoint first and rotate through the rest; requests that die
+  mid-flight are retried once per endpoint.  Submitting is safe to retry —
+  specs are content-addressed, so a duplicate lands as a store hit or an
+  in-flight dedup, never a second evaluation.
+* :meth:`wait` consumes the server's **heartbeat frames** (keepalives on
+  an idle watch stream) and transparently **re-opens a dropped stream**
+  under a capped-backoff :class:`~repro.parallel.resilience.RetryPolicy`.
+  When the stream comes back ``unknown_job`` (the daemon restarted or the
+  proxy failed over) and the spec is known, the job is **resubmitted by
+  digest** — the journal-replaying daemon answers from its store or
+  re-runs it, byte-identically either way.
 """
 
 from __future__ import annotations
@@ -29,19 +45,28 @@ import threading
 import time
 import uuid
 from pathlib import Path
-from typing import Mapping, Optional, Union
+from typing import Mapping, Optional, Sequence, Union
 
 from repro.api.spec import RunResult, RunSpec
+from repro.parallel.resilience import RetryPolicy
 from repro.serve import jobs as jobstates
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
     parse_endpoint,
+    parse_endpoints,
     recv_frame,
     send_frame,
 )
 
 SpecLike = Union[RunSpec, Mapping[str, object], str, Path]
+
+#: Watch streams dropped mid-wait are re-opened under this schedule.
+DEFAULT_WATCH_RETRY = RetryPolicy(max_attempts=8, base_delay=0.1, max_delay=2.0)
+
+#: Error codes that mean "this daemon cannot finish the job, but another
+#: (or a restarted) daemon can": the wait loop resubmits by digest.
+_RESUBMIT_CODES = ("unknown_job", "shutting_down")
 
 
 class RemoteError(RuntimeError):
@@ -69,42 +94,81 @@ class ServeBusyError(RemoteError):
         return float(self.payload.get("retry_after", 1.0))
 
 
+class _StreamClosed(ProtocolError):
+    """The watch stream ended without a final frame (peer died mid-watch)."""
+
+
 class ServeClient:
     """Proxy object speaking the ``repro serve`` wire protocol.
 
-    ``endpoint`` is ``"HOST:PORT"`` (or pass ``host=``/``port=``).  The
-    ``client_id`` identifies this proxy in the server's per-client fair
-    scheduler; all proxies of one process share fairness unless given
-    distinct ids.
+    ``endpoint`` is ``"HOST:PORT"`` — or a comma-separated failover list
+    ``"HOST:PORT,HOST:PORT"`` / a sequence of endpoints (or pass
+    ``host=``/``port=`` for a single one).  The ``client_id`` identifies
+    this proxy in the server's per-client fair scheduler; all proxies of
+    one process share fairness unless given distinct ids.
     """
 
     def __init__(
         self,
-        endpoint: Optional[str] = None,
+        endpoint: Optional[Union[str, Sequence[str]]] = None,
         host: str = "127.0.0.1",
         port: Optional[int] = None,
         timeout: Optional[float] = 60.0,
         client_id: Optional[str] = None,
+        watch_retry: Optional[RetryPolicy] = None,
+        request_retry: Optional[RetryPolicy] = None,
     ) -> None:
         if endpoint is not None:
-            host, port = parse_endpoint(endpoint)
-        if not port:
-            raise ValueError("ServeClient needs a port (endpoint 'HOST:PORT' or port=...)")
-        self.host = host
-        self.port = int(port)
+            self.endpoints = parse_endpoints(endpoint)
+        else:
+            self.endpoints = [(host, int(port) if port else 0)]
+        for pair in self.endpoints:
+            if not pair[1]:
+                raise ValueError(
+                    f"ServeClient needs a port for every endpoint "
+                    f"(got {pair[0]!r}; use 'HOST:PORT[,HOST:PORT...]' or port=...)")
         self.timeout = timeout
         self.client_id = client_id or f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        self.watch_retry = watch_retry or DEFAULT_WATCH_RETRY
+        # At least one reconnect per endpoint plus headroom for a flaky
+        # (drop-prone) connection to a single live daemon.
+        self.request_retry = request_retry or RetryPolicy(
+            max_attempts=len(self.endpoints) + 3, base_delay=0.05, max_delay=1.0)
+        self._active = 0
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
+
+    @property
+    def host(self) -> str:
+        """Host of the active endpoint (single-endpoint back-compat)."""
+        return self.endpoints[self._active][0]
+
+    @property
+    def port(self) -> int:
+        """Port of the active endpoint (single-endpoint back-compat)."""
+        return self.endpoints[self._active][1]
 
     # ------------------------------------------------------------- transport
 
     def _connection(self) -> socket.socket:
-        if self._sock is None:
-            sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        """The live socket, connecting if needed — active endpoint first,
+        then failing over through the rest of the list."""
+        if self._sock is not None:
+            return self._sock
+        last_error: Optional[OSError] = None
+        for offset in range(len(self.endpoints)):
+            index = (self._active + offset) % len(self.endpoints)
+            address = self.endpoints[index]
+            try:
+                sock = socket.create_connection(address, timeout=self.timeout)
+            except OSError as exc:
+                last_error = exc
+                continue
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             self._sock = sock
-        return self._sock
+            self._active = index
+            return sock
+        raise last_error if last_error is not None else OSError("no endpoints configured")
 
     def _drop_connection(self) -> None:
         if self._sock is not None:
@@ -114,23 +178,39 @@ class ServeClient:
                 pass
             self._sock = None
 
-    def _request(self, payload: dict) -> dict:
-        """One request/response round trip (reconnects once on a dead socket)."""
+    def _advance_endpoint(self) -> None:
+        """Rotate to the next endpoint (used when the active one answered
+        that it is shutting down — connecting to it again is pointless)."""
         with self._lock:
-            for attempt in (1, 2):
+            self._drop_connection()
+            self._active = (self._active + 1) % len(self.endpoints)
+
+    def _request(self, payload: dict) -> dict:
+        """One request/response round trip.
+
+        Reconnects (failing over through the endpoint list) and retries under
+        ``request_retry`` backoff — dead sockets, severed connections and
+        unreachable daemons surface only after every endpoint refused
+        repeatedly.  Retrying a submit is safe (content-addressed dedup);
+        every other verb is a read or idempotent.
+        """
+        with self._lock:
+            policy = self.request_retry
+            last_error: Exception = RemoteError("no request attempted")
+            for attempt in range(1, policy.max_attempts + 1):
                 try:
                     sock = self._connection()
                     send_frame(sock, payload)
                     response = recv_frame(sock)
-                    break
-                except (OSError, ProtocolError):
+                    if response is None:
+                        raise _StreamClosed("server closed the connection without answering")
+                    return response
+                except (OSError, ProtocolError) as exc:
+                    last_error = exc
                     self._drop_connection()
-                    if attempt == 2:
-                        raise
-            if response is None:
-                self._drop_connection()
-                raise RemoteError("server closed the connection without answering")
-            return response
+                    if attempt < policy.max_attempts:
+                        time.sleep(policy.delay_for(attempt))
+            raise last_error
 
     @staticmethod
     def _checked(response: dict, tolerate: tuple[str, ...] = ()) -> dict:
@@ -198,55 +278,112 @@ class ServeClient:
     def stats(self) -> dict:
         return self._checked(self._request({"verb": "stats"}))
 
-    def shutdown(self) -> dict:
-        """Ask the daemon to stop (running job finishes, queue is cancelled)."""
-        return self._checked(self._request({"verb": "shutdown"}))
+    def shutdown(self, drain: bool = False) -> dict:
+        """Ask the daemon to stop.  ``drain=False`` cancels its queue;
+        ``drain=True`` persists the queued jobs to the journal for the next
+        daemon to replay."""
+        return self._checked(self._request({"verb": "shutdown", "drain": drain}))
 
     # ------------------------------------------------------------ run surface
 
-    def wait(self, job_id: str) -> RunResult:
-        """Block until a job is terminal; returns its RunResult or raises.
+    def _watch_stream(self, job_id: str) -> dict:
+        """One watch stream: returns the final frame (success or error).
 
-        Uses the streaming ``watch`` verb: the server pushes a frame per
-        state change, so waiting costs no polling traffic.
+        Heartbeat keepalives and state-change frames are consumed silently.
+        Raises :class:`_StreamClosed`/``OSError``/``ProtocolError`` when the
+        stream dies before a final frame — the caller re-opens it.
         """
         with self._lock:
-            sock = self._connection()
             try:
+                sock = self._connection()
                 send_frame(sock, {"verb": "watch", "job_id": job_id})
                 while True:
                     frame = recv_frame(sock)
                     if frame is None:
-                        raise RemoteError("server closed the watch stream")
+                        raise _StreamClosed("server closed the watch stream")
                     if frame.get("final") or not frame.get("ok"):
-                        break
+                        return frame
             except (OSError, ProtocolError):
                 self._drop_connection()
                 raise
-        self._checked(frame)
-        return RunResult.from_json_dict(frame["result"])
+
+    def wait(self, job_id: str, spec: Optional[SpecLike] = None) -> RunResult:
+        """Block until a job is terminal; returns its RunResult or raises.
+
+        Uses the streaming ``watch`` verb: the server pushes a frame per
+        state change (plus heartbeats), so waiting costs no polling traffic.
+        A dropped stream is re-opened under ``watch_retry`` backoff, failing
+        over through the endpoint list.  With ``spec`` given, a daemon that
+        no longer knows the job (restart / failover / drain) gets the spec
+        resubmitted by digest instead of erroring out.
+        """
+        document = None if spec is None else self.coerce(spec).validate().to_json_dict()
+        policy = self.watch_retry
+        drops = 0
+        while True:
+            try:
+                frame = self._watch_stream(job_id)
+            except (OSError, ProtocolError):
+                drops += 1
+                if drops >= policy.max_attempts:
+                    raise
+                time.sleep(policy.delay_for(drops))
+                continue
+            code = str(frame.get("code", ""))
+            if code in _RESUBMIT_CODES and document is not None:
+                drops += 1
+                if drops >= policy.max_attempts:
+                    self._checked(frame)  # raises with the server's message
+                if code == "shutting_down":
+                    # That daemon is done; its connection would keep
+                    # answering shutting_down forever.  Rotate away.
+                    self._advance_endpoint()
+                time.sleep(policy.delay_for(drops))
+                try:
+                    response = self._checked(self._request({
+                        "verb": "submit", "spec": document, "client": self.client_id,
+                    }))
+                except (ServeBusyError, RemoteError):
+                    continue  # resubmit again after the next backoff
+                if response.get("result") is not None:
+                    return RunResult.from_json_dict(response["result"])
+                job_id = str(response["job_id"])
+                continue
+            self._checked(frame)
+            return RunResult.from_json_dict(frame["result"])
 
     def run(self, spec: SpecLike, busy_deadline: Optional[float] = 300.0) -> RunResult:
         """Submit and wait — the remote mirror of ``Session.run``.
 
         Store-hit answers return immediately; queued work is awaited via the
-        watch stream.  ``queue_full`` responses are retried (sleeping the
-        server's ``retry_after`` hint) until ``busy_deadline`` seconds pass.
+        watch stream (re-opened and failed over as needed).  ``queue_full``
+        responses are retried (sleeping the server's ``retry_after`` hint)
+        and ``shutting_down`` answers rotate to the next endpoint, until
+        ``busy_deadline`` seconds pass.
         """
+        document = self.coerce(spec).validate().to_json_dict()
         deadline = None if busy_deadline is None else time.monotonic() + busy_deadline
         while True:
             try:
-                response = self.submit(spec)
+                response = self.submit(document)
             except ServeBusyError as exc:
                 pause = min(5.0, max(0.05, exc.retry_after))
                 if deadline is not None and time.monotonic() + pause > deadline:
                     raise
                 time.sleep(pause)
                 continue
+            except RemoteError as exc:
+                if exc.code == "shutting_down" and len(self.endpoints) > 1:
+                    if deadline is not None and time.monotonic() + 0.2 > deadline:
+                        raise
+                    self._advance_endpoint()
+                    time.sleep(0.2)
+                    continue
+                raise
             break
         if response.get("result") is not None:
             return RunResult.from_json_dict(response["result"])
-        return self.wait(str(response["job_id"]))
+        return self.wait(str(response["job_id"]), spec=document)
 
     # -------------------------------------------------------------- lifetime
 

@@ -112,6 +112,7 @@ class JobTable:
         self._durations: deque[float] = deque(maxlen=64)
         self.counters = {
             "submitted": 0,
+            "restored": 0,
             "dedup_hits": 0,
             "rejected": 0,
             "completed": 0,
@@ -122,11 +123,17 @@ class JobTable:
 
     # ------------------------------------------------------------- submission
 
-    def submit(self, spec: dict, digest: str, client: str) -> tuple[Job, bool]:
+    def submit(self, spec: dict, digest: str, client: str,
+               on_accept=None) -> tuple[Job, bool]:
         """Queue a spec (or attach to the identical in-flight job).
 
         Returns ``(job, deduped)``.  Raises :class:`QueueFullError` when the
         bounded queue is at ``queue_limit``.
+
+        ``on_accept(job)`` runs under the table lock *before* the fresh job
+        becomes visible to the scheduler — the write-ahead hook the server
+        journals through, so a ``start`` record can never precede its
+        ``submit`` record.  If it raises, the submission is not queued.
         """
         with self._changed:
             existing = self._inflight.get(digest)
@@ -146,6 +153,8 @@ class JobTable:
                 spec=spec,
                 client=client,
             )
+            if on_accept is not None:
+                on_accept(job)
             self._jobs[job.job_id] = job
             self._inflight[digest] = job
             if client not in self._queues:
@@ -155,6 +164,34 @@ class JobTable:
             self.counters["submitted"] += 1
             self._changed.notify_all()
             return job, False
+
+    def restore(self, spec: dict, digest: str, client: str) -> Job:
+        """Re-enqueue a job recovered from the journal (startup replay).
+
+        Bypasses the queue bound — acknowledged work must never be dropped
+        because a restart found the queue nominally full — and counts under
+        ``restored`` instead of ``submitted``.  Replay happens before the
+        server threads start, so no deduplication race is possible.
+        """
+        with self._changed:
+            existing = self._inflight.get(digest)
+            if existing is not None:  # replayed twice (defensive)
+                return existing
+            job = Job(
+                job_id=f"job-{next(self._ids)}",
+                digest=digest,
+                spec=spec,
+                client=client,
+            )
+            self._jobs[job.job_id] = job
+            self._inflight[digest] = job
+            if client not in self._queues:
+                self._queues[client] = deque()
+                self._clients.append(client)
+            self._queues[client].append(job)
+            self.counters["restored"] += 1
+            self._changed.notify_all()
+            return job
 
     def retry_after(self) -> float:
         """Backpressure hint: roughly one mean job duration per queued job."""
@@ -272,9 +309,9 @@ class JobTable:
             self._changed.notify_all()
             return job, True
 
-    def cancel_all_queued(self) -> int:
-        """Cancel every queued job (server shutdown); returns the count."""
-        cancelled = 0
+    def cancel_all_queued(self) -> list[Job]:
+        """Cancel every queued job (server shutdown); returns the jobs."""
+        cancelled: list[Job] = []
         with self._changed:
             for queue in self._queues.values():
                 while queue:
@@ -284,9 +321,14 @@ class JobTable:
                     if self._inflight.get(job.digest) is job:
                         del self._inflight[job.digest]
                     self.counters["cancelled"] += 1
-                    cancelled += 1
+                    cancelled.append(job)
             self._changed.notify_all()
         return cancelled
+
+    def queued_jobs(self) -> list[Job]:
+        """Snapshot of the currently queued jobs (drain accounting)."""
+        with self._lock:
+            return [job for queue in self._queues.values() for job in queue]
 
     # ---------------------------------------------------------------- queries
 

@@ -77,11 +77,13 @@ def spawn_daemon(
     jobs: Optional[int] = None,
     queue_limit: Optional[int] = None,
     extra_env: Optional[dict] = None,
+    extra_args: Optional[list] = None,
 ) -> tuple[subprocess.Popen, str]:
     """Start ``repro serve`` on an ephemeral port; returns (process, endpoint).
 
     The endpoint is parsed from the daemon's "listening on HOST:PORT" line,
     so no port is hardwired and parallel harnesses never collide.
+    ``extra_args`` are appended verbatim (``["--job-timeout", "2"]`` etc.).
     """
     command = [sys.executable, "-m", "repro", "serve",
                "--host", host, "--port", "0", "--store", store]
@@ -89,6 +91,7 @@ def spawn_daemon(
         command += ["--jobs", str(jobs)]
     if queue_limit is not None:
         command += ["--queue-limit", str(queue_limit)]
+    command += [str(arg) for arg in (extra_args or [])]
     env = dict(os.environ)
     # Run from a source checkout without installation: put the package's
     # parent (src/) on the child's path.
@@ -99,20 +102,26 @@ def spawn_daemon(
         command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env,
     )
-    deadline = time.monotonic() + 60.0
-    assert process.stdout is not None
-    while time.monotonic() < deadline:
-        line = process.stdout.readline()
-        if not line:
-            raise RuntimeError(
-                f"repro serve exited before listening (rc={process.poll()})")
-        match = _LISTENING.search(line)
-        if match:
-            endpoint = f"{match.group(1)}:{match.group(2)}"
-            wait_until_ready(endpoint, timeout=30.0)
-            return process, endpoint
-    process.kill()
-    raise RuntimeError("repro serve never printed its listening address")
+    # Any failure before the daemon is confirmed ready must reap the child:
+    # a leaked daemon would hold the store lock and the port forever.
+    try:
+        deadline = time.monotonic() + 60.0
+        assert process.stdout is not None
+        while time.monotonic() < deadline:
+            line = process.stdout.readline()
+            if not line:
+                raise RuntimeError(
+                    f"repro serve exited before listening (rc={process.poll()})")
+            match = _LISTENING.search(line)
+            if match:
+                endpoint = f"{match.group(1)}:{match.group(2)}"
+                wait_until_ready(endpoint, timeout=30.0)
+                return process, endpoint
+        raise RuntimeError("repro serve never printed its listening address")
+    except BaseException:
+        process.kill()
+        process.wait()
+        raise
 
 
 def _percentile(sorted_values: list[float], quantile: float) -> float:
@@ -143,11 +152,17 @@ def run_loadtest(
         raise ValueError("loadtest needs at least 1 client and 1 request")
     process = None
     tmp = None
+    shutdown_sent = False
     if endpoint is None:
         if store is None:
             tmp = tempfile.TemporaryDirectory(prefix="repro-loadtest-")
             store = tmp.name
-        process, endpoint = spawn_daemon(store, jobs=jobs)
+        try:
+            process, endpoint = spawn_daemon(store, jobs=jobs)
+        except BaseException:
+            if tmp is not None:
+                tmp.cleanup()
+            raise
     try:
         ping = wait_until_ready(endpoint, timeout=30.0)
         latencies: list[float] = []
@@ -185,13 +200,26 @@ def run_loadtest(
             stats = client.stats()
             if process is not None:
                 client.shutdown()
+                shutdown_sent = True
     finally:
-        if process is not None:
-            try:
-                process.wait(timeout=60.0)
-            except subprocess.TimeoutExpired:
-                process.kill()
-                process.wait()
+        # Tear the daemon down on *every* path out of the run.  A graceful
+        # wait is only worth anything after the shutdown verb was actually
+        # sent; on error paths go straight to terminate/kill so a failing
+        # loadtest never leaks a daemon holding the store and port.
+        if process is not None and process.poll() is None:
+            if shutdown_sent:
+                try:
+                    process.wait(timeout=30.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+            else:
+                process.terminate()
+                try:
+                    process.wait(timeout=10.0)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
         if tmp is not None:
             tmp.cleanup()
 

@@ -118,3 +118,25 @@ def parse_endpoint(endpoint: str, default_port: int = 0) -> tuple[str, int]:
         return host or "127.0.0.1", int(port_text)
     except ValueError as exc:
         raise ValueError(f"invalid endpoint {endpoint!r} (expected HOST:PORT)") from exc
+
+
+def parse_endpoints(endpoints, default_port: int = 0) -> list[tuple[str, int]]:
+    """Parse a failover list: ``"HOST:PORT[,HOST:PORT...]"`` or a sequence.
+
+    Order is significant — clients try endpoints in the order given and fail
+    over down the list.  Duplicates are dropped (keeping first occurrence).
+    """
+    if isinstance(endpoints, str):
+        parts = [part.strip() for part in endpoints.split(",")]
+    else:
+        parts = [str(part).strip() for part in endpoints]
+    pairs: list[tuple[str, int]] = []
+    for part in parts:
+        if not part:
+            continue
+        pair = parse_endpoint(part, default_port=default_port)
+        if pair not in pairs:
+            pairs.append(pair)
+    if not pairs:
+        raise ValueError(f"no endpoints in {endpoints!r} (expected HOST:PORT[,HOST:PORT...])")
+    return pairs

@@ -10,7 +10,11 @@ reports what it finds.  With ``repair=True`` it additionally fixes the
   (the interrupted run recomputes that one result);
 * an unreadable GA checkpoint file is deleted (the search restarts from
   scratch instead of dying at resume time);
-* leftover ``*.tmp`` files from interrupted atomic writes are removed.
+* leftover ``*.tmp`` files from interrupted atomic writes are removed;
+* the ``repro serve`` job journal (``journal.jsonl``): a torn tail is
+  truncated away, and entries orphaned in the ``running`` state by a
+  daemon crash are compacted back to ``queued`` so the next daemon
+  replays them.
 
 Unsalvageable damage — a corrupt record in the *middle* of the JSONL file,
 a sqlite database failing its integrity check — is only ever reported:
@@ -61,6 +65,7 @@ class FsckReport:
     intact_results: int = 0
     checkpoints: int = 0
     artifacts: int = 0
+    journaled_jobs: int = 0  # outstanding jobs in the serve journal
 
     @property
     def clean(self) -> bool:
@@ -107,6 +112,7 @@ def fsck_store(root: Union[str, Path], repair: bool = False) -> FsckReport:
             report.checked_files += 1
             report.artifacts += _check_sqlite(path, report, table_rows="artifacts")
     _check_checkpoints(root / "checkpoints", report, repair)
+    _check_journal(root, report, repair)
     _check_tmp_files(root, report, repair)
     return report
 
@@ -289,6 +295,74 @@ def _check_checkpoints(directory: Path, report: FsckReport, repair: bool) -> Non
                     repaired=repaired,
                 )
             )
+
+
+# ------------------------------------------------------------- job journal
+
+
+def _check_journal(root: Path, report: FsckReport, repair: bool) -> None:
+    """Audit the ``repro serve`` job journal hosted beside the results.
+
+    A torn final record (daemon killed mid-append) is salvageable: repair
+    truncates it away, exactly like the results backend.  Jobs orphaned in
+    the ``running`` state (daemon killed mid-evaluation) are reported, and
+    repair compacts the journal — dropping the ``start`` markers so the
+    next daemon replays them as ``queued``.  Mid-file corruption is only
+    reported: repairing it would silently drop acknowledged jobs.
+    """
+    from repro.serve.journal import JOURNAL_FILE, JobJournal, JournalError
+
+    path = root / JOURNAL_FILE
+    if not path.exists():
+        return
+    report.checked_files += 1
+    journal = JobJournal(path)
+    try:
+        audit = journal.audit()
+    except JournalError as exc:
+        report.findings.append(
+            FsckFinding(path=str(path), problem=f"corrupt job journal: {exc}")
+        )
+        return
+    report.journaled_jobs += len(audit.entries)
+    if audit.torn_tail:
+        repaired = False
+        if repair:
+            # Drop the final (unparseable) record whether or not the tear
+            # consumed its newline — mirror _check_results_jsonl.
+            data = path.read_bytes()
+            if data.endswith(b"\n"):
+                keep = data.rfind(b"\n", 0, len(data) - 1) + 1
+            else:
+                keep = data.rfind(b"\n") + 1
+            with open(path, "r+b") as handle:
+                handle.truncate(keep)
+            repaired = True
+        report.findings.append(
+            FsckFinding(
+                path=str(path),
+                problem="torn final journal record (daemon killed mid-append)",
+                repairable=True,
+                repaired=repaired,
+            )
+        )
+    if audit.orphaned_running:
+        repaired = False
+        if repair:
+            journal.compact(audit.entries)
+            repaired = True
+        report.findings.append(
+            FsckFinding(
+                path=str(path),
+                problem=(
+                    f"{audit.orphaned_running} job(s) orphaned in the running "
+                    f"state (daemon crashed mid-evaluation); compaction requeues "
+                    f"them for the next daemon"
+                ),
+                repairable=True,
+                repaired=repaired,
+            )
+        )
 
 
 # -------------------------------------------------------------- tmp debris

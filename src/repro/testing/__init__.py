@@ -12,6 +12,7 @@ from repro.testing.chaos import (
     CHAOS_ENV_VAR,
     CHAOS_SEED_ENV_VAR,
     ChaosClause,
+    ChaosDrop,
     ChaosError,
     chaos_hook,
     chaos_mangle,
@@ -22,6 +23,7 @@ __all__ = [
     "CHAOS_ENV_VAR",
     "CHAOS_SEED_ENV_VAR",
     "ChaosClause",
+    "ChaosDrop",
     "ChaosError",
     "chaos_hook",
     "chaos_mangle",

@@ -22,6 +22,15 @@ Spec grammar (comma-separated clauses)::
     (the ``truncate`` kind tears the write mid-line).
 ``artifact-store``
     A pickled-artifact write in :class:`~repro.store.artifacts.ArtifactStore`.
+``serve_conn``
+    Per-request hook in a ``repro serve`` connection handler (the ``drop``
+    kind severs the connection mid-conversation).
+``serve_eval``
+    The daemon's supervised evaluation thread, just before ``Session.run``
+    (``hang`` here proves the eval-loop watchdog).
+``serve_daemon``
+    The daemon's evaluation loop, after a job is journaled as started
+    (``exit`` here is a ``kill -9`` proxy for the whole daemon).
 
 ``kind`` is one of:
 
@@ -29,6 +38,8 @@ Spec grammar (comma-separated clauses)::
 ``raise``  — raise :class:`ChaosError` (evaluator bug / transient error proxy)
 ``hang``   — sleep far past any reasonable deadline (stuck-kernel proxy)
 ``slow``   — sleep briefly (I/O latency proxy)
+``drop``   — raise :class:`ChaosDrop` (severed-connection proxy; the serve
+    connection handler maps it to an abrupt close)
 ``truncate`` — only meaningful via :func:`chaos_mangle`: truncate the payload
     of a write mid-record (crash-during-append proxy)
 
@@ -40,7 +51,10 @@ pid so workers draw independent sequences).
 Process-killing kinds (``exit``, ``hang``) never fire in the process that
 first imported this module — chaos must take down workers, not the
 orchestrator.  Fork-based worker pools (the Linux default) inherit that
-root-pid marker, so worker processes fire normally.
+root-pid marker, so worker processes fire normally.  The ``serve_eval`` and
+``serve_daemon`` sites are exempt from that guard: they exist precisely to
+hang or kill a daemon *subprocess* that is the root pid of its own process
+tree (the orchestrating test harness never visits those sites).
 
 The injected failures are *random by design*: the resilience machinery
 guarantees results are bit-identical to a clean serial run no matter which
@@ -61,8 +75,14 @@ CHAOS_ENV_VAR = "REPRO_CHAOS"
 #: Optional integer seed for the per-process chaos RNG.
 CHAOS_SEED_ENV_VAR = "REPRO_CHAOS_SEED"
 
-#: Fault kinds that take down or stall the current process.
-PROCESS_KINDS = ("exit", "raise", "hang", "slow")
+#: Fault kinds that take down or stall the current process (``drop`` merely
+#: raises :class:`ChaosDrop`, which instrumented servers map to a severed
+#: connection).
+PROCESS_KINDS = ("exit", "raise", "hang", "slow", "drop")
+
+#: Sites where the root-pid guard is waived: chaos aimed at a ``repro
+#: serve`` daemon must fire even though the daemon is its own root process.
+UNGUARDED_SITES = frozenset({"serve_eval", "serve_daemon"})
 
 #: Fault kinds that corrupt a payload instead (see :func:`chaos_mangle`).
 MANGLE_KINDS = ("truncate",)
@@ -86,6 +106,10 @@ _ROOT_PID = os.getpid()
 
 class ChaosError(RuntimeError):
     """The injected failure raised by the ``raise`` fault kind."""
+
+
+class ChaosDrop(ChaosError):
+    """The ``drop`` kind fired: the instrumented server severs the peer."""
 
 
 @dataclass(frozen=True)
@@ -159,8 +183,11 @@ class _Injector:
             return
         if clause.kind == "raise":
             raise ChaosError(f"injected fault at {clause.site!r}")
-        # Process-killing kinds must never take down the orchestrator.
-        if os.getpid() == _ROOT_PID:
+        if clause.kind == "drop":
+            raise ChaosDrop(f"injected connection drop at {clause.site!r}")
+        # Process-killing kinds must never take down the orchestrator —
+        # except at daemon-targeted sites, where the daemon IS the target.
+        if os.getpid() == _ROOT_PID and clause.site not in UNGUARDED_SITES:
             return
         if clause.kind == "hang":
             time.sleep(HANG_SECONDS)

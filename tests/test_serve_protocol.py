@@ -1,4 +1,8 @@
-"""Wire-protocol unit tests: framing, limits, endpoint parsing."""
+"""Wire-protocol unit tests: framing, limits, endpoint parsing — plus a
+fuzz suite driving a *live* server with malformed byte streams (truncated
+length prefixes, oversize lengths, non-UTF8 bodies, interleaved garbage) to
+prove every case is answered or dropped cleanly without killing a handler
+thread."""
 
 from __future__ import annotations
 
@@ -14,6 +18,7 @@ from repro.serve.protocol import (
     ProtocolError,
     error_response,
     parse_endpoint,
+    parse_endpoints,
     recv_frame,
     send_frame,
 )
@@ -128,3 +133,140 @@ def test_parse_endpoint(endpoint, expected):
 def test_parse_endpoint_rejects_bad_port():
     with pytest.raises(ValueError, match="invalid endpoint"):
         parse_endpoint("host:notaport")
+
+
+@pytest.mark.parametrize(
+    ("endpoints", "expected"),
+    [
+        ("a:1", [("a", 1)]),
+        ("a:1,b:2", [("a", 1), ("b", 2)]),
+        (" a:1 , b:2 ,", [("a", 1), ("b", 2)]),  # whitespace + trailing comma
+        ("a:1,a:1,b:2", [("a", 1), ("b", 2)]),  # duplicates dropped
+        (["a:1", "b:2"], [("a", 1), ("b", 2)]),  # sequence form
+    ],
+)
+def test_parse_endpoints(endpoints, expected):
+    assert parse_endpoints(endpoints) == expected
+
+
+def test_parse_endpoints_rejects_empty():
+    with pytest.raises(ValueError, match="no endpoints"):
+        parse_endpoints(" , ,")
+
+
+# ----------------------------------------------------- live-server fuzzing
+#
+# Every malformed byte stream below must leave the daemon fully alive: the
+# offending connection is answered (bad_frame) or dropped, and a fresh
+# client's ping round-trips afterwards.
+
+
+class _IdleSession:
+    """Session stand-in for fuzzing: no store, run never called."""
+
+    store = None
+
+    def run(self, spec):  # pragma: no cover - fuzz frames never reach run
+        raise AssertionError("fuzz frames must never evaluate")
+
+    def close(self) -> None:
+        pass
+
+
+@pytest.fixture()
+def live_server():
+    from repro.serve.server import ReproServer
+
+    server = ReproServer(_IdleSession(), port=0)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+        server.join(timeout=30.0)
+
+
+def _raw(server) -> socket.socket:
+    sock = socket.create_connection(("127.0.0.1", server.port), timeout=10.0)
+    sock.settimeout(10.0)
+    return sock
+
+
+def _assert_server_alive(server) -> None:
+    with _raw(server) as probe:
+        send_frame(probe, {"verb": "ping"})
+        assert recv_frame(probe)["ok"]
+
+
+def _assert_dropped(sock: socket.socket) -> None:
+    """The server must sever this connection (EOF or RST), not answer or hang."""
+    try:
+        assert sock.recv(1) == b""
+    except ConnectionResetError:
+        pass  # closed with unread bytes pending: the kernel answers RST
+
+
+def test_fuzz_truncated_length_prefix(live_server):
+    with _raw(live_server) as sock:
+        sock.sendall(b"\x00\x00")  # half a length header, then EOF
+        sock.shutdown(socket.SHUT_WR)
+        _assert_dropped(sock)
+    _assert_server_alive(live_server)
+
+
+def test_fuzz_oversize_declared_length(live_server):
+    with _raw(live_server) as sock:
+        sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        _assert_dropped(sock)
+    _assert_server_alive(live_server)
+
+
+def test_fuzz_non_utf8_body(live_server):
+    with _raw(live_server) as sock:
+        body = b"\xff\xfe\xfd{not json"
+        sock.sendall(struct.pack(">I", len(body)) + body)
+        _assert_dropped(sock)
+    _assert_server_alive(live_server)
+
+
+def test_fuzz_non_object_json(live_server):
+    with _raw(live_server) as sock:
+        body = b"[1, 2, 3]"
+        sock.sendall(struct.pack(">I", len(body)) + body)
+        _assert_dropped(sock)
+    _assert_server_alive(live_server)
+
+
+def test_fuzz_garbage_after_valid_frame(live_server):
+    # A live, mid-conversation connection that turns to garbage is dropped
+    # without disturbing the frames already answered.
+    with _raw(live_server) as sock:
+        send_frame(sock, {"verb": "ping"})
+        assert recv_frame(sock)["ok"]
+        sock.sendall(b"GET / HTTP/1.1\r\n\r\n")  # port-scanner noise
+        _assert_dropped(sock)
+    _assert_server_alive(live_server)
+
+
+def test_fuzz_frame_with_no_verb_is_answered(live_server):
+    with _raw(live_server) as sock:
+        send_frame(sock, {"spec": {"kind": "simulate"}})
+        response = recv_frame(sock)
+    assert response["ok"] is False and response["code"] == "bad_frame"
+    _assert_server_alive(live_server)
+
+
+def test_fuzz_non_string_timeout_answers_bad_frame(live_server):
+    # A non-numeric timeout used to kill the handler thread mid-dispatch;
+    # it must now answer bad_frame and keep the connection usable.
+    with _raw(live_server) as sock:
+        send_frame(sock, {"verb": "result", "job_id": "job-1", "timeout": "soon"})
+        response = recv_frame(sock)
+        assert response["code"] == "bad_frame"
+        send_frame(sock, {"verb": "watch", "job_id": "job-1", "timeout": [1]})
+        response = recv_frame(sock)
+        assert response["code"] == "bad_frame"
+        # The same connection still serves well-formed requests.
+        send_frame(sock, {"verb": "ping"})
+        assert recv_frame(sock)["ok"]
+    _assert_server_alive(live_server)

@@ -308,6 +308,298 @@ def test_stats_includes_store_hits_counter(gated):
     assert stats["queue_limit"] == 4
 
 
+# ------------------------------------------------ durability: journal+replay
+
+
+class FakeStore:
+    """Digest-keyed store stand-in (only what the server touches)."""
+
+    def __init__(self) -> None:
+        self.results: dict[str, RunResult] = {}
+
+    def get(self, digest: str):
+        return self.results.get(digest)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _digest(spec: dict) -> str:
+    return RunSpec.from_json_dict(spec).digest
+
+
+def test_journal_replay_reenqueues_lost_jobs(tmp_path):
+    from repro.serve.journal import JobJournal
+
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    # The previous daemon died with one job running and one queued.
+    for name in ("lost-running", "lost-queued"):
+        spec = RunSpec.from_json_dict(_spec(name)).to_json_dict()
+        journal.append_submit(_digest(_spec(name)), spec, "crashed-client")
+    journal.append_start(_digest(_spec("lost-running")))
+
+    session = FakeSession()
+    server = ReproServer(session, port=0, journal=journal)
+    server.start()
+    try:
+        assert server.restored_jobs == 2
+        deadline = time.monotonic() + 10.0
+        while set(session.ran) != {"lost-running", "lost-queued"}:
+            assert time.monotonic() < deadline, f"replayed jobs never ran: {session.ran}"
+            time.sleep(0.01)
+        with _client(server) as client:
+            assert client.stats()["counters"]["restored"] == 2
+    finally:
+        server.stop()
+        server.join(timeout=30.0)
+    # Everything terminal again: a restart now replays nothing.
+    assert journal.outstanding() == []
+
+
+def test_journal_replay_short_circuits_store_hits(tmp_path):
+    from repro.serve.journal import JobJournal
+
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    done_spec = RunSpec.from_json_dict(_spec("already-done"))
+    journal.append_submit(done_spec.digest, done_spec.to_json_dict(), "c")
+    session = FakeSession()
+    session.store = FakeStore()
+    session.store.results[done_spec.digest] = RunResult(spec=done_spec, rows=[])
+    server = ReproServer(session, port=0, journal=journal)
+    server.start()
+    try:
+        assert server.restored_jobs == 0  # answered from the store, not re-run
+        assert journal.outstanding() == []
+    finally:
+        server.stop()
+        server.join(timeout=30.0)
+    assert session.ran == []
+
+
+def test_submit_is_journaled_before_ack_and_drain_persists_queue(tmp_path):
+    from repro.serve.journal import JobJournal
+
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    gate = threading.Event()
+    session = FakeSession(gate=gate)
+    server = ReproServer(session, port=0, queue_limit=8, journal=journal)
+    server.start()
+    try:
+        with _client(server) as client:
+            blocker = client.submit(_spec("blocker"))
+            _wait_state(client, blocker["job_id"], "running")
+            for index in range(3):
+                client.submit(_spec(f"drain-{index}"))
+            # Acknowledged work is already durable, pre-drain.
+            assert len(journal.outstanding()) == 4
+            client.shutdown(drain=True)
+    finally:
+        gate.set()
+        server.join(timeout=30.0)
+    # The running blocker finished (journaled terminal); the queued three
+    # survive as outstanding for the next daemon.
+    outstanding = {entry.digest for entry in journal.outstanding()}
+    assert outstanding == {_digest(_spec(f"drain-{i}")) for i in range(3)}
+
+    # A fresh daemon on the same journal replays exactly those jobs.
+    gate2 = threading.Event()
+    gate2.set()
+    session2 = FakeSession(gate=gate2)
+    server2 = ReproServer(session2, port=0, journal=journal)
+    server2.start()
+    try:
+        assert server2.restored_jobs == 3
+        deadline = time.monotonic() + 10.0
+        while len(session2.ran) < 3:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        assert sorted(session2.ran) == [f"drain-{i}" for i in range(3)]
+    finally:
+        server2.stop()
+        server2.join(timeout=30.0)
+    assert journal.outstanding() == []
+
+
+def test_shutdown_without_drain_cancels_and_journals(tmp_path):
+    from repro.serve.journal import JobJournal
+
+    journal = JobJournal(tmp_path / "journal.jsonl")
+    gate = threading.Event()
+    session = FakeSession(gate=gate)
+    server = ReproServer(session, port=0, journal=journal)
+    server.start()
+    try:
+        with _client(server) as client:
+            blocker = client.submit(_spec("blocker"))
+            _wait_state(client, blocker["job_id"], "running")
+            client.submit(_spec("victim"))
+            client.shutdown(drain=False)
+    finally:
+        gate.set()
+        server.join(timeout=30.0)
+    # Cancelled queue + finished blocker are all terminal: nothing replays.
+    assert journal.outstanding() == []
+
+
+# ------------------------------------------------------ watchdog + deadlines
+
+
+class HangingSession(FakeSession):
+    """Run hangs forever for marked names (watchdog fodder)."""
+
+    def __init__(self) -> None:
+        super().__init__(gate=None)
+        self.hang_names: set[str] = set()
+        self.hung = threading.Event()
+
+    def run(self, spec: RunSpec) -> RunResult:
+        if spec.name in self.hang_names:
+            self.hung.set()
+            time.sleep(3600.0)
+        return super().run(spec)
+
+
+def test_watchdog_quarantines_hung_eval_and_loop_survives():
+    session = HangingSession()
+    session.hang_names.add("wedged")
+    server = ReproServer(session, port=0, job_timeout=0.4)
+    server.start()
+    try:
+        with _client(server) as client:
+            with pytest.raises(RemoteRunError) as excinfo:
+                client.run(_spec("wedged"))
+            assert excinfo.value.code == "job_quarantined"
+            assert "watchdog" in str(excinfo.value)
+            # The eval loop survived the abandoned thread: next job runs.
+            assert client.run(_spec("healthy")).spec.name == "healthy"
+            assert client.stats()["counters"]["watchdog_fired"] == 1
+    finally:
+        server.stop()
+        server.join(timeout=30.0)
+    assert server.watchdog_fired == 1
+
+
+def test_spec_task_timeout_beats_server_job_timeout():
+    session = HangingSession()
+    session.hang_names.add("slow-spec")
+    # Server-wide deadline is generous; the spec's own task_timeout is not.
+    server = ReproServer(session, port=0, job_timeout=3600.0)
+    server.start()
+    try:
+        with _client(server) as client:
+            spec = dict(_spec("slow-spec"), task_timeout=0.4)
+            start = time.monotonic()
+            with pytest.raises(RemoteRunError) as excinfo:
+                client.run(spec)
+            assert excinfo.value.code == "job_quarantined"
+            assert time.monotonic() - start < 30.0  # not the 3600s default
+    finally:
+        server.stop()
+        server.join(timeout=30.0)
+
+
+# --------------------------------------------------- heartbeats + failover
+
+
+def test_watch_emits_heartbeats_while_nothing_changes(gated):
+    server, _, gate = gated
+    server.heartbeat_seconds = 0.2
+    from repro.serve.protocol import recv_frame, send_frame
+
+    with _client(server) as client:
+        blocker = client.submit(_spec("blocker"))
+        _wait_state(client, blocker["job_id"], "running")
+        queued = client.submit(_spec("parked"))
+        sock = client._connection()
+        send_frame(sock, {"verb": "watch", "job_id": queued["job_id"]})
+        frames = [recv_frame(sock) for _ in range(4)]
+        heartbeats = [f for f in frames if f.get("heartbeat")]
+        assert heartbeats, f"no heartbeat among {frames}"
+        assert all(f["ok"] and not f["final"] for f in heartbeats)
+        client._drop_connection()  # abandon the stream mid-watch
+        gate.set()
+        assert client.wait(queued["job_id"]).spec.name == "parked"
+
+
+def test_wait_reopens_dropped_watch_stream(gated):
+    server, _, gate = gated
+    with _client(server) as client:
+        blocker = client.submit(_spec("blocker"))
+        _wait_state(client, blocker["job_id"], "running")
+        queued = client.submit(_spec("resumed"))
+        job_id = queued["job_id"]
+
+        def sever_then_release() -> None:
+            time.sleep(0.3)
+            # Sever the client's live watch socket out from under it.  (No
+            # lock here: _watch_stream holds it for the whole stream.)
+            sock = client._sock
+            if sock is not None:
+                import socket as socketlib
+                try:
+                    sock.shutdown(socketlib.SHUT_RDWR)
+                except OSError:
+                    pass
+            time.sleep(0.1)
+            gate.set()
+
+        saboteur = threading.Thread(target=sever_then_release, daemon=True)
+        saboteur.start()
+        result = client.wait(job_id)  # survives the severed stream
+        saboteur.join(timeout=10.0)
+    assert result.spec.name == "resumed"
+
+
+def test_client_fails_over_to_second_endpoint():
+    gate = threading.Event()
+    gate.set()
+    session = FakeSession(gate=gate)
+    server = ReproServer(session, port=0)
+    server.start()
+    try:
+        # A dead endpoint first: connect fails over to the live daemon.
+        dead = "127.0.0.1:1"
+        with ServeClient(f"{dead},127.0.0.1:{server.port}", timeout=10.0) as client:
+            assert client.run(_spec("failover")).spec.name == "failover"
+            assert client.port == server.port  # rotated to the live endpoint
+    finally:
+        server.stop()
+        server.join(timeout=30.0)
+
+
+def test_wait_resubmits_by_digest_after_daemon_restart(tmp_path):
+    # Daemon A dies with the job queued; the client's wait() fails over to
+    # daemon B (same store+journal semantics via resubmit-by-digest).
+    gate_a = threading.Event()
+    session_a = FakeSession(gate=gate_a)
+    server_a = ReproServer(session_a, port=0)
+    server_a.start()
+
+    gate_b = threading.Event()
+    gate_b.set()
+    session_b = FakeSession(gate=gate_b)
+    server_b = ReproServer(session_b, port=0)
+    server_b.start()
+    try:
+        spec = _spec("resubmitted")
+        with ServeClient(f"127.0.0.1:{server_a.port},127.0.0.1:{server_b.port}",
+                         timeout=10.0) as client:
+            blocker = client.submit(_spec("blocker"))
+            _wait_state(client, blocker["job_id"], "running")
+            queued = client.submit(spec)
+            # Kill daemon A abruptly: its listener dies, queue is lost.
+            server_a._listener.close()
+            server_a._stopping.set()
+            result = client.wait(str(queued["job_id"]), spec=spec)
+        assert result.spec.name == "resubmitted"
+        assert session_b.ran == ["resubmitted"]
+    finally:
+        gate_a.set()
+        for server in (server_a, server_b):
+            server.stop()
+            server.join(timeout=30.0)
+
+
 # ------------------------------------------------- real session, real store
 
 
